@@ -1,0 +1,131 @@
+// Command covgen generates synthetic coverage instances and writes them
+// as edge lists, for consumption by covstream or external tools.
+//
+// Usage:
+//
+//	covgen -kind planted-kcover -n 300 -m 30000 -k 10 -o inst.txt
+//	covgen -kind zipf -n 1000 -m 100000 -format binary -o inst.bin
+//
+// Kinds: uniform, fixed, zipf, planted-kcover, planted-setcover, blogs,
+// largesets, clustered. See streamcover's Generate* docs for semantics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/streamcover"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "uniform", "instance kind: uniform|fixed|zipf|planted-kcover|planted-setcover|blogs|largesets|clustered")
+		n       = flag.Int("n", 100, "number of sets")
+		m       = flag.Int("m", 10000, "number of elements")
+		k       = flag.Int("k", 10, "planted solution size (planted-* and clustered kinds)")
+		density = flag.Float64("density", 0.01, "edge probability (uniform)")
+		size    = flag.Int("size", 100, "set size (fixed) / max set size (zipf, blogs)")
+		signal  = flag.Float64("signal", 0.9, "covered fraction for planted-kcover")
+		frac    = flag.Float64("frac", 0.3, "per-set coverage fraction (largesets)")
+		alpha   = flag.Float64("alpha", 0.9, "size power-law exponent (zipf)")
+		beta    = flag.Float64("beta", 0.8, "element popularity exponent (zipf)")
+		overlap = flag.Int("overlap", 50, "decoy set size (planted-*)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+		format  = flag.String("format", "text", "output format: text|binary")
+	)
+	flag.Parse()
+
+	var inst *streamcover.Instance
+	switch *kind {
+	case "uniform":
+		inst = streamcover.GenerateUniform(*n, *m, *density, *seed)
+	case "zipf":
+		inst = streamcover.GenerateZipf(*n, *m, *size, *alpha, *beta, *seed)
+	case "planted-kcover":
+		inst = streamcover.GeneratePlantedKCover(*n, *m, *k, *signal, *overlap, *seed)
+	case "planted-setcover":
+		inst = streamcover.GeneratePlantedSetCover(*n, *m, *k, *overlap, *seed)
+	case "blogs":
+		inst = streamcover.GenerateBlogTopics(*n, *m, *size, *seed)
+	case "largesets":
+		inst = streamcover.GenerateLargeSets(*n, *m, *frac, *seed)
+	case "clustered":
+		inst = streamcover.GenerateClustered(*n, *m, *k, *seed)
+	case "fixed":
+		inst = generateFixed(*n, *m, *size, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "covgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "covgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "text":
+		err = inst.WriteText(w)
+	case "binary":
+		err = inst.WriteBinary(w)
+	default:
+		fmt.Fprintf(os.Stderr, "covgen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "covgen: wrote %s n=%d m=%d edges=%d\n",
+		*kind, inst.NumSets(), inst.NumElems(), inst.NumEdges())
+	if inst.Planted != nil {
+		fmt.Fprintf(os.Stderr, "covgen: planted solution of %d sets covering %d elements\n",
+			len(inst.Planted.Sets), inst.Planted.Coverage)
+	}
+}
+
+// generateFixed builds n sets of exactly `size` uniform elements each.
+func generateFixed(n, m, size int, seed uint64) *streamcover.Instance {
+	sets := make([][]uint32, n)
+	for s := 0; s < n; s++ {
+		sets[s] = permutedPrefix(m, size, seed+uint64(s)*0x9e3779b97f4a7c15)
+	}
+	out, err := streamcover.NewInstanceFromSets(m, sets)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// permutedPrefix returns `size` distinct values from [0, m) drawn by a
+// Fisher–Yates prefix under a splitmix-style generator.
+func permutedPrefix(m, size int, seed uint64) []uint32 {
+	if size > m {
+		size = m
+	}
+	idx := make([]uint32, m)
+	for i := range idx {
+		idx[i] = uint32(i)
+	}
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		x := state
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		return x ^ (x >> 31)
+	}
+	for i := 0; i < size; i++ {
+		j := i + int(next()%uint64(m-i))
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:size]
+}

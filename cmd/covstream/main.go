@@ -1,0 +1,170 @@
+// Command covstream runs the streaming coverage algorithms on an instance
+// file produced by covgen (or any edge list in the same format).
+//
+// Usage:
+//
+//	covstream -in inst.txt -algo kcover -k 10 -eps 0.4
+//	covstream -in inst.txt -algo outliers -lambda 0.1
+//	covstream -in inst.bin -algo setcover -r 3
+//	covstream -in inst.txt -algo greedy -k 10      # offline reference
+//
+// The instance is replayed as an edge-arrival stream in a seeded
+// pseudo-random order; results and sketch space are printed to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/streamcover"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "instance file (text or binary edge list); required")
+		algo   = flag.String("algo", "kcover", "algorithm: kcover|outliers|setcover|greedy|greedycover")
+		k      = flag.Int("k", 10, "solution size (kcover, greedy)")
+		lambda = flag.Float64("lambda", 0.1, "outlier fraction (outliers)")
+		r      = flag.Int("r", 2, "iterations (setcover; passes = 2r-1)")
+		eps    = flag.Float64("eps", 0.4, "accuracy parameter")
+		seed   = flag.Uint64("seed", 1, "seed for hashing and stream order")
+		budget = flag.Int("budget", 0, "sketch edge budget override (0 = paper formula)")
+		direct = flag.Bool("direct", false, "stream the text file edge-by-edge without loading it (kcover/outliers only; file order)")
+		n      = flag.Int("n", 0, "number of sets (required with -direct when the file has no header)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "covstream: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *direct {
+		runDirect(*in, *algo, *k, *lambda, *eps, *seed, *budget, *n)
+		return
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	inst, err := streamcover.ReadInstance(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instance: n=%d sets, m=%d elements, %d edges\n",
+		inst.NumSets(), inst.NumElems(), inst.NumEdges())
+
+	opt := streamcover.Options{
+		Eps:        *eps,
+		Seed:       *seed,
+		NumElems:   inst.NumElems(),
+		EdgeBudget: *budget,
+	}
+	start := time.Now()
+	switch *algo {
+	case "kcover":
+		res, err := streamcover.MaxCoverage(inst.EdgeStream(*seed), inst.NumSets(), *k, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("k-cover: %d sets, estimated coverage %.0f, true coverage %d\n",
+			len(res.Sets), res.EstimatedCoverage, inst.Coverage(res.Sets))
+		fmt.Printf("sets: %v\n", res.Sets)
+		fmt.Printf("space: %d edges stored (peak), %d bytes; stream edges seen: %d\n",
+			res.Sketch.EdgesStored, res.Sketch.Bytes, res.Sketch.EdgesSeen)
+	case "outliers":
+		res, err := streamcover.SetCoverWithOutliers(inst.EdgeStream(*seed), inst.NumSets(), *lambda, opt)
+		if err != nil {
+			fatal(err)
+		}
+		cov := inst.Coverage(res.Sets)
+		fmt.Printf("set cover with %g outliers: %d sets covering %d/%d (%.3f; target >= %.3f)\n",
+			*lambda, len(res.Sets), cov, inst.NumElems(),
+			float64(cov)/float64(inst.NumElems()), 1-*lambda)
+		if res.Exhausted {
+			fmt.Println("warning: all guesses failed the acceptance check (best effort returned);")
+			fmt.Println("         increase -budget or relax -lambda")
+		}
+		fmt.Printf("space: %d edges across %d-guess sketches\n", res.Sketch.EdgesStored, res.GuessK)
+	case "setcover":
+		res, err := streamcover.SetCover(inst.EdgeStream(*seed), inst.NumSets(), inst.NumElems(), *r, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("set cover: %d sets covering %d/%d in %d passes\n",
+			len(res.Sets), res.Covered, inst.CoveredElems(), res.Passes)
+		fmt.Printf("space: %d edges stored (peak)\n", res.PeakEdges)
+	case "greedy":
+		sets, covered := inst.GreedyMaxCoverage(*k)
+		fmt.Printf("offline greedy k-cover: %d sets covering %d\n", len(sets), covered)
+		fmt.Printf("sets: %v\n", sets)
+	case "greedycover":
+		sets, covered := inst.GreedySetCover()
+		fmt.Printf("offline greedy set cover: %d sets covering %d\n", len(sets), covered)
+	default:
+		fmt.Fprintf(os.Stderr, "covstream: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "covstream: %v\n", err)
+	os.Exit(1)
+}
+
+// runDirect streams a text edge list from disk without materializing it:
+// the whole run uses only the sketch's O~(n) memory, whatever the file
+// size. Only the single-pass algorithms apply.
+func runDirect(path, algo string, k int, lambda, eps float64, seed uint64, budget, nFlag int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	ts := streamcover.NewTextEdgeStream(f)
+	numSets, numElems, ok := ts.Header()
+	if !ok {
+		numSets, numElems = nFlag, 0
+	}
+	if numSets <= 0 {
+		fmt.Fprintln(os.Stderr, "covstream: -direct needs a 'c n m' header or -n")
+		os.Exit(2)
+	}
+	opt := streamcover.Options{Eps: eps, Seed: seed, NumElems: numElems, EdgeBudget: budget}
+	start := time.Now()
+	switch algo {
+	case "kcover":
+		res, err := streamcover.MaxCoverage(ts, numSets, k, opt)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ts.Err(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("k-cover (direct): %d sets, estimated coverage %.0f\n",
+			len(res.Sets), res.EstimatedCoverage)
+		fmt.Printf("sets: %v\n", res.Sets)
+		fmt.Printf("space: %d edges stored of %d streamed\n",
+			res.Sketch.EdgesStored, res.Sketch.EdgesSeen)
+	case "outliers":
+		res, err := streamcover.SetCoverWithOutliers(ts, numSets, lambda, opt)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ts.Err(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("set cover with %g outliers (direct): %d sets (guess k'=%d)\n",
+			lambda, len(res.Sets), res.GuessK)
+		fmt.Printf("space: %d edges across guess sketches\n", res.Sketch.EdgesStored)
+	default:
+		fmt.Fprintf(os.Stderr, "covstream: -direct supports kcover|outliers, not %q\n", algo)
+		os.Exit(2)
+	}
+	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,14 @@
+// Package repro is the root of a production-quality Go reproduction of
+//
+//	Bateni, Esfandiari, Mirrokni.
+//	"Almost Optimal Streaming Algorithms for Coverage Problems." SPAA 2017.
+//	arXiv:1610.08096
+//
+// The public API lives in the streamcover subpackage; the paper's sketch
+// and algorithms live under internal/. See README.md for a tour,
+// DESIGN.md for the system inventory and experiment index, and
+// EXPERIMENTS.md for the measured reproduction of every table and figure.
+//
+// The root package itself only hosts the repository-level benchmark
+// harness (bench_test.go), with one benchmark per paper artifact.
+package repro

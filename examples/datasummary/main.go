@@ -1,0 +1,53 @@
+// Datasummary: coverage-based data summarization — choose k documents
+// whose union of vocabulary terms is largest. Demonstrates the paper's
+// headline property: the sketch space depends only on the number of
+// documents n, not on the vocabulary size m, so the same budget serves
+// ever-larger vocabularies.
+//
+//	go run ./examples/datasummary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/streamcover"
+)
+
+func main() {
+	const (
+		nDocs = 500
+		k     = 15
+	)
+	fmt.Println("data summarization: pick", k, "documents covering the largest vocabulary")
+	fmt.Println()
+	fmt.Printf("%-12s %-12s %-14s %-14s %-10s\n",
+		"vocab m", "input edges", "sketch edges", "sketch/input", "ratio")
+
+	budget := 60 * nDocs // fixed O(n) space across all vocabulary sizes
+	for _, m := range []int{20000, 80000, 320000} {
+		// Heavy-tailed documents over a Zipf vocabulary.
+		inst := streamcover.GenerateZipf(nDocs, m, m/10, 0.8, 0.7, uint64(m))
+
+		res, err := streamcover.MaxCoverage(inst.EdgeStream(5), nDocs, k,
+			streamcover.Options{
+				Eps:        0.4,
+				Seed:       7,
+				NumElems:   m,
+				EdgeBudget: budget,
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		covered := inst.Coverage(res.Sets)
+		_, gCov := inst.GreedyMaxCoverage(k)
+
+		fmt.Printf("%-12d %-12d %-14d %-14.4f %-10.3f\n",
+			m, inst.NumEdges(), res.Sketch.EdgesStored,
+			float64(res.Sketch.EdgesStored)/float64(inst.NumEdges()),
+			float64(covered)/float64(gCov))
+	}
+	fmt.Println()
+	fmt.Println("the sketch size stays flat while the input grows 16x —")
+	fmt.Println("space is O~(n), independent of vocabulary size (Theorem 3.1)")
+}

@@ -1,0 +1,66 @@
+// Distributed: the paper's sketch is composable (§1.3.2 / the companion
+// distributed paper): workers sketch disjoint shards of the edge set in
+// parallel, ship O~(n)-sized sketches, and the coordinator's merged
+// sketch is exactly the single-machine sketch — so one round suffices
+// and the approximation guarantee is unchanged.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/streamcover"
+)
+
+func main() {
+	const (
+		nSets  = 1500
+		nElems = 200000
+		k      = 25
+	)
+	inst := streamcover.GenerateZipf(nSets, nElems, nElems/8, 0.9, 0.8, 3)
+	fmt.Printf("instance: %d sets, %d elements, %d edges\n\n",
+		inst.NumSets(), inst.NumElems(), inst.NumEdges())
+
+	opts := streamcover.Options{
+		Eps:        0.4,
+		Seed:       99,
+		NumElems:   nElems,
+		EdgeBudget: 60 * nSets,
+	}
+
+	// Single machine, one pass.
+	single, err := streamcover.MaxCoverage(inst.EdgeStream(1), nSets, k, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	singleCov := inst.Coverage(single.Sets)
+
+	fmt.Printf("%-10s %-12s %-16s %-14s\n", "workers", "coverage", "edges shipped", "same solution")
+	fmt.Printf("%-10d %-12d %-16d %-14s\n", 1, singleCov, single.Sketch.EdgesStored, "-")
+
+	for _, workers := range []int{2, 4, 8, 16} {
+		res, err := streamcover.MaxCoverageSharded(inst.Shards(workers, 7), nSets, k, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cov := inst.Coverage(res.Sets)
+		same := "yes"
+		if len(res.Sets) != len(single.Sets) {
+			same = "no"
+		} else {
+			for i := range res.Sets {
+				if res.Sets[i] != single.Sets[i] {
+					same = "no"
+				}
+			}
+		}
+		fmt.Printf("%-10d %-12d %-16d %-14s\n", workers, cov, res.EdgesShipped, same)
+	}
+	fmt.Println()
+	fmt.Println("the merged sketch equals the single-machine sketch, so every")
+	fmt.Println("worker count returns the identical solution; communication is")
+	fmt.Println("bounded by each worker's O~(n) sketch, not its shard size")
+}

@@ -1,0 +1,52 @@
+// Multipass: full set cover over a replayable stream, trading passes for
+// space (Algorithm 6 / Theorem 3.4): with r iterations (2r-1 passes) the
+// algorithm holds O~(n·m^{3/(2+r)} + m) edges, so a few extra passes
+// shrink memory by orders of magnitude while the solution size stays
+// within (1+eps)·ln(m) of optimal.
+//
+//	go run ./examples/multipass
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/streamcover"
+)
+
+func main() {
+	const (
+		nSets  = 300
+		nElems = 30000
+	)
+	// A heavy-tailed instance: popular elements are covered by many sets,
+	// but a long tail of rare elements forces a large cover — the regime
+	// where the pass/space tradeoff is visible.
+	inst := streamcover.GenerateZipf(nSets, nElems, nElems/3, 1.1, 0.9, 21)
+	_, greedyCov := inst.GreedySetCover()
+	greedySets, _ := inst.GreedySetCover()
+	fmt.Printf("full set cover: n=%d sets, m=%d elements, %d edges\n",
+		nSets, nElems, inst.NumEdges())
+	fmt.Printf("offline greedy reference: %d sets (covering %d)\n\n", len(greedySets), greedyCov)
+
+	fmt.Printf("%-4s %-8s %-8s %-14s %-12s %-16s\n",
+		"r", "passes", "sets", "sets/greedy", "covered", "residual edges")
+	for _, r := range []int{1, 2, 3, 4} {
+		res, err := streamcover.SetCover(inst.EdgeStream(13), nSets, nElems, r,
+			streamcover.Options{
+				Eps:        0.5,
+				Seed:       17,
+				EdgeBudget: 20 * nSets,
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4d %-8d %-8d %-14.3f %-12d %-16d\n",
+			r, res.Passes, len(res.Sets),
+			float64(len(res.Sets))/float64(len(greedySets)), res.Covered, res.ResidualEdges)
+	}
+	fmt.Println()
+	fmt.Println("more passes -> a smaller residual graph must be buffered")
+	fmt.Println("(the n·m^{3/(2+r)} term of Theorem 3.4), while every run")
+	fmt.Println("covers all elements within the ln(m) bound")
+}

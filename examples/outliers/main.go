@@ -1,0 +1,66 @@
+// Outliers: sensor placement as set cover with outliers — choose the
+// fewest sensors covering at least 95% of observed events, tolerating the
+// long tail. Events arrive as a stream of (sensor, event) detections; one
+// pass suffices (Algorithm 5 / Theorem 3.3).
+//
+//	go run ./examples/outliers
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/streamcover"
+)
+
+func main() {
+	const (
+		nSensors = 400
+		nEvents  = 40000
+		kStar    = 12 // a planted deployment of 12 sensors covers everything
+	)
+	inst := streamcover.GeneratePlantedSetCover(nSensors, nEvents, kStar, 150, 5)
+	fmt.Printf("sensor placement: %d candidate sensors, %d events\n", nSensors, nEvents)
+	fmt.Printf("a hidden deployment of %d sensors covers every event\n\n", kStar)
+
+	fmt.Printf("%-10s %-10s %-12s %-12s %-14s\n",
+		"lambda", "sensors", "bound", "coverage", "sketch edges")
+	for _, lambda := range []float64{0.05, 0.10, 0.20} {
+		res, err := streamcover.SetCoverWithOutliers(inst.EdgeStream(9), nSensors, lambda,
+			streamcover.Options{
+				Eps:        0.5,
+				Seed:       11,
+				NumElems:   nEvents,
+				EdgeBudget: 10 * nSensors,
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		covered := inst.Coverage(res.Sets)
+		bound := (1 + 0.5) * math.Log(1/lambda) * kStar
+		fmt.Printf("%-10.2f %-10d %-12.1f %-12.4f %-14d\n",
+			lambda, len(res.Sets), bound,
+			float64(covered)/float64(nEvents), res.Sketch.EdgesStored)
+	}
+	fmt.Println()
+	fmt.Println("fewer required events (larger lambda) -> fewer sensors, as")
+	fmt.Println("promised by the (1+eps)ln(1/lambda)k* bound — in ONE pass.")
+
+	// The O~(n) space claim: hold the sensor count fixed and scale the
+	// event volume; the sketches stay the same size.
+	fmt.Println()
+	fmt.Printf("%-12s %-14s %-14s\n", "events m", "input edges", "sketch edges")
+	for _, m := range []int{nEvents, 4 * nEvents, 16 * nEvents} {
+		big := streamcover.GeneratePlantedSetCover(nSensors, m, kStar, 150, 5)
+		res, err := streamcover.SetCoverWithOutliers(big.EdgeStream(9), nSensors, 0.1,
+			streamcover.Options{Eps: 0.5, Seed: 11, NumElems: m, EdgeBudget: 10 * nSensors})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12d %-14d %-14d\n", m, big.NumEdges(), res.Sketch.EdgesStored)
+	}
+	fmt.Println()
+	fmt.Println("events grow 16x, the sketches do not — space is O~(n),")
+	fmt.Println("independent of the number of events (Theorem 3.3)")
+}

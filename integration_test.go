@@ -1,0 +1,170 @@
+// Repository-level integration tests: end-to-end flows across the public
+// API — generate → serialize → stream from bytes → solve → verify against
+// ground truth — plus failure-injection scenarios.
+package repro_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/streamcover"
+)
+
+// TestPipelineGenerateSerializeSolve exercises the full user journey for
+// all three problems on one instance.
+func TestPipelineGenerateSerializeSolve(t *testing.T) {
+	inst := streamcover.GeneratePlantedSetCover(80, 5000, 8, 20, 42)
+
+	// Round-trip through the binary format, as a covgen/covstream user would.
+	var buf bytes.Buffer
+	if err := inst.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := streamcover.ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumEdges() != inst.NumEdges() {
+		t.Fatal("serialization changed the instance")
+	}
+
+	opt := streamcover.Options{Eps: 0.5, Seed: 9, NumElems: loaded.NumElems(), EdgeBudget: 50 * 80}
+
+	// k-cover at the planted size finds (nearly) the planted coverage.
+	kres, err := streamcover.MaxCoverage(loaded.EdgeStream(1), loaded.NumSets(), 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Coverage(kres.Sets); float64(got) < 0.6*float64(loaded.NumElems()) {
+		t.Fatalf("k-cover covered %d of %d", got, loaded.NumElems())
+	}
+
+	// Outlier cover meets its coverage target.
+	ores, err := streamcover.SetCoverWithOutliers(loaded.EdgeStream(2), loaded.NumSets(), 0.1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Coverage(ores.Sets); float64(got) < 0.85*float64(loaded.NumElems()) {
+		t.Fatalf("outlier cover covered %d of %d", got, loaded.NumElems())
+	}
+
+	// Full multi-pass cover covers everything.
+	sres, err := streamcover.SetCover(loaded.EdgeStream(3), loaded.NumSets(), loaded.NumElems(), 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Coverage(sres.Sets); got != loaded.NumElems() {
+		t.Fatalf("set cover covered %d of %d", got, loaded.NumElems())
+	}
+}
+
+// TestTruncatedStreamStillValid injects failure: a stream cut off mid-way
+// must still produce a valid (possibly weaker) solution, never a panic or
+// an out-of-range set id.
+func TestTruncatedStreamStillValid(t *testing.T) {
+	inst := streamcover.GenerateZipf(40, 2000, 500, 0.9, 0.7, 7)
+	all := inst.EdgeStream(5)
+	var edges []streamcover.Edge
+	for {
+		e, ok := all.Next()
+		if !ok {
+			break
+		}
+		edges = append(edges, e)
+	}
+	for _, frac := range []float64{0, 0.01, 0.25, 0.75} {
+		cut := int(frac * float64(len(edges)))
+		st := &streamcover.SliceStream{Edges: edges[:cut]}
+		res, err := streamcover.MaxCoverage(st, inst.NumSets(), 5,
+			streamcover.Options{Eps: 0.4, Seed: 3, NumElems: inst.NumElems(), EdgeBudget: 2000})
+		if err != nil {
+			t.Fatalf("frac=%v: %v", frac, err)
+		}
+		for _, s := range res.Sets {
+			if s < 0 || s >= inst.NumSets() {
+				t.Fatalf("frac=%v: invalid set id %d", frac, s)
+			}
+		}
+		if len(res.Sets) > 5 {
+			t.Fatalf("frac=%v: too many sets", frac)
+		}
+	}
+}
+
+// TestMonotoneCoverageInK verifies the end-to-end pipeline's coverage is
+// non-decreasing in k (on a fixed sketch seed), a consumer-visible sanity
+// property of the whole stack.
+func TestMonotoneCoverageInK(t *testing.T) {
+	inst := streamcover.GenerateZipf(60, 3000, 800, 0.9, 0.7, 11)
+	prev := 0
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		res, err := streamcover.MaxCoverage(inst.EdgeStream(1), inst.NumSets(), k,
+			streamcover.Options{Eps: 0.4, Seed: 5, NumElems: inst.NumElems(), EdgeBudget: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := inst.Coverage(res.Sets)
+		if got < prev {
+			t.Fatalf("coverage decreased at k=%d: %d -> %d", k, prev, got)
+		}
+		prev = got
+	}
+}
+
+// TestSetCoverFromTextFilePasses runs the multi-pass algorithm directly
+// over a serialized text stream (disk-style multi-pass).
+func TestSetCoverFromTextFilePasses(t *testing.T) {
+	inst := streamcover.GeneratePlantedSetCover(40, 1200, 5, 10, 13)
+	var buf bytes.Buffer
+	if err := inst.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ts := streamcover.NewTextEdgeStream(bytes.NewReader(buf.Bytes()))
+	n, m, ok := ts.Header()
+	if !ok || !ts.CanReset() {
+		t.Fatal("text stream not usable for multi-pass")
+	}
+	res, err := streamcover.SetCover(ts, n, m, 2,
+		streamcover.Options{Eps: 0.5, Seed: 7, EdgeBudget: 40 * n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Coverage(res.Sets); got != inst.NumElems() {
+		t.Fatalf("file-backed set cover covered %d of %d", got, inst.NumElems())
+	}
+	if res.Passes != 3 {
+		t.Fatalf("passes = %d, want 3", res.Passes)
+	}
+}
+
+// TestGuaranteeSweepAcrossEps checks the theorem's ε knob end to end:
+// smaller ε buys larger sketches, never worse coverage on average.
+func TestGuaranteeSweepAcrossEps(t *testing.T) {
+	inst := streamcover.GeneratePlantedKCover(60, 4000, 6, 0.9, 20, 17)
+	type point struct {
+		edges int
+		cov   int
+	}
+	var pts []point
+	for _, eps := range []float64{0.9, 0.5, 0.2} {
+		res, err := streamcover.MaxCoverage(inst.EdgeStream(1), inst.NumSets(), 6,
+			streamcover.Options{Eps: eps, Seed: 3, NumElems: inst.NumElems()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, point{edges: res.Sketch.EdgesStored, cov: inst.Coverage(res.Sets)})
+	}
+	if !(pts[0].edges <= pts[1].edges && pts[1].edges <= pts[2].edges) {
+		t.Fatalf("sketch size not monotone in 1/eps: %+v", pts)
+	}
+	bound := (1 - 1/math.E - 0.9) * float64(inst.Planted.Coverage)
+	for i, p := range pts {
+		if float64(p.cov) < bound {
+			t.Fatalf("point %d below the weakest bound: %+v", i, p)
+		}
+	}
+}

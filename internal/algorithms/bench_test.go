@@ -1,0 +1,62 @@
+package algorithms
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// BenchmarkKCoverEndToEnd measures Algorithm 3 end to end (sketch build
+// over a ~200k-edge stream + greedy on the sketch).
+func BenchmarkKCoverEndToEnd(b *testing.B) {
+	inst := workload.Zipf(1000, 100000, 20000, 0.9, 0.8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := KCover(stream.Shuffled(inst.G, uint64(i)), 1000, 20,
+			Options{Eps: 0.4, Seed: 7, NumElems: 100000, EdgeBudget: 40 * 1000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Sets) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkOutliersEndToEnd measures Algorithm 5 (all parallel guesses).
+func BenchmarkOutliersEndToEnd(b *testing.B) {
+	inst := workload.PlantedSetCover(300, 20000, 10, 30, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := SetCoverOutliers(stream.Shuffled(inst.G, uint64(i)), 300, 0.1,
+			Options{Eps: 0.5, Seed: 7, NumElems: 20000, EdgeBudget: 20 * 300})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Sets) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkMultiPassEndToEnd measures Algorithm 6 with r=3 (5 passes).
+func BenchmarkMultiPassEndToEnd(b *testing.B) {
+	inst := workload.PlantedSetCover(200, 10000, 8, 20, 3)
+	st := stream.Shuffled(inst.G, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Reset()
+		res, err := SetCoverMultiPass(st, 200, 10000, 3,
+			Options{Eps: 0.5, Seed: 7, EdgeBudget: 20 * 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Covered == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}

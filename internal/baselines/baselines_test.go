@@ -1,0 +1,141 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/greedy"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+func TestSwapKCoverBasics(t *testing.T) {
+	inst := workload.PlantedKCover(40, 2000, 4, 0.8, 15, 1)
+	out := SwapKCover(stream.NewGraphSetStream(inst.G, 2), inst.G.NumElems(), 4, 0)
+	if len(out.Sets) > 4 {
+		t.Fatalf("kept %d > k sets", len(out.Sets))
+	}
+	// Reported coverage must match recomputation on the graph.
+	if got := inst.G.Coverage(out.Sets); got != out.Covered {
+		t.Fatalf("reported %d != actual %d", out.Covered, got)
+	}
+	if out.Space.PeakItems == 0 {
+		t.Fatal("no space accounted")
+	}
+}
+
+func TestSwapKCoverReasonableRatio(t *testing.T) {
+	// The ¼-approximation should comfortably beat ratio 0.25 on random
+	// instances against the offline greedy reference.
+	for seed := uint64(0); seed < 5; seed++ {
+		inst := workload.Uniform(30, 800, 0.05, seed)
+		k := 5
+		ref := greedy.MaxCover(inst.G, k).Covered
+		out := SwapKCover(stream.NewGraphSetStream(inst.G, seed+10), inst.G.NumElems(), k, 0)
+		if got := inst.G.Coverage(out.Sets); float64(got) < 0.25*float64(ref) {
+			t.Fatalf("seed=%d: swap ratio %.3f below 1/4", seed, float64(got)/float64(ref))
+		}
+	}
+}
+
+func TestSwapKCoverFewSets(t *testing.T) {
+	// k larger than the number of sets: take everything useful.
+	inst := workload.Uniform(3, 50, 0.2, 3)
+	out := SwapKCover(stream.NewGraphSetStream(inst.G, 1), inst.G.NumElems(), 10, 0)
+	if out.Covered != inst.G.Coverage([]int{0, 1, 2}) {
+		t.Fatalf("should keep all sets: covered %d", out.Covered)
+	}
+}
+
+func TestSieveKCoverRatio(t *testing.T) {
+	// SieveStreaming guarantees 1/2 - eps; verify on random and planted
+	// instances against offline greedy.
+	for seed := uint64(0); seed < 5; seed++ {
+		inst := workload.Uniform(30, 800, 0.05, seed)
+		k := 5
+		ref := greedy.MaxCover(inst.G, k).Covered
+		out := SieveKCover(stream.NewGraphSetStream(inst.G, seed+20), inst.G.NumElems(), k, 0.1)
+		if got := inst.G.Coverage(out.Sets); float64(got) < 0.45*float64(ref) {
+			t.Fatalf("seed=%d: sieve ratio %.3f below guarantee", seed, float64(got)/float64(ref))
+		}
+		if len(out.Sets) > k {
+			t.Fatalf("sieve kept %d > k sets", len(out.Sets))
+		}
+	}
+}
+
+func TestSieveKCoverRejectsBadEps(t *testing.T) {
+	inst := workload.Uniform(10, 100, 0.1, 7)
+	// eps out of range falls back to default instead of panicking.
+	out := SieveKCover(stream.NewGraphSetStream(inst.G, 1), inst.G.NumElems(), 3, -1)
+	if len(out.Sets) == 0 {
+		t.Fatal("fallback eps produced empty solution on a dense instance")
+	}
+}
+
+func TestThresholdSetCoverCoversAll(t *testing.T) {
+	for _, passes := range []int{1, 2, 4} {
+		for seed := uint64(0); seed < 3; seed++ {
+			inst := workload.PlantedSetCover(40, 1500, 5, 10, seed)
+			out, err := ThresholdSetCover(stream.NewGraphSetStream(inst.G, seed), inst.G.NumElems(), passes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := inst.G.Coverage(out.Sets); got != inst.G.NumElems() {
+				t.Fatalf("passes=%d seed=%d: covered %d of %d", passes, seed, got, inst.G.NumElems())
+			}
+			if out.Passes != passes+1 {
+				t.Fatalf("reported %d passes, want %d", out.Passes, passes+1)
+			}
+			// No duplicate picks.
+			seen := map[int]bool{}
+			for _, s := range out.Sets {
+				if seen[s] {
+					t.Fatalf("set %d picked twice", s)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}
+
+func TestThresholdSetCoverMorePassesSmaller(t *testing.T) {
+	// More passes means finer thresholds, hence (weakly) better covers on
+	// average. Averages over seeds to avoid single-run noise.
+	totalP1, totalP4 := 0, 0
+	for seed := uint64(0); seed < 6; seed++ {
+		inst := workload.PlantedSetCover(50, 2000, 6, 25, seed)
+		o1, err := ThresholdSetCover(stream.NewGraphSetStream(inst.G, seed), inst.G.NumElems(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o4, err := ThresholdSetCover(stream.NewGraphSetStream(inst.G, seed), inst.G.NumElems(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalP1 += len(o1.Sets)
+		totalP4 += len(o4.Sets)
+	}
+	if totalP4 > totalP1 {
+		t.Fatalf("4 passes used more sets (%d) than 1 pass (%d) on average", totalP4, totalP1)
+	}
+}
+
+func TestThresholdSetCoverValidation(t *testing.T) {
+	inst := workload.Uniform(5, 50, 0.2, 1)
+	if _, err := ThresholdSetCover(stream.NewGraphSetStream(inst.G, 1), 50, 0); err == nil {
+		t.Fatal("passes=0 accepted")
+	}
+}
+
+func TestFullGreedyMatchesOffline(t *testing.T) {
+	inst := workload.Uniform(20, 400, 0.08, 9)
+	k := 5
+	out := FullGreedy(stream.Shuffled(inst.G, 3), 20, 400, k)
+	ref := greedy.MaxCover(inst.G, k)
+	if out.Covered != ref.Covered {
+		t.Fatalf("full greedy %d != offline greedy %d", out.Covered, ref.Covered)
+	}
+	if out.Space.PeakItems != inst.G.NumEdges() {
+		t.Fatalf("space %d != input size %d", out.Space.PeakItems, inst.G.NumEdges())
+	}
+}

@@ -1,0 +1,92 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+func TestL0KCoverGreedyFindsGoodSolution(t *testing.T) {
+	inst := workload.PlantedKCover(30, 2000, 4, 0.85, 12, 1)
+	out := L0KCover(stream.Shuffled(inst.G, 2), 30, 4,
+		L0Options{Eps: 0.2, Seed: 3, Reps: 8})
+	if len(out.Sets) > 4 {
+		t.Fatalf("returned %d sets", len(out.Sets))
+	}
+	got := inst.G.Coverage(out.Sets)
+	if float64(got) < 0.5*float64(inst.PlantedCoverage) {
+		t.Fatalf("l0 greedy covered %d, planted %d", got, inst.PlantedCoverage)
+	}
+	if out.OracleQueries == 0 {
+		t.Fatal("no oracle queries recorded")
+	}
+	if out.SketchValues == 0 || out.Space.PeakItems != out.SketchValues {
+		t.Fatal("space accounting inconsistent")
+	}
+}
+
+func TestL0KCoverEstimateAccuracy(t *testing.T) {
+	inst := workload.Uniform(15, 3000, 0.1, 5)
+	out := L0KCover(stream.Shuffled(inst.G, 6), 15, 3,
+		L0Options{Eps: 0.15, Seed: 7, Reps: 11})
+	truth := float64(inst.G.Coverage(out.Sets))
+	if out.Estimate < 0.7*truth || out.Estimate > 1.3*truth {
+		t.Fatalf("estimate %v vs truth %v", out.Estimate, truth)
+	}
+}
+
+func TestL0KCoverExhaustiveMatchesExactOnTiny(t *testing.T) {
+	inst := workload.Uniform(8, 500, 0.15, 9)
+	k := 3
+	out := L0KCover(stream.Shuffled(inst.G, 1), 8, k,
+		L0Options{Eps: 0.1, Seed: 11, Reps: 9, Exhaustive: true})
+	opt := exact.MaxCover(inst.G, k)
+	got := inst.G.Coverage(out.Sets)
+	// Appendix D promises 1-eps with the right constants; at these sketch
+	// sizes the exhaustive search should land within ~15% of optimal.
+	if float64(got) < 0.85*float64(opt.Covered) {
+		t.Fatalf("exhaustive l0 covered %d, optimum %d", got, opt.Covered)
+	}
+}
+
+func TestL0KCoverSpaceGrowsWithK(t *testing.T) {
+	inst := workload.Uniform(30, 2000, 0.05, 13)
+	small := L0KCover(stream.Shuffled(inst.G, 1), 30, 2, L0Options{Eps: 0.25, Seed: 1})
+	large := L0KCover(stream.Shuffled(inst.G, 1), 30, 12, L0Options{Eps: 0.25, Seed: 1})
+	if large.RepsUsed <= small.RepsUsed {
+		t.Fatalf("reps should grow with k: %d vs %d", small.RepsUsed, large.RepsUsed)
+	}
+	if large.Space.PeakItems <= small.Space.PeakItems {
+		t.Fatalf("space should grow with k: %d vs %d", small.Space.PeakItems, large.Space.PeakItems)
+	}
+}
+
+func TestL0KCoverDefaultsAreSane(t *testing.T) {
+	inst := workload.Uniform(10, 200, 0.1, 15)
+	out := L0KCover(stream.Shuffled(inst.G, 2), 10, 3, L0Options{})
+	if out.RepsUsed < 1 || out.RepsUsed > 64 {
+		t.Fatalf("default reps = %d", out.RepsUsed)
+	}
+	if len(out.Sets) == 0 {
+		t.Fatal("default options produced empty solution")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{nil, 0},
+	}
+	for _, c := range cases {
+		if got := median(c.in); got != c.want {
+			t.Fatalf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

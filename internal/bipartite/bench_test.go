@@ -1,0 +1,52 @@
+package bipartite
+
+import (
+	"testing"
+)
+
+func benchGraph(b *testing.B, n, m int, density float64) *Graph {
+	b.Helper()
+	g := randomGraph(1, n, m, density)
+	b.ReportAllocs()
+	b.ResetTimer()
+	return g
+}
+
+// BenchmarkFromEdges measures CSR construction (counting sort + dedupe).
+func BenchmarkFromEdges(b *testing.B) {
+	g := randomGraph(1, 500, 20000, 0.01)
+	edges := g.Edges(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromEdges(500, 20000, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoverage measures one coverage evaluation of a 50-set family.
+func BenchmarkCoverage(b *testing.B) {
+	g := benchGraph(b, 500, 20000, 0.01)
+	sets := make([]int, 50)
+	for i := range sets {
+		sets[i] = i * 10
+	}
+	for i := 0; i < b.N; i++ {
+		if g.Coverage(sets) == 0 {
+			b.Fatal("empty coverage")
+		}
+	}
+}
+
+// BenchmarkCovererMarginal measures the marginal-gain primitive that
+// dominates greedy runtimes.
+func BenchmarkCovererMarginal(b *testing.B) {
+	g := randomGraph(2, 500, 20000, 0.01)
+	c := NewCoverer(g)
+	c.Add(0, 1, 2, 3, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Marginal(i % 500)
+	}
+}

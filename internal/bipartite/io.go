@@ -1,0 +1,157 @@
+package bipartite
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text format:
+//
+//	# comments and blank lines are ignored
+//	header: "c <numSets> <numElems>"
+//	edges:  "<set> <elem>" one per line
+//
+// Binary format: magic "BCOV1", then numSets, numElems, numEdges as
+// little-endian uint64, then (set, elem) uint32 pairs.
+
+const binaryMagic = "BCOV1"
+
+// WriteText writes g as a text edge list.
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "c %d %d\n", g.NumSets(), g.NumElems()); err != nil {
+		return err
+	}
+	for s := 0; s < g.NumSets(); s++ {
+		for _, e := range g.Set(s) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", s, e); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text edge-list format.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var (
+		haveHeader bool
+		numSets    int
+		numElems   int
+		edges      []Edge
+	)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "c" {
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("bipartite: line %d: header needs 'c n m'", line)
+			}
+			var err error
+			numSets, err = strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("bipartite: line %d: bad n: %v", line, err)
+			}
+			numElems, err = strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("bipartite: line %d: bad m: %v", line, err)
+			}
+			haveHeader = true
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bipartite: line %d: expected 'set elem'", line)
+		}
+		s, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bipartite: line %d: bad set id: %v", line, err)
+		}
+		e, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bipartite: line %d: bad element id: %v", line, err)
+		}
+		edges = append(edges, Edge{Set: uint32(s), Elem: uint32(e)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !haveHeader {
+		// Infer dimensions from the edges.
+		for _, e := range edges {
+			if int(e.Set) >= numSets {
+				numSets = int(e.Set) + 1
+			}
+			if int(e.Elem) >= numElems {
+				numElems = int(e.Elem) + 1
+			}
+		}
+	}
+	return FromEdges(numSets, numElems, edges)
+}
+
+// WriteBinary writes g in the compact binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := [3]uint64{uint64(g.NumSets()), uint64(g.NumElems()), uint64(g.NumEdges())}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	var buf [8]byte
+	for s := 0; s < g.NumSets(); s++ {
+		for _, e := range g.Set(s) {
+			binary.LittleEndian.PutUint32(buf[0:4], uint32(s))
+			binary.LittleEndian.PutUint32(buf[4:8], e)
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("bipartite: bad magic %q", magic)
+	}
+	var hdr [3]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, err
+		}
+	}
+	numSets, numElems, numEdges := int(hdr[0]), int(hdr[1]), int(hdr[2])
+	edges := make([]Edge, numEdges)
+	var buf [8]byte
+	for i := 0; i < numEdges; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, err
+		}
+		edges[i] = Edge{
+			Set:  binary.LittleEndian.Uint32(buf[0:4]),
+			Elem: binary.LittleEndian.Uint32(buf[4:8]),
+		}
+	}
+	return FromEdges(numSets, numElems, edges)
+}

@@ -1,0 +1,134 @@
+package bipartite
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumSets() != b.NumSets() || a.NumElems() != b.NumElems() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for s := 0; s < a.NumSets(); s++ {
+		x, y := a.Set(s), b.Set(s)
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := randomGraph(1, 7, 40, 0.2)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Fatal("text round trip changed graph")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := randomGraph(2, 9, 60, 0.15)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Fatal("binary round trip changed graph")
+	}
+}
+
+func TestReadTextCommentsAndBlanks(t *testing.T) {
+	in := `
+# a comment
+c 2 3
+
+0 0
+# another
+0 2
+1 1
+`
+	g, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumSets() != 2 || g.NumElems() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("parsed dims n=%d m=%d e=%d", g.NumSets(), g.NumElems(), g.NumEdges())
+	}
+}
+
+func TestReadTextInfersDims(t *testing.T) {
+	g, err := ReadText(strings.NewReader("0 0\n3 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumSets() != 4 || g.NumElems() != 8 {
+		t.Fatalf("inferred dims n=%d m=%d", g.NumSets(), g.NumElems())
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"c 2\n",        // short header
+		"c x 3\n",      // bad n
+		"c 2 y\n",      // bad m
+		"0\n",          // short edge
+		"a 0\n",        // bad set id
+		"0 b\n",        // bad element id
+		"c 1 1\n5 0\n", // out of range set
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOTBC000")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	g := randomGraph(3, 4, 20, 0.2)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Fatal("truncated binary accepted")
+	}
+}
+
+func TestEmptyGraphRoundTrip(t *testing.T) {
+	g := MustFromEdges(3, 4, nil)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Fatal("empty graph round trip failed")
+	}
+}

@@ -1,0 +1,154 @@
+// Package bitset implements a dense, fixed-capacity bitset used by the
+// exact solvers and the greedy reference implementations. The
+// representation is a plain []uint64 so that values can be embedded,
+// copied with copy(), and compared cheaply.
+package bitset
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers. The
+// capacity is fixed at construction; operations never grow the slice.
+type Bitset []uint64
+
+// New returns a bitset able to hold values in [0, n).
+func New(n int) Bitset {
+	return make(Bitset, (n+63)/64)
+}
+
+// Words returns the number of 64-bit words backing the set.
+func (b Bitset) Words() int { return len(b) }
+
+// Capacity returns the number of representable values.
+func (b Bitset) Capacity() int { return len(b) * 64 }
+
+// Set inserts i.
+func (b Bitset) Set(i int) { b[i>>6] |= 1 << uint(i&63) }
+
+// Clear removes i.
+func (b Bitset) Clear(i int) { b[i>>6] &^= 1 << uint(i&63) }
+
+// Get reports whether i is present.
+func (b Bitset) Get(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Reset removes every member.
+func (b Bitset) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Count returns the number of members.
+func (b Bitset) Count() int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a copy of b.
+func (b Bitset) Clone() Bitset {
+	c := make(Bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// CopyFrom overwrites b with src. The two sets must have equal capacity.
+func (b Bitset) CopyFrom(src Bitset) { copy(b, src) }
+
+// Or sets b to b ∪ other.
+func (b Bitset) Or(other Bitset) {
+	for i, w := range other {
+		b[i] |= w
+	}
+}
+
+// And sets b to b ∩ other.
+func (b Bitset) And(other Bitset) {
+	for i, w := range other {
+		b[i] &= w
+	}
+}
+
+// AndNot sets b to b \ other.
+func (b Bitset) AndNot(other Bitset) {
+	for i, w := range other {
+		b[i] &^= w
+	}
+}
+
+// OrCount returns |b ∪ other| without modifying either set.
+func (b Bitset) OrCount(other Bitset) int {
+	c := 0
+	for i, w := range other {
+		c += bits.OnesCount64(b[i] | w)
+	}
+	return c
+}
+
+// AndNotCount returns |other \ b|: the number of members of other that are
+// not in b. This is the marginal-gain primitive of greedy algorithms.
+func (b Bitset) AndNotCount(other Bitset) int {
+	c := 0
+	for i, w := range other {
+		c += bits.OnesCount64(w &^ b[i])
+	}
+	return c
+}
+
+// Equal reports whether b and other contain the same members.
+func (b Bitset) Equal(other Bitset) bool {
+	if len(b) != len(other) {
+		return false
+	}
+	for i, w := range other {
+		if b[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubsetOf reports whether every member of b is a member of other.
+func (b Bitset) IsSubsetOf(other Bitset) bool {
+	for i, w := range b {
+		if w&^other[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Any reports whether the set is non-empty.
+func (b Bitset) Any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IterOnes calls fn for every member in increasing order. If fn returns
+// false, iteration stops.
+func (b Bitset) IterOnes(fn func(i int) bool) {
+	for wi, w := range b {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi*64 + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Ones returns the members in increasing order.
+func (b Bitset) Ones() []int {
+	out := make([]int, 0, b.Count())
+	b.IterOnes(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// BenchmarkSketchAddEdge measures the streaming update cost of Algorithm 2
+// — the paper claims O~(1) update time; this reports it in ns/edge.
+func BenchmarkSketchAddEdge(b *testing.B) {
+	inst := workload.Zipf(1000, 100000, 20000, 0.9, 0.8, 1)
+	edges := inst.G.Edges(nil)
+	params := Params{NumSets: 1000, NumElems: 100000, K: 20, Eps: 0.3,
+		Seed: 7, EdgeBudget: 40 * 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s := MustNewSketch(params)
+	for i := 0; i < b.N; i++ {
+		s.AddEdge(edges[i%len(edges)])
+	}
+}
+
+// BenchmarkSketchBuildStream measures building a full sketch over a
+// 100k-edge stream.
+func BenchmarkSketchBuildStream(b *testing.B) {
+	inst := workload.Zipf(500, 50000, 10000, 0.9, 0.8, 2)
+	params := Params{NumSets: 500, NumElems: 50000, K: 10, Eps: 0.3,
+		Seed: 7, EdgeBudget: 40 * 500}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := MustNewSketch(params)
+		s.AddStream(stream.Shuffled(inst.G, uint64(i)))
+	}
+}
+
+// BenchmarkSketchGraph measures extracting the compact sketch instance.
+func BenchmarkSketchGraph(b *testing.B) {
+	inst := workload.Zipf(500, 50000, 10000, 0.9, 0.8, 3)
+	params := Params{NumSets: 500, NumElems: 50000, K: 10, Eps: 0.3,
+		Seed: 7, EdgeBudget: 40 * 500}
+	s := MustNewSketch(params)
+	s.AddStream(stream.Shuffled(inst.G, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, _ := s.Graph()
+		if g.NumSets() != 500 {
+			b.Fatal("bad graph")
+		}
+	}
+}
+
+// BenchmarkBuildHp measures the offline Hp construction.
+func BenchmarkBuildHp(b *testing.B) {
+	inst := workload.Uniform(200, 20000, 0.01, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildHp(inst.G, 0.25, uint64(i))
+	}
+}
+
+// BenchmarkCoverageEstimate measures the EstimateCoverage query path.
+func BenchmarkCoverageEstimate(b *testing.B) {
+	inst := workload.LargeSets(50, 20000, 0.3, 5)
+	params := Params{NumSets: 50, NumElems: 20000, K: 10, Eps: 0.3,
+		Seed: 7, EdgeBudget: 3000, DegreeCap: 50}
+	s := MustNewSketch(params)
+	s.AddStream(stream.Shuffled(inst.G, 1))
+	sets := []int{0, 5, 10, 15, 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.EstimateCoverage(sets) <= 0 {
+			b.Fatal("empty estimate")
+		}
+	}
+}
+
+var sinkEdge bipartite.Edge
+
+// BenchmarkEdgeShuffle isolates the stream-generation cost that the
+// sketch benchmarks pay.
+func BenchmarkEdgeShuffle(b *testing.B) {
+	inst := workload.Zipf(500, 50000, 10000, 0.9, 0.8, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := stream.Shuffled(inst.G, uint64(i))
+		e, _ := st.Next()
+		sinkEdge = e
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/greedy"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+func TestEnsembleReplicaSeedsDiffer(t *testing.T) {
+	params := smallParams(20, 3, 100, 5)
+	e, err := NewEnsemble(params, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Replicas() != 5 {
+		t.Fatalf("Replicas = %d", e.Replicas())
+	}
+	inst := workload.Uniform(20, 400, 0.1, 1)
+	e.AddStream(stream.Shuffled(inst.G, 1))
+	// Replicas hash independently, so their kept-element sets differ.
+	same := 0
+	a, b := e.Sketch(0), e.Sketch(1)
+	for el := 0; el < 400; el++ {
+		if a.Contains(uint32(el)) && b.Contains(uint32(el)) {
+			same++
+		}
+	}
+	if same == a.Elements() && a.Elements() == b.Elements() {
+		t.Fatal("two replicas sampled identical element sets; seeds not independent")
+	}
+}
+
+func TestEnsembleClampsReplicas(t *testing.T) {
+	e, err := NewEnsemble(smallParams(5, 1, 20, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Replicas() != 1 {
+		t.Fatalf("Replicas = %d, want clamp to 1", e.Replicas())
+	}
+}
+
+func TestEnsembleRejectsBadParams(t *testing.T) {
+	if _, err := NewEnsemble(Params{}, 3); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestEnsembleMedianEstimateAccuracy(t *testing.T) {
+	// Under heavy sampling, the median across replicas should be at
+	// least as accurate (in MAD) as a typical single replica.
+	inst := workload.LargeSets(10, 4000, 0.4, 7)
+	params := smallParams(10, 3, 800, 77)
+	params.DegreeCap = 12
+	e, err := NewEnsemble(params, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddStream(stream.Shuffled(inst.G, 2))
+
+	sets := []int{0, 1, 2}
+	truth := float64(inst.G.Coverage(sets))
+	medianEst := e.EstimateCoverage(sets)
+	if math.Abs(medianEst-truth)/truth > 0.15 {
+		t.Fatalf("median estimate %v too far from %v", medianEst, truth)
+	}
+	// Median error <= max single-replica error (median is inside hull).
+	var errs []float64
+	for i := 0; i < e.Replicas(); i++ {
+		errs = append(errs, math.Abs(e.Sketch(i).EstimateCoverage(sets)-truth))
+	}
+	if math.Abs(medianEst-truth) > stats.Max(errs)+1e-9 {
+		t.Fatal("median estimate worse than every replica (impossible)")
+	}
+}
+
+func TestEnsembleEdgesAccounting(t *testing.T) {
+	inst := workload.Uniform(10, 200, 0.1, 9)
+	e, err := NewEnsemble(smallParams(10, 2, 5000, 3), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := e.AddStream(stream.Shuffled(inst.G, 1))
+	if n != inst.G.NumEdges() {
+		t.Fatalf("AddStream consumed %d of %d", n, inst.G.NumEdges())
+	}
+	// Every replica stores the full (under-budget) graph.
+	if e.Edges() != 4*inst.G.NumEdges() {
+		t.Fatalf("ensemble edges %d, want %d", e.Edges(), 4*inst.G.NumEdges())
+	}
+}
+
+func TestEnsembleBestSolution(t *testing.T) {
+	inst := workload.PlantedKCover(30, 2000, 4, 0.9, 10, 11)
+	params := smallParams(30, 4, 1200, 21)
+	e, err := NewEnsemble(params, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddStream(stream.Shuffled(inst.G, 3))
+	sets, est := e.BestSolution(func(g *bipartite.Graph) []int {
+		return greedy.MaxCover(g, 4).Sets
+	})
+	if len(sets) == 0 || est <= 0 {
+		t.Fatal("empty best solution")
+	}
+	got := inst.G.Coverage(sets)
+	if float64(got) < 0.5*float64(inst.PlantedCoverage) {
+		t.Fatalf("best solution covers %d, planted %d", got, inst.PlantedCoverage)
+	}
+	if est < 0.7*float64(got) || est > 1.3*float64(got) {
+		t.Fatalf("estimate %v vs truth %d", est, got)
+	}
+}
+
+func TestEnsembleDeterministic(t *testing.T) {
+	inst := workload.Uniform(12, 300, 0.08, 13)
+	params := smallParams(12, 2, 150, 31)
+	run := func() float64 {
+		e, err := NewEnsemble(params, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.AddStream(stream.Shuffled(inst.G, 4))
+		return e.EstimateCoverage([]int{0, 1})
+	}
+	if run() != run() {
+		t.Fatal("ensemble runs not deterministic")
+	}
+}

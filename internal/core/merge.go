@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+)
+
+// This file makes H≤n sketches composable — the property behind the
+// paper's companion distributed results (§1.3.2 and the conclusion): the
+// sketch is a deterministic, order-invariant function of the *set* of
+// edges it has absorbed, so sketches built over disjoint shards of a
+// stream merge into exactly the sketch of the whole stream.
+//
+// Why merging kept edges suffices: a worker drops an edge only (a) above
+// its eviction bar or (b) beyond the degree cap. For (a), the worker kept
+// ≥ B edges strictly below its bar, so the global sketch — which sees a
+// superset of edges — has a bar no higher, and would have dropped the
+// edge too. For (b), the global sketch caps the same element at the same
+// D, so it also keeps only D of the element's edges (possibly a different
+// D-subset, which Definition 2.1 explicitly allows). Hence
+// Merge(shard sketches) ≡ Sketch(whole stream), exactly when degree caps
+// never bind and up to the allowed cap-subset choice otherwise. The
+// equivalence is pinned down by TestMergeEqualsGlobalSketch.
+
+// ForEachEdge calls fn for every kept edge of the sketch. Iteration
+// order is unspecified. fn must not mutate the sketch.
+func (s *Sketch) ForEachEdge(fn func(e bipartite.Edge)) {
+	for _, si := range s.heap {
+		sl := &s.slots[si]
+		for _, set := range sl.sets {
+			fn(bipartite.Edge{Set: set, Elem: sl.elem})
+		}
+	}
+}
+
+// Merge folds other's kept edges into s. Both sketches must have been
+// built with compatible parameters (same dimensions, ε, k, seed, hash
+// family and effective budget/cap), otherwise the kept-edge policies
+// disagree and an error is returned. other is not modified.
+//
+// Besides the edges, the eviction bar is folded: the sampling threshold
+// of the merged sketch is the minimum of the inputs' thresholds (the
+// globally smallest excluded element is either excluded by some input —
+// whose bar then equals it — or evicted here). Kept elements at or above
+// the folded bar are evicted: their edge lists may be incomplete, since
+// other discarded edges above its own bar; the prefix below them already
+// carries a full budget, so Definition 2.1 excludes them anyway.
+//
+// Stream-accounting note: s.Stats().EdgesSeen counts the merged kept
+// edges, not the edges other consumed; use the distributed package's
+// Stats for cluster-level accounting.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil {
+		return nil
+	}
+	if !s.params.sketchCompatible(other.params) {
+		return fmt.Errorf("core: cannot merge incompatible sketches (params %+v vs %+v)",
+			s.params, other.params)
+	}
+	other.ForEachEdge(s.AddEdge)
+	if other.evicted {
+		if !s.evicted || priorityLess(other.barHash, other.barElem, s.barHash, s.barElem) {
+			s.evicted = true
+			s.barHash = other.barHash
+			s.barElem = other.barElem
+		}
+		s.evictAboveBar()
+		s.shrink()
+	}
+	return nil
+}
+
+// evictAboveBar removes every kept element whose priority is at or above
+// the current eviction bar.
+func (s *Sketch) evictAboveBar() {
+	for len(s.heap) > 0 {
+		top := s.heap[0]
+		sl := &s.slots[top]
+		if priorityLess(sl.hash, sl.elem, s.barHash, s.barElem) {
+			return
+		}
+		s.evict(top)
+	}
+}
+
+// MergeAll builds a fresh sketch with the given parameters and merges
+// every input into it. Inputs must all be compatible with params.
+func MergeAll(params Params, sketches ...*Sketch) (*Sketch, error) {
+	out, err := NewSketch(params)
+	if err != nil {
+		return nil, err
+	}
+	for _, sk := range sketches {
+		if err := out.Merge(sk); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

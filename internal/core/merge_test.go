@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/hashing"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// splitEdges partitions g's edges into w shards deterministically.
+func splitEdges(g *bipartite.Graph, w int, seed uint64) [][]bipartite.Edge {
+	h := hashing.NewHasher(seed)
+	out := make([][]bipartite.Edge, w)
+	for s := 0; s < g.NumSets(); s++ {
+		for _, e := range g.Set(s) {
+			edge := bipartite.Edge{Set: uint32(s), Elem: e}
+			i := int(h.Hash(edge.Set*31+edge.Elem) % uint64(w))
+			out[i] = append(out[i], edge)
+		}
+	}
+	return out
+}
+
+func sketchesEqual(t *testing.T, a, b *Sketch, g *bipartite.Graph, exactEdges bool) {
+	t.Helper()
+	if a.Elements() != b.Elements() || a.Edges() != b.Edges() {
+		t.Fatalf("sketches differ: (%d el, %d ed) vs (%d el, %d ed)",
+			a.Elements(), a.Edges(), b.Elements(), b.Edges())
+	}
+	if a.PStar() != b.PStar() {
+		t.Fatalf("PStar %v vs %v", a.PStar(), b.PStar())
+	}
+	for e := 0; e < g.NumElems(); e++ {
+		sa, sb := a.SetsOf(uint32(e)), b.SetsOf(uint32(e))
+		if (sa == nil) != (sb == nil) || len(sa) != len(sb) {
+			t.Fatalf("element %d: kept %d vs %d edges", e, len(sa), len(sb))
+		}
+		if exactEdges {
+			for i := range sa {
+				if sa[i] != sb[i] {
+					t.Fatalf("element %d: edge sets differ", e)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeEqualsGlobalSketch(t *testing.T) {
+	inst := workload.Zipf(30, 600, 200, 0.9, 0.7, 1)
+	g := inst.G
+	params := smallParams(30, 4, 200, 42)
+	params.DegreeCap = g.MaxElemDegree() + 1 // caps never bind -> exact equality
+
+	global := MustNewSketch(params)
+	feed(global, g, 5)
+
+	for _, w := range []int{2, 3, 5, 8} {
+		shards := splitEdges(g, w, uint64(w))
+		locals := make([]*Sketch, w)
+		for i, sh := range shards {
+			locals[i] = MustNewSketch(params)
+			for _, e := range sh {
+				locals[i].AddEdge(e)
+			}
+		}
+		merged, err := MergeAll(params, locals...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sketchesEqual(t, merged, global, g, true)
+	}
+}
+
+func TestMergeWithCapBindingKeepsCounts(t *testing.T) {
+	// With binding caps, merged and global sketches agree on elements,
+	// degrees and p*, though the specific kept edges may differ.
+	inst := workload.LargeSets(20, 800, 0.5, 2)
+	g := inst.G
+	params := smallParams(20, 3, 300, 7)
+	params.DegreeCap = 4
+
+	global := MustNewSketch(params)
+	feed(global, g, 3)
+
+	shards := splitEdges(g, 4, 9)
+	locals := make([]*Sketch, len(shards))
+	for i, sh := range shards {
+		locals[i] = MustNewSketch(params)
+		for _, e := range sh {
+			locals[i].AddEdge(e)
+		}
+	}
+	merged, err := MergeAll(params, locals...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketchesEqual(t, merged, global, g, false)
+}
+
+func TestMergeOrderIrrelevant(t *testing.T) {
+	inst := workload.Uniform(15, 300, 0.08, 3)
+	g := inst.G
+	params := smallParams(15, 3, 120, 11)
+	params.DegreeCap = g.MaxElemDegree() + 1
+
+	shards := splitEdges(g, 3, 4)
+	build := func(order []int) *Sketch {
+		out := MustNewSketch(params)
+		for _, i := range order {
+			local := MustNewSketch(params)
+			for _, e := range shards[i] {
+				local.AddEdge(e)
+			}
+			if err := out.Merge(local); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+	a := build([]int{0, 1, 2})
+	b := build([]int{2, 0, 1})
+	sketchesEqual(t, a, b, g, true)
+}
+
+func TestMergeRejectsIncompatible(t *testing.T) {
+	a := MustNewSketch(smallParams(10, 2, 50, 1))
+	cases := []Params{
+		smallParams(11, 2, 50, 1), // different n
+		smallParams(10, 3, 50, 1), // different k
+		smallParams(10, 2, 60, 1), // different budget
+		smallParams(10, 2, 50, 2), // different seed
+		func() Params { // different hash family
+			p := smallParams(10, 2, 50, 1)
+			p.Hash = HashTabulation
+			return p
+		}(),
+	}
+	for i, p := range cases {
+		b := MustNewSketch(p)
+		if err := a.Merge(b); err == nil {
+			t.Fatalf("case %d: incompatible merge accepted", i)
+		}
+	}
+	// Merging nil is a no-op.
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("nil merge errored: %v", err)
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	inst := workload.Uniform(10, 200, 0.1, 4)
+	params := smallParams(10, 2, 5000, 3)
+	a := MustNewSketch(params)
+	feed(a, inst.G, 1)
+	before := a.Edges()
+	// Merging a sketch into an equal one must not change it (dedupe).
+	b := MustNewSketch(params)
+	feed(b, inst.G, 2)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Edges() != before {
+		t.Fatalf("self-merge changed edges: %d -> %d", before, a.Edges())
+	}
+}
+
+func TestMergePropagatesEvictionBar(t *testing.T) {
+	// Regression: merging a single evicting sketch into a fresh one must
+	// reproduce its sampling probability, not reset it to 1 — the
+	// coordinator only sees kept edges, so the bar has to travel with
+	// the sketch.
+	inst := workload.Zipf(25, 800, 300, 0.9, 0.7, 9)
+	params := smallParams(25, 4, 250, 17)
+	single := MustNewSketch(params)
+	feed(single, inst.G, 2)
+	if single.PStar() >= 1 {
+		t.Fatal("test needs an evicting sketch; lower the budget")
+	}
+	merged, err := MergeAll(params, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.PStar() != single.PStar() {
+		t.Fatalf("merged PStar %v != single %v", merged.PStar(), single.PStar())
+	}
+	sketchesEqual(t, merged, single, inst.G, false)
+	// Coverage estimates must agree exactly.
+	sets := []int{0, 1, 2, 3}
+	if merged.EstimateCoverage(sets) != single.EstimateCoverage(sets) {
+		t.Fatalf("estimate %v != %v", merged.EstimateCoverage(sets), single.EstimateCoverage(sets))
+	}
+}
+
+func TestMergeBarDropsIncompleteElements(t *testing.T) {
+	// An element kept by one worker but above another worker's bar has a
+	// possibly-incomplete edge list; the merge must not keep it.
+	inst := workload.Zipf(20, 600, 200, 0.9, 0.7, 10)
+	g := inst.G
+	params := smallParams(20, 3, 150, 23)
+	params.DegreeCap = g.MaxElemDegree() + 1
+
+	global := MustNewSketch(params)
+	feed(global, g, 1)
+
+	shards := splitEdges(g, 3, 31)
+	locals := make([]*Sketch, len(shards))
+	for i, sh := range shards {
+		locals[i] = MustNewSketch(params)
+		for _, e := range sh {
+			locals[i].AddEdge(e)
+		}
+	}
+	merged, err := MergeAll(params, locals...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketchesEqual(t, merged, global, g, true)
+}
+
+func TestForEachEdgeEnumeratesExactly(t *testing.T) {
+	inst := workload.Uniform(8, 100, 0.15, 5)
+	params := smallParams(8, 2, 10000, 9)
+	s := MustNewSketch(params)
+	feed(s, inst.G, 1)
+	count := 0
+	s.ForEachEdge(func(e bipartite.Edge) {
+		if !inst.G.Contains(int(e.Set), e.Elem) {
+			t.Fatalf("ForEachEdge invented edge %v", e)
+		}
+		count++
+	})
+	if count != s.Edges() {
+		t.Fatalf("enumerated %d of %d edges", count, s.Edges())
+	}
+}
+
+func TestTabulationSketchOrderInvariance(t *testing.T) {
+	// The core invariance must hold under the alternative hash family.
+	inst := workload.Zipf(20, 300, 100, 0.9, 0.7, 6)
+	params := smallParams(20, 3, 120, 13)
+	params.Hash = HashTabulation
+	var ref *Sketch
+	for order := uint64(0); order < 3; order++ {
+		s := MustNewSketch(params)
+		s.AddStream(stream.Shuffled(inst.G, order))
+		if ref == nil {
+			ref = s
+			continue
+		}
+		if s.Elements() != ref.Elements() || s.Edges() != ref.Edges() || s.PStar() != ref.PStar() {
+			t.Fatal("tabulation sketch depends on stream order")
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/hashing"
+	"repro/internal/workload"
+)
+
+func TestBuildHpFiltersByHash(t *testing.T) {
+	inst := workload.Uniform(10, 500, 0.1, 1)
+	g := inst.G
+	seed := uint64(5)
+	for _, p := range []float64{0.1, 0.5, 1.0} {
+		hp := BuildHp(g, p, seed)
+		h := hashing.NewHasher(seed)
+		bar := hashing.FromUnit(p)
+		for e := 0; e < g.NumElems(); e++ {
+			keptDeg := hp.ElemDegree(e)
+			if h.Hash(uint32(e)) <= bar {
+				if keptDeg != g.ElemDegree(e) {
+					t.Fatalf("p=%v: kept element %d lost edges", p, e)
+				}
+			} else if keptDeg != 0 {
+				t.Fatalf("p=%v: filtered element %d still has edges", p, e)
+			}
+		}
+	}
+}
+
+func TestBuildHpEdgeFractionMatchesP(t *testing.T) {
+	inst := workload.Uniform(10, 5000, 0.05, 2)
+	g := inst.G
+	hp := BuildHp(g, 0.3, 9)
+	frac := float64(hp.NumEdges()) / float64(g.NumEdges())
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("Hp kept %.2f of edges, expected ~0.3", frac)
+	}
+}
+
+func TestBuildHpPrimeCapsDegrees(t *testing.T) {
+	// All elements have degree 8; cap at 3.
+	var edges []bipartite.Edge
+	for s := 0; s < 8; s++ {
+		for e := 0; e < 50; e++ {
+			edges = append(edges, bipartite.Edge{Set: uint32(s), Elem: uint32(e)})
+		}
+	}
+	g := bipartite.MustFromEdges(8, 50, edges)
+	hpp := BuildHpPrime(g, 1.0, 3, 4)
+	for e := 0; e < 50; e++ {
+		if hpp.ElemDegree(e) != 3 {
+			t.Fatalf("element %d degree %d, want 3", e, hpp.ElemDegree(e))
+		}
+	}
+	// H'p ⊆ Hp.
+	hp := BuildHp(g, 1.0, 4)
+	if hpp.NumEdges() > hp.NumEdges() {
+		t.Fatal("H'p has more edges than Hp")
+	}
+}
+
+func TestBuildHpPrimeSubsetOfHp(t *testing.T) {
+	inst := workload.Zipf(15, 300, 100, 0.9, 0.7, 3)
+	g := inst.G
+	hp := BuildHp(g, 0.4, 17)
+	hpp := BuildHpPrime(g, 0.4, 2, 17)
+	for s := 0; s < g.NumSets(); s++ {
+		for _, e := range hpp.Set(s) {
+			if !hp.Contains(s, e) {
+				t.Fatalf("edge (%d,%d) in H'p but not Hp", s, e)
+			}
+		}
+	}
+}
+
+func TestBuildOfflineBudget(t *testing.T) {
+	inst := workload.Uniform(20, 400, 0.1, 4)
+	g := inst.G
+	params := smallParams(20, 3, 150, 33)
+	s, err := BuildOffline(g, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Edges() < 150 && s.Edges() != g.NumEdges() {
+		t.Fatalf("offline sketch kept %d edges, budget 150", s.Edges())
+	}
+	if s.Edges() > 150+s.DegreeCap() {
+		t.Fatalf("offline sketch overshot: %d > budget+cap", s.Edges())
+	}
+}
+
+func TestBuildOfflineRejectsBadParams(t *testing.T) {
+	inst := workload.Uniform(5, 20, 0.2, 5)
+	if _, err := BuildOffline(inst.G, Params{}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestFigureEdgesConsistency(t *testing.T) {
+	g := bipartite.MustFromEdges(3, 4, []bipartite.Edge{
+		{Set: 0, Elem: 0}, {Set: 1, Elem: 0}, {Set: 2, Elem: 0},
+		{Set: 0, Elem: 1}, {Set: 1, Elem: 2}, {Set: 2, Elem: 3},
+	})
+	const p = 0.6
+	const cap = 2
+	seed := uint64(7)
+	fes := FigureEdges(g, p, cap, seed)
+	if len(fes) != g.NumEdges() {
+		t.Fatalf("FigureEdges returned %d of %d edges", len(fes), g.NumEdges())
+	}
+	hp := BuildHp(g, p, seed)
+	hpp := BuildHpPrime(g, p, cap, seed)
+	inHp, inHpp := 0, 0
+	for _, fe := range fes {
+		if fe.InHpPrime && !fe.InHp {
+			t.Fatal("edge in H'p but not Hp")
+		}
+		if fe.HashUnit < 0 || fe.HashUnit >= 1 {
+			t.Fatalf("hash unit out of range: %v", fe.HashUnit)
+		}
+		if fe.InHp {
+			inHp++
+		}
+		if fe.InHpPrime {
+			inHpp++
+		}
+	}
+	if inHp != hp.NumEdges() {
+		t.Fatalf("FigureEdges counts %d Hp edges, builder %d", inHp, hp.NumEdges())
+	}
+	if inHpp != hpp.NumEdges() {
+		t.Fatalf("FigureEdges counts %d H'p edges, builder %d", inHpp, hpp.NumEdges())
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{NumSets: 10, K: 2, Eps: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{NumSets: 0, K: 2, Eps: 0.5},
+		{NumSets: 10, K: 0, Eps: 0.5},
+		{NumSets: 10, K: 2, Eps: 0},
+		{NumSets: 10, K: 2, Eps: 1.5},
+		{NumSets: 10, K: 2, Eps: 0.5, DeltaPP: -1},
+		{NumSets: 10, K: 2, Eps: 0.5, EdgeBudget: -1},
+		{NumSets: 10, K: 2, Eps: 0.5, SpaceFactor: -0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestDegreeCapFormula(t *testing.T) {
+	// D = n ln(1/eps) / (eps k), capped at n.
+	p := Params{NumSets: 100, K: 10, Eps: 0.5}
+	want := int(math.Ceil(100 * math.Log(2) / (0.5 * 10)))
+	if got := p.EffectiveDegreeCap(); got != want {
+		t.Fatalf("DegreeCap = %d, want %d", got, want)
+	}
+	// Override wins.
+	p.DegreeCap = 7
+	if p.EffectiveDegreeCap() != 7 {
+		t.Fatal("DegreeCap override ignored")
+	}
+	// Cap at n.
+	q := Params{NumSets: 5, K: 1, Eps: 0.01}
+	if q.EffectiveDegreeCap() > 5 {
+		t.Fatalf("DegreeCap %d exceeds n=5", q.EffectiveDegreeCap())
+	}
+}
+
+func TestEdgeBudgetFormulaMonotonicity(t *testing.T) {
+	base := Params{NumSets: 100, NumElems: 10000, K: 10, Eps: 0.5}
+	b1 := base.EffectiveEdgeBudget()
+	if b1 <= 0 {
+		t.Fatal("budget must be positive")
+	}
+	// Smaller eps -> larger budget (1/eps^3 dependence).
+	tight := base
+	tight.Eps = 0.25
+	if tight.EffectiveEdgeBudget() <= b1 {
+		t.Fatal("budget should grow as eps shrinks")
+	}
+	// Larger n -> larger budget.
+	bigger := base
+	bigger.NumSets = 200
+	if bigger.EffectiveEdgeBudget() <= b1 {
+		t.Fatal("budget should grow with n")
+	}
+	// SpaceFactor scales.
+	scaled := base
+	scaled.SpaceFactor = 2
+	if got := scaled.EffectiveEdgeBudget(); got < int(1.9*float64(b1)) || got > int(2.1*float64(b1))+1 {
+		t.Fatalf("SpaceFactor=2 gave %d vs base %d", got, b1)
+	}
+	// Explicit override wins over everything.
+	over := base
+	over.EdgeBudget = 123
+	over.SpaceFactor = 9
+	if over.EffectiveEdgeBudget() != 123 {
+		t.Fatal("EdgeBudget override ignored")
+	}
+}
+
+func TestDeltaDefaults(t *testing.T) {
+	p := Params{NumSets: 100, K: 5, Eps: 0.5}
+	// Default deltaPP = 2 + ln n.
+	want := 2 + math.Log(100)
+	if got := p.deltaPP(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("deltaPP = %v, want %v", got, want)
+	}
+	p.DeltaPP = 3
+	if p.deltaPP() != 3 {
+		t.Fatal("DeltaPP override ignored")
+	}
+	// Delta >= deltaPP always.
+	if p.Delta() < p.deltaPP() {
+		t.Fatalf("Delta %v below deltaPP %v", p.Delta(), p.deltaPP())
+	}
+	// Delta grows (slowly) with m.
+	small := Params{NumSets: 100, NumElems: 1 << 10, K: 5, Eps: 0.5}
+	big := Params{NumSets: 100, NumElems: 1 << 30, K: 5, Eps: 0.5}
+	if big.Delta() < small.Delta() {
+		t.Fatal("Delta should be non-decreasing in m")
+	}
+}
+
+func TestBudgetIsOTildeNShape(t *testing.T) {
+	// Doubling n should grow the budget by at most ~2.5x (n log n shape),
+	// far below the n^2 growth a set-size-dependent sketch would show.
+	p1 := Params{NumSets: 1000, NumElems: 1 << 20, K: 10, Eps: 0.5}
+	p2 := Params{NumSets: 2000, NumElems: 1 << 20, K: 10, Eps: 0.5}
+	r := float64(p2.EffectiveEdgeBudget()) / float64(p1.EffectiveEdgeBudget())
+	if r > 2.5 {
+		t.Fatalf("budget grew %.2fx when n doubled; superlinear in n", r)
+	}
+	if r < 2.0 {
+		t.Fatalf("budget grew %.2fx when n doubled; sublinear in n", r)
+	}
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/hashing"
+)
+
+// Sketch is the H≤n coverage sketch (Definition 2.1) with the one-pass
+// edge-arrival construction of Algorithm 2. A Sketch is not safe for
+// concurrent use; for parallelism, build one sketch per goroutine over
+// disjoint shards and Merge them (see merge.go and internal/distributed).
+//
+// Online equivalence with the paper's Algorithm 2: the sketch maintains
+// the invariant that the kept elements are exactly those with the
+// smallest hash priorities whose capped degrees sum to at least the edge
+// budget B (the minimal such prefix). Evictions always remove the
+// current largest-priority element, so an evicted element is never
+// readmitted — the eviction bar only moves down. Arriving edges of
+// elements at or above the bar are discarded in O(1).
+type Sketch struct {
+	params Params
+	budget int
+	degCap int
+	hash   func(uint32) uint64
+
+	index map[uint32]int32 // element id -> slot index
+	slots []slot
+	free  []int32
+	heap  []int32 // max-heap over slots by (hash, elem)
+
+	totalEdges int
+
+	// Eviction bar: the smallest (hash, elem) pair ever evicted. Every
+	// kept element compares strictly below it.
+	evicted    bool
+	barHash    uint64
+	barElem    uint32
+	peakEdges  int
+	edgesSeen  int64
+	dupEdges   int64
+	dropDegree int64
+	dropHash   int64
+}
+
+type slot struct {
+	elem uint32
+	hash uint64
+	sets []uint32 // sorted distinct set ids, len <= degCap
+	full bool     // degree cap reached; later edges of this element drop
+	hpos int32    // position in heap, -1 if free
+}
+
+// NewSketch returns an empty sketch for the given parameters.
+func NewSketch(params Params) (*Sketch, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	var hash func(uint32) uint64
+	switch params.Hash {
+	case HashTabulation:
+		hash = hashing.NewTabulationHasher(params.Seed).Hash
+	default:
+		hash = hashing.NewHasher(params.Seed).Hash
+	}
+	return &Sketch{
+		params: params,
+		budget: params.EffectiveEdgeBudget(),
+		degCap: params.EffectiveDegreeCap(),
+		hash:   hash,
+		index:  make(map[uint32]int32),
+	}, nil
+}
+
+// MustNewSketch is NewSketch that panics on invalid parameters.
+func MustNewSketch(params Params) *Sketch {
+	s, err := NewSketch(params)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Params returns the sketch parameters.
+func (s *Sketch) Params() Params { return s.params }
+
+// Budget returns the effective edge budget B.
+func (s *Sketch) Budget() int { return s.budget }
+
+// DegreeCap returns the effective per-element degree cap D.
+func (s *Sketch) DegreeCap() int { return s.degCap }
+
+// priorityLess orders (hash, elem) pairs; it breaks hash ties by element
+// id so that the order is a strict total order even under hash collisions.
+func priorityLess(h1 uint64, e1 uint32, h2 uint64, e2 uint32) bool {
+	if h1 != h2 {
+		return h1 < h2
+	}
+	return e1 < e2
+}
+
+// AddEdge processes one stream edge (Algorithm 2's update step).
+func (s *Sketch) AddEdge(e bipartite.Edge) {
+	s.edgesSeen++
+	h := s.hash(e.Elem)
+
+	if si, ok := s.index[e.Elem]; ok {
+		s.addToSlot(si, e.Set)
+		s.shrink()
+		return
+	}
+	// New element: if it is at or above the eviction bar it would have
+	// been (or immediately be) evicted — discard without allocating.
+	if s.evicted && !priorityLess(h, e.Elem, s.barHash, s.barElem) {
+		s.dropHash++
+		return
+	}
+	si := s.alloc(e.Elem, h)
+	s.addToSlot(si, e.Set)
+	s.shrink()
+}
+
+// AddStream drains st into the sketch and returns the number of edges
+// consumed. It is the whole single pass of Algorithm 2.
+func (s *Sketch) AddStream(st interface {
+	Next() (bipartite.Edge, bool)
+}) int {
+	count := 0
+	for {
+		e, ok := st.Next()
+		if !ok {
+			return count
+		}
+		s.AddEdge(e)
+		count++
+	}
+}
+
+func (s *Sketch) alloc(elem uint32, h uint64) int32 {
+	var si int32
+	if len(s.free) > 0 {
+		si = s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		s.slots[si].elem = elem
+		s.slots[si].hash = h
+		s.slots[si].sets = s.slots[si].sets[:0]
+		s.slots[si].full = false
+	} else {
+		s.slots = append(s.slots, slot{elem: elem, hash: h})
+		si = int32(len(s.slots) - 1)
+	}
+	s.index[elem] = si
+	s.heapPush(si)
+	return si
+}
+
+func (s *Sketch) addToSlot(si int32, set uint32) {
+	sl := &s.slots[si]
+	if sl.full {
+		s.dropDegree++
+		return
+	}
+	sets := sl.sets
+	i := sort.Search(len(sets), func(i int) bool { return sets[i] >= set })
+	if i < len(sets) && sets[i] == set {
+		s.dupEdges++
+		return
+	}
+	sets = append(sets, 0)
+	copy(sets[i+1:], sets[i:])
+	sets[i] = set
+	sl.sets = sets
+	s.totalEdges++
+	if s.totalEdges > s.peakEdges {
+		s.peakEdges = s.totalEdges
+	}
+	if len(sl.sets) >= s.degCap {
+		sl.full = true
+	}
+}
+
+// shrink enforces Definition 2.1: keep the minimal hash-prefix of
+// elements whose kept edges total at least the budget. While removing the
+// largest-priority element still leaves >= budget edges, remove it.
+func (s *Sketch) shrink() {
+	for len(s.heap) > 1 {
+		top := s.heap[0]
+		if s.totalEdges-len(s.slots[top].sets) < s.budget {
+			return
+		}
+		s.evict(top)
+	}
+}
+
+func (s *Sketch) evict(si int32) {
+	sl := &s.slots[si]
+	if !s.evicted || priorityLess(sl.hash, sl.elem, s.barHash, s.barElem) {
+		s.evicted = true
+		s.barHash = sl.hash
+		s.barElem = sl.elem
+	}
+	s.totalEdges -= len(sl.sets)
+	delete(s.index, sl.elem)
+	s.heapRemove(sl.hpos)
+	sl.hpos = -1
+	sl.sets = sl.sets[:0]
+	s.free = append(s.free, si)
+}
+
+// --- max-heap over slots keyed by (hash, elem) ---
+
+func (s *Sketch) heapAbove(a, b int32) bool {
+	sa, sb := &s.slots[a], &s.slots[b]
+	return priorityLess(sb.hash, sb.elem, sa.hash, sa.elem) // a above b iff a > b
+}
+
+func (s *Sketch) heapPush(si int32) {
+	s.heap = append(s.heap, si)
+	i := int32(len(s.heap) - 1)
+	s.slots[si].hpos = i
+	s.heapUp(i)
+}
+
+func (s *Sketch) heapRemove(pos int32) {
+	last := int32(len(s.heap) - 1)
+	if pos != last {
+		s.heapSwap(pos, last)
+	}
+	s.heap = s.heap[:last]
+	if pos != last && pos < int32(len(s.heap)) {
+		s.heapDown(pos)
+		s.heapUp(pos)
+	}
+}
+
+func (s *Sketch) heapSwap(i, j int32) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.slots[s.heap[i]].hpos = i
+	s.slots[s.heap[j]].hpos = j
+}
+
+func (s *Sketch) heapUp(i int32) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.heapAbove(s.heap[i], s.heap[parent]) {
+			return
+		}
+		s.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Sketch) heapDown(i int32) {
+	n := int32(len(s.heap))
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && s.heapAbove(s.heap[l], s.heap[best]) {
+			best = l
+		}
+		if r < n && s.heapAbove(s.heap[r], s.heap[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		s.heapSwap(i, best)
+		i = best
+	}
+}
+
+// --- accessors ---
+
+// Elements returns the number of elements currently kept.
+func (s *Sketch) Elements() int { return len(s.index) }
+
+// Edges returns the number of edges currently kept.
+func (s *Sketch) Edges() int { return s.totalEdges }
+
+// PStar returns the sampling probability p* of the sketch: the fraction
+// of hash space below the eviction bar, or 1 when nothing was evicted
+// (the sketch then holds the entire capped input).
+func (s *Sketch) PStar() float64 {
+	if !s.evicted {
+		return 1
+	}
+	return hashing.ToUnit(s.barHash)
+}
+
+// Contains reports whether element elem is currently kept.
+func (s *Sketch) Contains(elem uint32) bool {
+	_, ok := s.index[elem]
+	return ok
+}
+
+// SetsOf returns the kept set ids incident to elem (nil if not kept). The
+// slice aliases internal storage and must not be modified.
+func (s *Sketch) SetsOf(elem uint32) []uint32 {
+	si, ok := s.index[elem]
+	if !ok {
+		return nil
+	}
+	return s.slots[si].sets
+}
+
+// Coverage counts kept elements covered by the selected sets:
+// |Γ(H≤n, S)| for S = {s : selected(s)}.
+func (s *Sketch) Coverage(selected func(set uint32) bool) int {
+	covered := 0
+	for _, si := range s.heap {
+		for _, set := range s.slots[si].sets {
+			if selected(set) {
+				covered++
+				break
+			}
+		}
+	}
+	return covered
+}
+
+// CoverageOf is Coverage for an explicit id list.
+func (s *Sketch) CoverageOf(sets []int) int {
+	sel := make(map[uint32]struct{}, len(sets))
+	for _, x := range sets {
+		sel[uint32(x)] = struct{}{}
+	}
+	return s.Coverage(func(set uint32) bool {
+		_, ok := sel[set]
+		return ok
+	})
+}
+
+// EstimateCoverage returns the unbiased-scaled coverage estimate
+// |Γ(H≤n, S)| / p* of Lemma 2.2 for the given sets.
+func (s *Sketch) EstimateCoverage(sets []int) float64 {
+	return float64(s.CoverageOf(sets)) / s.PStar()
+}
+
+// Graph materializes the sketch as a bipartite graph: set ids are
+// preserved; kept elements are renumbered 0..Elements()-1 in increasing
+// hash order (the order is irrelevant to coverage). The second return
+// value maps new element ids back to original ones.
+func (s *Sketch) Graph() (*bipartite.Graph, []uint32) {
+	type kv struct {
+		hash uint64
+		si   int32
+	}
+	kept := make([]kv, 0, len(s.heap))
+	for _, si := range s.heap {
+		kept = append(kept, kv{hash: s.slots[si].hash, si: si})
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := &s.slots[kept[i].si], &s.slots[kept[j].si]
+		return priorityLess(a.hash, a.elem, b.hash, b.elem)
+	})
+	ids := make([]uint32, len(kept))
+	edges := make([]bipartite.Edge, 0, s.totalEdges)
+	for newID, e := range kept {
+		sl := &s.slots[e.si]
+		ids[newID] = sl.elem
+		for _, set := range sl.sets {
+			edges = append(edges, bipartite.Edge{Set: set, Elem: uint32(newID)})
+		}
+	}
+	g, err := bipartite.FromEdges(s.params.NumSets, len(kept), edges)
+	if err != nil {
+		panic("core: sketch graph construction failed: " + err.Error())
+	}
+	return g, ids
+}
+
+// Stats reports the resource usage and stream accounting of the sketch.
+type Stats struct {
+	EdgesSeen    int64 // edges consumed from the stream
+	EdgesKept    int   // edges currently stored
+	PeakEdges    int   // maximum edges ever stored simultaneously
+	ElementsKept int   // elements currently stored
+	Budget       int   // effective edge budget B
+	DegreeCap    int   // effective degree cap D
+	DupEdges     int64 // duplicate (set,elem) pairs discarded
+	DropDegree   int64 // edges discarded by the degree cap
+	DropHash     int64 // edges discarded by the eviction bar
+	PStar        float64
+	Bytes        int64 // approximate resident bytes of the sketch payload
+}
+
+// Stats returns a snapshot of the sketch accounting.
+func (s *Sketch) Stats() Stats {
+	var bytes int64
+	for i := range s.slots {
+		bytes += 24 /* slot header */ + 4*int64(cap(s.slots[i].sets))
+	}
+	bytes += int64(len(s.heap))*4 + int64(len(s.index))*12
+	return Stats{
+		EdgesSeen:    s.edgesSeen,
+		EdgesKept:    s.totalEdges,
+		PeakEdges:    s.peakEdges,
+		ElementsKept: len(s.index),
+		Budget:       s.budget,
+		DegreeCap:    s.degCap,
+		DupEdges:     s.dupEdges,
+		DropDegree:   s.dropDegree,
+		DropHash:     s.dropHash,
+		PStar:        s.PStar(),
+		Bytes:        bytes,
+	}
+}

@@ -1,0 +1,138 @@
+// Package distributed simulates the paper's companion distributed
+// setting (§1.3.2, conclusion, and reference [10]): the H≤n sketch is a
+// composable summary, so a cluster of workers can each sketch a shard of
+// the edge set independently, ship the O~(n)-sized sketches to a
+// coordinator, and the merged sketch is exactly the sketch of the whole
+// input (see internal/core/merge.go for the argument). One merge round —
+// a single MapReduce round — therefore suffices for k-cover and the
+// set-cover variants.
+//
+// Workers run as goroutines here; the communication cost of the real
+// system corresponds to the per-worker sketch sizes reported in Stats.
+package distributed
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/greedy"
+	"repro/internal/hashing"
+	"repro/internal/stream"
+)
+
+// Stats accounts a distributed run.
+type Stats struct {
+	// Workers is the number of shards processed.
+	Workers int
+	// WorkerEdgesSeen[i] is the number of stream edges worker i consumed.
+	WorkerEdgesSeen []int64
+	// WorkerEdgesKept[i] is the sketch size worker i shipped — the
+	// per-worker communication cost.
+	WorkerEdgesKept []int
+	// MergedEdges is the coordinator's final sketch size.
+	MergedEdges int
+	// MergedElements is the coordinator's final sampled-element count.
+	MergedElements int
+}
+
+// BuildSketches runs one worker goroutine per shard, each building an
+// H≤n sketch with identical parameters, and returns the local sketches.
+func BuildSketches(shards []stream.Stream, params core.Params) ([]*core.Sketch, *Stats, error) {
+	if len(shards) == 0 {
+		return nil, nil, fmt.Errorf("distributed: no shards")
+	}
+	sketches := make([]*core.Sketch, len(shards))
+	for i := range sketches {
+		sk, err := core.NewSketch(params)
+		if err != nil {
+			return nil, nil, err
+		}
+		sketches[i] = sk
+	}
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(sk *core.Sketch, sh stream.Stream) {
+			defer wg.Done()
+			sk.AddStream(sh)
+		}(sketches[i], sh)
+	}
+	wg.Wait()
+
+	st := &Stats{Workers: len(shards)}
+	for _, sk := range sketches {
+		s := sk.Stats()
+		st.WorkerEdgesSeen = append(st.WorkerEdgesSeen, s.EdgesSeen)
+		st.WorkerEdgesKept = append(st.WorkerEdgesKept, s.EdgesKept)
+	}
+	return sketches, st, nil
+}
+
+// MergeSketches folds worker sketches into one coordinator sketch.
+func MergeSketches(params core.Params, sketches []*core.Sketch, st *Stats) (*core.Sketch, error) {
+	merged, err := core.MergeAll(params, sketches...)
+	if err != nil {
+		return nil, err
+	}
+	if st != nil {
+		st.MergedEdges = merged.Edges()
+		st.MergedElements = merged.Elements()
+	}
+	return merged, nil
+}
+
+// Result is a distributed k-cover outcome.
+type Result struct {
+	Sets              []int
+	SketchCoverage    int
+	EstimatedCoverage float64
+	Stats             *Stats
+}
+
+// KCover solves k-cover over sharded edge streams in one round: workers
+// sketch in parallel, the coordinator merges and runs greedy. Guarantees
+// match the single-machine Algorithm 3 because the merged sketch equals
+// the single-machine sketch.
+func KCover(shards []stream.Stream, params core.Params, k int) (*Result, error) {
+	sketches, st, err := BuildSketches(shards, params)
+	if err != nil {
+		return nil, err
+	}
+	merged, err := MergeSketches(params, sketches, st)
+	if err != nil {
+		return nil, err
+	}
+	g, _ := merged.Graph()
+	res := greedy.MaxCover(g, k)
+	return &Result{
+		Sets:              res.Sets,
+		SketchCoverage:    res.Covered,
+		EstimatedCoverage: float64(res.Covered) / merged.PStar(),
+		Stats:             st,
+	}, nil
+}
+
+// ShardGraph splits the edges of g into `workers` shards by a seeded
+// hash of the edge, returning one replayable stream per shard — the
+// random partition a distributed file system would provide.
+func ShardGraph(g *bipartite.Graph, workers int, seed uint64) []stream.Stream {
+	if workers < 1 {
+		workers = 1
+	}
+	h := hashing.NewHasher(seed)
+	buckets := make([][]bipartite.Edge, workers)
+	for s := 0; s < g.NumSets(); s++ {
+		for _, e := range g.Set(s) {
+			edge := bipartite.Edge{Set: uint32(s), Elem: e}
+			w := int(h.Hash(edge.Set^edge.Elem*0x9e3779b9) % uint64(workers))
+			buckets[w] = append(buckets[w], edge)
+		}
+	}
+	out := make([]stream.Stream, workers)
+	for i, b := range buckets {
+		out[i] = stream.NewSlice(b)
+	}
+	return out
+}

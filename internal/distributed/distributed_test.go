@@ -1,0 +1,160 @@
+package distributed
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/greedy"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+func params(n, k, budget int, seed uint64, capOverride int) core.Params {
+	return core.Params{
+		NumSets:    n,
+		NumElems:   1 << 12,
+		K:          k,
+		Eps:        0.4,
+		Seed:       seed,
+		EdgeBudget: budget,
+		DegreeCap:  capOverride,
+	}
+}
+
+func TestShardGraphPartitionsEdges(t *testing.T) {
+	inst := workload.Uniform(20, 500, 0.1, 1)
+	g := inst.G
+	shards := ShardGraph(g, 4, 7)
+	if len(shards) != 4 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	seen := map[uint64]int{}
+	total := 0
+	for _, sh := range shards {
+		for {
+			e, ok := sh.Next()
+			if !ok {
+				break
+			}
+			seen[uint64(e.Set)<<32|uint64(e.Elem)]++
+			total++
+		}
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("shards deliver %d of %d edges", total, g.NumEdges())
+	}
+	for k, v := range seen {
+		if v != 1 {
+			t.Fatalf("edge %d appears %d times across shards", k, v)
+		}
+	}
+}
+
+func TestShardGraphClampWorkers(t *testing.T) {
+	inst := workload.Uniform(5, 50, 0.2, 2)
+	shards := ShardGraph(inst.G, 0, 3)
+	if len(shards) != 1 {
+		t.Fatalf("workers=0 should clamp to 1, got %d", len(shards))
+	}
+}
+
+func TestDistributedMatchesSingleMachine(t *testing.T) {
+	inst := workload.Zipf(40, 2000, 600, 0.9, 0.7, 3)
+	g := inst.G
+	p := params(40, 5, 500, 99, g.MaxElemDegree()+1)
+
+	// Single machine reference.
+	single := core.MustNewSketch(p)
+	single.AddStream(stream.Shuffled(g, 1))
+	gRef, _ := single.Graph()
+	ref := greedy.MaxCover(gRef, 5)
+
+	for _, w := range []int{1, 2, 4, 8} {
+		res, err := KCover(ShardGraph(g, w, uint64(w)+5), p, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SketchCoverage != ref.Covered {
+			t.Fatalf("w=%d: distributed coverage %d != single %d", w, res.SketchCoverage, ref.Covered)
+		}
+		if len(res.Sets) != len(ref.Sets) {
+			t.Fatalf("w=%d: solution size differs", w)
+		}
+		for i := range ref.Sets {
+			if res.Sets[i] != ref.Sets[i] {
+				t.Fatalf("w=%d: solutions differ: %v vs %v", w, res.Sets, ref.Sets)
+			}
+		}
+		if res.Stats.MergedEdges != single.Edges() {
+			t.Fatalf("w=%d: merged sketch %d edges != single %d", w, res.Stats.MergedEdges, single.Edges())
+		}
+	}
+}
+
+func TestDistributedStatsAccounting(t *testing.T) {
+	inst := workload.Uniform(30, 800, 0.05, 4)
+	g := inst.G
+	p := params(30, 4, 300, 11, 0)
+	res, err := KCover(ShardGraph(g, 3, 13), p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Workers != 3 || len(st.WorkerEdgesSeen) != 3 || len(st.WorkerEdgesKept) != 3 {
+		t.Fatalf("stats malformed: %+v", st)
+	}
+	var seen int64
+	for _, s := range st.WorkerEdgesSeen {
+		seen += s
+	}
+	if seen != int64(g.NumEdges()) {
+		t.Fatalf("workers saw %d of %d edges", seen, g.NumEdges())
+	}
+	if st.MergedEdges == 0 || st.MergedElements == 0 {
+		t.Fatal("merged sketch empty")
+	}
+	// Communication: every worker ships at most its budget + cap.
+	for i, kept := range st.WorkerEdgesKept {
+		if kept > p.EffectiveEdgeBudget()+p.EffectiveDegreeCap() {
+			t.Fatalf("worker %d shipped %d edges > budget+cap", i, kept)
+		}
+	}
+}
+
+func TestDistributedSolutionQuality(t *testing.T) {
+	inst := workload.PlantedKCover(60, 4000, 5, 0.9, 20, 5)
+	p := params(60, 5, 60*60, 77, 0)
+	res, err := KCover(ShardGraph(inst.G, 6, 17), p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := inst.G.Coverage(res.Sets)
+	if float64(got) < 0.55*float64(inst.PlantedCoverage) {
+		t.Fatalf("distributed covered %d, planted %d", got, inst.PlantedCoverage)
+	}
+	if res.EstimatedCoverage <= 0 {
+		t.Fatal("no coverage estimate")
+	}
+}
+
+func TestBuildSketchesValidation(t *testing.T) {
+	if _, _, err := BuildSketches(nil, params(5, 1, 10, 1, 0)); err == nil {
+		t.Fatal("no shards accepted")
+	}
+	if _, _, err := BuildSketches([]stream.Stream{stream.NewSlice(nil)}, core.Params{}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestDistributedEmptyShards(t *testing.T) {
+	// Workers with empty shards are fine (e.g. more workers than edges).
+	inst := workload.Uniform(5, 30, 0.1, 6)
+	p := params(5, 2, 1000, 3, 0)
+	res, err := KCover(ShardGraph(inst.G, 16, 19), p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SketchCoverage == 0 {
+		t.Fatal("empty result on a non-empty instance")
+	}
+}

@@ -1,0 +1,197 @@
+package exact
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/greedy"
+	"repro/internal/hashing"
+)
+
+func randomGraph(seed uint64, n, m int, density float64) *bipartite.Graph {
+	rng := hashing.NewRNG(seed)
+	var edges []bipartite.Edge
+	for s := 0; s < n; s++ {
+		for e := 0; e < m; e++ {
+			if rng.Float64() < density {
+				edges = append(edges, bipartite.Edge{Set: uint32(s), Elem: uint32(e)})
+			}
+		}
+	}
+	return bipartite.MustFromEdges(n, m, edges)
+}
+
+// bruteMaxCover enumerates all k-subsets — the independent reference.
+func bruteMaxCover(g *bipartite.Graph, k int) int {
+	n := g.NumSets()
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	if k > n {
+		return g.Coverage(allSets(n))
+	}
+	best := 0
+	for {
+		if c := g.Coverage(idx); c > best {
+			best = c
+		}
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	return best
+}
+
+func allSets(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestMaxCoverMatchesBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		g := randomGraph(seed, 10, 30, 0.15)
+		for _, k := range []int{1, 2, 3, 4} {
+			got := MaxCover(g, k)
+			want := bruteMaxCover(g, k)
+			if got.Covered != want {
+				t.Fatalf("seed=%d k=%d: branch-and-bound %d != brute force %d", seed, k, got.Covered, want)
+			}
+			if actual := g.Coverage(got.Sets); actual != got.Covered {
+				t.Fatalf("reported coverage %d != actual %d", got.Covered, actual)
+			}
+			if len(got.Sets) > k {
+				t.Fatalf("solution uses %d > k sets", len(got.Sets))
+			}
+		}
+	}
+}
+
+func TestMaxCoverBeatsGreedySometimes(t *testing.T) {
+	// A classic instance where greedy is suboptimal at k=2: three sets of
+	// equal size; greedy's first (tie-broken) pick straddles the two
+	// disjoint optimal sets.
+	//   S0 = {0,1,2,3}   S1 = {0,1,4,5}   S2 = {2,3,6,7}
+	// Greedy picks S0 first (lowest id among size-4 ties), then gains
+	// only 2 more; the optimum {S1, S2} covers all 8.
+	var edges []bipartite.Edge
+	for _, e := range []uint32{0, 1, 2, 3} {
+		edges = append(edges, bipartite.Edge{Set: 0, Elem: e})
+	}
+	for _, e := range []uint32{0, 1, 4, 5} {
+		edges = append(edges, bipartite.Edge{Set: 1, Elem: e})
+	}
+	for _, e := range []uint32{2, 3, 6, 7} {
+		edges = append(edges, bipartite.Edge{Set: 2, Elem: e})
+	}
+	g := bipartite.MustFromEdges(3, 8, edges)
+	opt := MaxCover(g, 2)
+	if opt.Covered != 8 {
+		t.Fatalf("optimum is {1,2} covering 8, got %d (%v)", opt.Covered, opt.Sets)
+	}
+	gr := greedy.MaxCover(g, 2)
+	if gr.Covered != 6 {
+		t.Fatalf("greedy should cover exactly 6 here, got %d", gr.Covered)
+	}
+}
+
+func TestMaxCoverKLargerThanN(t *testing.T) {
+	g := randomGraph(7, 5, 20, 0.2)
+	got := MaxCover(g, 10)
+	if got.Covered != g.Coverage(allSets(5)) {
+		t.Fatalf("k>n should cover everything reachable")
+	}
+}
+
+func TestMaxCoverEmpty(t *testing.T) {
+	g := bipartite.MustFromEdges(3, 3, nil)
+	got := MaxCover(g, 2)
+	if got.Covered != 0 || len(got.Sets) != 0 {
+		t.Fatal("empty graph nonzero solution")
+	}
+}
+
+// bruteSetCover finds the true minimum cover size by subset enumeration.
+func bruteSetCover(g *bipartite.Graph) int {
+	n := g.NumSets()
+	need := g.CoveredElems()
+	best := n + 1
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var sets []int
+		for s := 0; s < n; s++ {
+			if mask&(1<<uint(s)) != 0 {
+				sets = append(sets, s)
+			}
+		}
+		if len(sets) >= best {
+			continue
+		}
+		if g.Coverage(sets) == need {
+			best = len(sets)
+		}
+	}
+	return best
+}
+
+func TestSetCoverMatchesBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		g := randomGraph(seed, 9, 25, 0.2)
+		got := SetCover(g)
+		if !got.Feasible {
+			t.Fatalf("seed=%d: feasible instance reported infeasible", seed)
+		}
+		want := bruteSetCover(g)
+		if len(got.Sets) != want {
+			t.Fatalf("seed=%d: exact size %d != brute force %d", seed, len(got.Sets), want)
+		}
+		if g.Coverage(got.Sets) != g.CoveredElems() {
+			t.Fatalf("seed=%d: returned sets do not cover", seed)
+		}
+	}
+}
+
+func TestSetCoverOnPartition(t *testing.T) {
+	var edges []bipartite.Edge
+	for e := 0; e < 30; e++ {
+		edges = append(edges, bipartite.Edge{Set: uint32(e / 10), Elem: uint32(e)})
+	}
+	// A decoy set overlapping all three.
+	for _, e := range []uint32{0, 10, 20} {
+		edges = append(edges, bipartite.Edge{Set: 3, Elem: e})
+	}
+	g := bipartite.MustFromEdges(4, 30, edges)
+	got := SetCover(g)
+	if len(got.Sets) != 3 {
+		t.Fatalf("minimum cover is the 3 partition sets, got %v", got.Sets)
+	}
+}
+
+func TestSetCoverEmptyGraph(t *testing.T) {
+	g := bipartite.MustFromEdges(3, 5, nil)
+	got := SetCover(g)
+	if !got.Feasible || len(got.Sets) != 0 {
+		t.Fatal("graph with no coverable elements should have empty cover")
+	}
+}
+
+func TestSetCoverSingleSet(t *testing.T) {
+	g := bipartite.MustFromEdges(3, 5, []bipartite.Edge{
+		{Set: 1, Elem: 0}, {Set: 1, Elem: 1}, {Set: 1, Elem: 2}, {Set: 1, Elem: 3}, {Set: 1, Elem: 4},
+		{Set: 0, Elem: 0}, {Set: 2, Elem: 4},
+	})
+	got := SetCover(g)
+	if len(got.Sets) != 1 || got.Sets[0] != 1 {
+		t.Fatalf("expected {1}, got %v", got.Sets)
+	}
+}

@@ -1,0 +1,45 @@
+package greedy
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkMaxCoverLazy measures the lazy greedy on a mid-size instance;
+// this is the per-solve cost paid after the sketch is built.
+func BenchmarkMaxCoverLazy(b *testing.B) {
+	inst := workload.Zipf(2000, 50000, 5000, 0.9, 0.8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := MaxCover(inst.G, 50)
+		if res.Covered == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkSetCoverGreedy measures a full greedy set cover.
+func BenchmarkSetCoverGreedy(b *testing.B) {
+	inst := workload.PlantedSetCover(1000, 20000, 40, 30, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := SetCover(inst.G)
+		if res.Covered != inst.G.CoveredElems() {
+			b.Fatal("incomplete cover")
+		}
+	}
+}
+
+// BenchmarkPartialCover measures the outlier variant at 90% coverage.
+func BenchmarkPartialCover(b *testing.B) {
+	inst := workload.Zipf(1000, 30000, 4000, 0.9, 0.8, 3)
+	target := inst.G.CoveredElems() * 9 / 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PartialCover(inst.G, target)
+	}
+}

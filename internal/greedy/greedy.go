@@ -1,0 +1,135 @@
+// Package greedy implements the offline approximation algorithms the
+// paper's streaming algorithms run on top of their sketch: the classical
+// greedy for maximum coverage (1 − 1/e, Nemhauser–Wolsey–Fisher [40]) and
+// for (partial) set cover (ln m, and C(Greedy(k·ln(1/λ))) ≥ (1−λ)·Opt_k).
+//
+// All entry points use the lazy-greedy (accelerated greedy) evaluation
+// order: cached marginal gains are kept in a max-heap and only the top
+// candidate is re-evaluated, which is valid because coverage is submodular
+// so marginals only shrink.
+package greedy
+
+import (
+	"container/heap"
+
+	"repro/internal/bipartite"
+)
+
+// Result reports a greedy run.
+type Result struct {
+	// Sets are the chosen set ids in pick order.
+	Sets []int
+	// Covered is the number of distinct elements covered by Sets.
+	Covered int
+	// Gains[i] is the marginal gain of the i-th pick; non-increasing.
+	Gains []int
+}
+
+// candidate is a heap entry: a set with its cached (stale) marginal gain.
+type candidate struct {
+	set  int
+	gain int
+}
+
+type candHeap []candidate
+
+func (h candHeap) Len() int { return len(h) }
+
+// Less orders by gain descending, breaking ties by smaller set id so the
+// algorithm is fully deterministic (it picks the same solution as the
+// textbook scan-all greedy that keeps the first maximum).
+func (h candHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].set < h[j].set
+}
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// MaxCover picks at most k sets of g greedily, maximizing coverage. It is
+// the 1−1/e approximation of [40]. Picks with zero marginal gain are
+// skipped, so len(Result.Sets) can be < k when fewer sets suffice to cover
+// everything reachable.
+func MaxCover(g *bipartite.Graph, k int) Result {
+	return run(g, func(picked, covered, gain int) bool {
+		return picked < k && gain > 0
+	})
+}
+
+// SetCover picks sets greedily until every non-isolated element is
+// covered; the classical ln(m)+1 approximation.
+func SetCover(g *bipartite.Graph) Result {
+	target := g.CoveredElems()
+	return run(g, func(picked, covered, gain int) bool {
+		return covered < target && gain > 0
+	})
+}
+
+// PartialCover picks sets greedily until at least targetCovered elements
+// are covered (or no set adds coverage). With targetCovered = (1−λ)·m this
+// is the set-cover-with-outliers greedy whose solution size is at most
+// ln(1/λ)·k* (used by Algorithm 4 with k = k′·ln(1/λ′)).
+func PartialCover(g *bipartite.Graph, targetCovered int) Result {
+	return run(g, func(picked, covered, gain int) bool {
+		return covered < targetCovered && gain > 0
+	})
+}
+
+// Budgeted runs greedy until cont returns false. cont is consulted before
+// each pick with the current number of picks, covered elements, and the
+// best available marginal gain.
+func Budgeted(g *bipartite.Graph, cont func(picked, covered, gain int) bool) Result {
+	return run(g, cont)
+}
+
+func run(g *bipartite.Graph, cont func(picked, covered, gain int) bool) Result {
+	n := g.NumSets()
+	cov := bipartite.NewCoverer(g)
+	h := make(candHeap, 0, n)
+	for s := 0; s < n; s++ {
+		if l := g.SetLen(s); l > 0 {
+			h = append(h, candidate{set: s, gain: l})
+		}
+	}
+	heap.Init(&h)
+
+	res := Result{}
+	for h.Len() > 0 {
+		top := h[0]
+		// Refresh the cached gain; if it is still at least the runner-up's
+		// cached gain it is the true maximum (submodularity).
+		fresh := cov.Marginal(top.set)
+		if fresh != top.gain {
+			if fresh <= 0 {
+				heap.Pop(&h)
+				continue
+			}
+			h[0].gain = fresh
+			heap.Fix(&h, 0)
+			continue
+		}
+		if !cont(len(res.Sets), cov.Covered(), fresh) {
+			break
+		}
+		heap.Pop(&h)
+		cov.Add(top.set)
+		res.Sets = append(res.Sets, top.set)
+		res.Gains = append(res.Gains, fresh)
+	}
+	res.Covered = cov.Covered()
+	return res
+}
+
+// CoverageOf evaluates C(sets) on g; convenience re-export for callers
+// that already depend on this package.
+func CoverageOf(g *bipartite.Graph, sets []int) int {
+	return g.Coverage(sets)
+}

@@ -1,0 +1,49 @@
+package l0
+
+import "testing"
+
+// BenchmarkKMVAdd measures the per-item insert cost of the ℓ0 sketch.
+func BenchmarkKMVAdd(b *testing.B) {
+	s := NewKMV(256, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint32(i))
+	}
+}
+
+// BenchmarkKMVMerge measures merging two full sketches — the union
+// operation Appendix D performs per oracle query.
+func BenchmarkKMVMerge(b *testing.B) {
+	x := NewKMV(256, 1)
+	y := NewKMV(256, 1)
+	for i := uint32(0); i < 100000; i++ {
+		if i%2 == 0 {
+			x.Add(i)
+		} else {
+			y.Add(i)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := x.Clone()
+		if err := c.Merge(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKMVEstimate measures the estimation query.
+func BenchmarkKMVEstimate(b *testing.B) {
+	s := NewKMV(256, 1)
+	for i := uint32(0); i < 100000; i++ {
+		s.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Estimate() <= 0 {
+			b.Fatal("bad estimate")
+		}
+	}
+}

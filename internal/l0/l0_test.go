@@ -1,0 +1,194 @@
+package l0
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hashing"
+)
+
+func TestExactBelowCapacity(t *testing.T) {
+	s := NewKMV(64, 1)
+	for i := uint32(0); i < 50; i++ {
+		s.Add(i)
+	}
+	if got := s.Estimate(); got != 50 {
+		t.Fatalf("below capacity the count must be exact: got %v", got)
+	}
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	s := NewKMV(64, 2)
+	for rep := 0; rep < 10; rep++ {
+		for i := uint32(0); i < 30; i++ {
+			s.Add(i)
+		}
+	}
+	if got := s.Estimate(); got != 30 {
+		t.Fatalf("duplicates inflated the sketch: got %v", got)
+	}
+	if s.Size() != 30 {
+		t.Fatalf("Size = %d, want 30", s.Size())
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	s := NewKMV(16, 3)
+	for i := uint32(0); i < 10000; i++ {
+		s.Add(i)
+	}
+	if s.Size() != 16 {
+		t.Fatalf("Size = %d, want 16", s.Size())
+	}
+	if s.Bytes() < 16*8 {
+		t.Fatalf("Bytes = %d suspiciously small", s.Bytes())
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	// Median-of-11 estimates over a t=3/eps^2 sketch should land within
+	// ~2 eps of the truth.
+	const truth = 20000
+	const eps = 0.1
+	tCap := TForEpsilon(eps)
+	var ests []float64
+	for seed := uint64(0); seed < 11; seed++ {
+		s := NewKMV(tCap, seed)
+		for i := uint32(0); i < truth; i++ {
+			s.Add(i)
+		}
+		ests = append(ests, s.Estimate())
+	}
+	// median
+	for i := 1; i < len(ests); i++ {
+		for j := i; j > 0 && ests[j] < ests[j-1]; j-- {
+			ests[j], ests[j-1] = ests[j-1], ests[j]
+		}
+	}
+	med := ests[len(ests)/2]
+	if math.Abs(med-truth)/truth > 2*eps {
+		t.Fatalf("median estimate %v too far from %d", med, truth)
+	}
+}
+
+func TestMergeEqualsUnion(t *testing.T) {
+	err := quick.Check(func(xs, ys []uint16) bool {
+		a := NewKMV(32, 7)
+		b := NewKMV(32, 7)
+		u := NewKMV(32, 7)
+		for _, x := range xs {
+			a.Add(uint32(x))
+			u.Add(uint32(x))
+		}
+		for _, y := range ys {
+			b.Add(uint32(y))
+			u.Add(uint32(y))
+		}
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		if a.Size() != u.Size() {
+			return false
+		}
+		return a.Estimate() == u.Estimate()
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeRejectsMismatchedSeeds(t *testing.T) {
+	a := NewKMV(32, 1)
+	b := NewKMV(32, 2)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge across seeds accepted")
+	}
+	c := NewKMV(16, 1)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge across capacities accepted")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := NewKMV(16, 5)
+	for i := uint32(0); i < 10; i++ {
+		a.Add(i)
+	}
+	c := a.Clone()
+	c.Add(1000)
+	if a.Size() == c.Size() {
+		t.Fatal("clone aliases original")
+	}
+	if c.Seed() != a.Seed() || c.T() != a.T() {
+		t.Fatal("clone changed parameters")
+	}
+}
+
+func TestUnionEstimate(t *testing.T) {
+	a := NewKMV(512, 9)
+	b := NewKMV(512, 9)
+	for i := uint32(0); i < 300; i++ {
+		a.Add(i)
+	}
+	for i := uint32(200); i < 500; i++ {
+		b.Add(i)
+	}
+	got, err := UnionEstimate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 500 { // both under capacity -> exact
+		t.Fatalf("UnionEstimate = %v, want 500", got)
+	}
+	// Inputs untouched.
+	if a.Size() != 300 || b.Size() != 300 {
+		t.Fatal("UnionEstimate modified inputs")
+	}
+	if v, err := UnionEstimate(); err != nil || v != 0 {
+		t.Fatal("empty UnionEstimate should be 0, nil")
+	}
+}
+
+func TestTForEpsilon(t *testing.T) {
+	if TForEpsilon(0.1) < 300 {
+		t.Fatalf("TForEpsilon(0.1) = %d too small", TForEpsilon(0.1))
+	}
+	if TForEpsilon(0.9) < 16 {
+		t.Fatal("TForEpsilon floor violated")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TForEpsilon(0) did not panic")
+		}
+	}()
+	TForEpsilon(0)
+}
+
+func TestMinimumCapacityClamp(t *testing.T) {
+	s := NewKMV(0, 1)
+	if s.T() < 2 {
+		t.Fatal("capacity not clamped")
+	}
+}
+
+func TestInsertHashOrderInvariance(t *testing.T) {
+	// The sketch state must not depend on insertion order.
+	items := make([]uint32, 200)
+	for i := range items {
+		items[i] = uint32(i * 7)
+	}
+	a := NewKMV(32, 11)
+	for _, x := range items {
+		a.Add(x)
+	}
+	b := NewKMV(32, 11)
+	rng := hashing.NewRNG(99)
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	for _, x := range items {
+		b.Add(x)
+	}
+	if a.Estimate() != b.Estimate() || a.Size() != b.Size() {
+		t.Fatal("sketch state depends on insertion order")
+	}
+}

@@ -1,0 +1,157 @@
+// Package lowerbound implements the machinery of Theorem 1.2 and
+// Appendix E: the reduction from two-party set disjointness to streaming
+// k-cover. The hard instance has two elements {a, b} and n sets; set i
+// contains a iff i ∈ A (Alice's set) and b iff i ∈ B (Bob's set), with
+// all of a's edges arriving before b's. Distinguishing Opt₁ = 2 (some set
+// covers both) from Opt₁ = 1 (no set does) solves disjointness, which
+// needs Ω(n) bits of communication [29, 43] — hence Ω(n) space for any
+// (1/2+ε)-approximate streaming k-cover, even with many passes.
+//
+// The experiments measure the error probability of s-bit bounded-memory
+// distinguishers as s/n shrinks, and confirm that the H≤n sketch (which
+// stores Θ(n) edges on this instance) always distinguishes.
+package lowerbound
+
+import (
+	"repro/internal/bipartite"
+	"repro/internal/hashing"
+	"repro/internal/stream"
+)
+
+// DisjointnessInstance is a hard k-cover instance encoding a
+// set-disjointness input (A, B).
+type DisjointnessInstance struct {
+	N int
+	A []bool // Alice's characteristic vector
+	B []bool // Bob's characteristic vector
+	// Intersecting records whether A ∩ B ≠ ∅ (i.e. Opt₁ = 2).
+	Intersecting bool
+}
+
+// NewDisjointness draws an instance with |A| = |B| = size. When
+// intersecting is true the two sets share exactly one common index
+// (the uniquely-intersecting regime of the communication lower bound);
+// otherwise they are disjoint.
+func NewDisjointness(n, size int, intersecting bool, seed uint64) *DisjointnessInstance {
+	if 2*size > n && !intersecting {
+		panic("lowerbound: disjoint A and B need 2*size <= n")
+	}
+	rng := hashing.NewRNG(seed)
+	inst := &DisjointnessInstance{N: n, A: make([]bool, n), B: make([]bool, n), Intersecting: intersecting}
+	perm := rng.Perm(n)
+	for i := 0; i < size; i++ {
+		inst.A[perm[i]] = true
+	}
+	if intersecting {
+		// B takes one common element plus size-1 fresh ones.
+		inst.B[perm[rng.Intn(size)]] = true
+		for i := size; i < size+size-1 && i < n; i++ {
+			inst.B[perm[i]] = true
+		}
+	} else {
+		for i := size; i < 2*size; i++ {
+			inst.B[perm[i]] = true
+		}
+	}
+	return inst
+}
+
+// ElemA and ElemB are the two element ids of the instance graph.
+const (
+	ElemA uint32 = 0
+	ElemB uint32 = 1
+)
+
+// Stream returns the edge stream of the instance: all of Alice's edges
+// (to element a), then all of Bob's (to element b) — the adversarial
+// order of the reduction.
+func (d *DisjointnessInstance) Stream() *stream.Slice {
+	var edges []bipartite.Edge
+	for i, in := range d.A {
+		if in {
+			edges = append(edges, bipartite.Edge{Set: uint32(i), Elem: ElemA})
+		}
+	}
+	for i, in := range d.B {
+		if in {
+			edges = append(edges, bipartite.Edge{Set: uint32(i), Elem: ElemB})
+		}
+	}
+	return stream.NewSlice(edges)
+}
+
+// Graph returns the instance as a bipartite graph (n sets, 2 elements).
+func (d *DisjointnessInstance) Graph() *bipartite.Graph {
+	var edges []bipartite.Edge
+	st := d.Stream()
+	for {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		edges = append(edges, e)
+	}
+	return bipartite.MustFromEdges(d.N, 2, edges)
+}
+
+// Opt1 returns the optimal 1-cover value: 2 iff A ∩ B ≠ ∅.
+func (d *DisjointnessInstance) Opt1() int {
+	if d.Intersecting {
+		return 2
+	}
+	return 1
+}
+
+// BoundedMemoryDistinguisher simulates the natural s-space algorithm on
+// the hard stream: it can remember membership bits for only s of the n
+// sets (chosen by uniform hashing), so when Bob's edges arrive it detects
+// an intersection only if the intersecting set was among the remembered
+// ones. Returns the algorithm's answer to "is Opt₁ = 2?".
+//
+// Any one-pass algorithm restricted to s bits about Alice's set has the
+// same structure up to encoding; the experiment's error curve as s/n
+// shrinks is the empirical face of the Ω(n) bound.
+func BoundedMemoryDistinguisher(d *DisjointnessInstance, s int, seed uint64) bool {
+	if s >= d.N {
+		s = d.N
+	}
+	h := hashing.NewHasher(seed)
+	// Remember set i iff its hash ranks among the s smallest of [0, n) —
+	// realized by threshold s/n on the unit hash to avoid sorting.
+	threshold := hashing.FromUnit(float64(s) / float64(d.N))
+	remembered := make(map[uint32]struct{}, s)
+
+	st := d.Stream()
+	intersect := false
+	for {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		if e.Elem == ElemA {
+			if h.Hash(e.Set) <= threshold {
+				remembered[e.Set] = struct{}{}
+			}
+			continue
+		}
+		if _, ok := remembered[e.Set]; ok {
+			intersect = true
+		}
+	}
+	return intersect
+}
+
+// ErrorRate runs trials independent intersecting instances through the
+// s-space distinguisher and returns the fraction it failed to detect
+// (false negatives; disjoint instances are never mislabeled by this
+// distinguisher).
+func ErrorRate(n, size, s, trials int, seed uint64) float64 {
+	errs := 0
+	for t := 0; t < trials; t++ {
+		inst := NewDisjointness(n, size, true, hashing.Mix2(seed, uint64(t)))
+		if !BoundedMemoryDistinguisher(inst, s, hashing.Mix2(seed, uint64(t)+1<<32)) {
+			errs++
+		}
+	}
+	return float64(errs) / float64(trials)
+}

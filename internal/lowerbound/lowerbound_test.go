@@ -1,0 +1,138 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestInstanceConstruction(t *testing.T) {
+	for _, intersecting := range []bool{true, false} {
+		inst := NewDisjointness(100, 20, intersecting, 1)
+		a, b, common := 0, 0, 0
+		for i := 0; i < 100; i++ {
+			if inst.A[i] {
+				a++
+			}
+			if inst.B[i] {
+				b++
+			}
+			if inst.A[i] && inst.B[i] {
+				common++
+			}
+		}
+		if a != 20 || b != 20 {
+			t.Fatalf("sizes |A|=%d |B|=%d, want 20", a, b)
+		}
+		if intersecting && common != 1 {
+			t.Fatalf("intersecting instance has %d common items, want 1", common)
+		}
+		if !intersecting && common != 0 {
+			t.Fatalf("disjoint instance has %d common items", common)
+		}
+		if inst.Opt1() != map[bool]int{true: 2, false: 1}[intersecting] {
+			t.Fatal("Opt1 wrong")
+		}
+	}
+}
+
+func TestStreamOrderAliceFirst(t *testing.T) {
+	inst := NewDisjointness(50, 10, true, 2)
+	edges := stream.Drain(inst.Stream())
+	seenB := false
+	for _, e := range edges {
+		switch e.Elem {
+		case ElemA:
+			if seenB {
+				t.Fatal("an Alice edge arrived after a Bob edge")
+			}
+		case ElemB:
+			seenB = true
+		default:
+			t.Fatalf("unexpected element %d", e.Elem)
+		}
+	}
+	if !seenB {
+		t.Fatal("no Bob edges in stream")
+	}
+	if len(edges) != 20 {
+		t.Fatalf("stream has %d edges, want 20", len(edges))
+	}
+}
+
+func TestGraphMatchesStream(t *testing.T) {
+	inst := NewDisjointness(60, 15, true, 3)
+	g := inst.Graph()
+	if g.NumSets() != 60 || g.NumElems() != 2 {
+		t.Fatal("graph dims wrong")
+	}
+	if g.NumEdges() != 30 {
+		t.Fatalf("graph has %d edges", g.NumEdges())
+	}
+	// Opt1 = 2 iff some set covers both elements.
+	best := 0
+	for s := 0; s < 60; s++ {
+		if l := g.SetLen(s); l > best {
+			best = l
+		}
+	}
+	if best != inst.Opt1() {
+		t.Fatalf("graph Opt1 %d != instance %d", best, inst.Opt1())
+	}
+}
+
+func TestFullMemoryNeverErrs(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		inst := NewDisjointness(200, 50, true, seed)
+		if !BoundedMemoryDistinguisher(inst, 200, seed+999) {
+			t.Fatalf("seed=%d: full-memory distinguisher missed the intersection", seed)
+		}
+	}
+}
+
+func TestDisjointNeverFalsePositive(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		inst := NewDisjointness(200, 50, false, seed)
+		if BoundedMemoryDistinguisher(inst, 120, seed+999) {
+			t.Fatalf("seed=%d: false positive on a disjoint instance", seed)
+		}
+	}
+}
+
+func TestErrorRateDecreasesWithSpace(t *testing.T) {
+	n := 1000
+	eLow := ErrorRate(n, 250, n/10, 200, 7)
+	eHigh := ErrorRate(n, 250, n, 200, 7)
+	if eHigh != 0 {
+		t.Fatalf("full space error rate %v != 0", eHigh)
+	}
+	if eLow < 0.5 {
+		t.Fatalf("s=n/10 error rate %v; expected ≈ 0.9", eLow)
+	}
+	eMid := ErrorRate(n, 250, n/2, 200, 7)
+	if !(eLow > eMid && eMid > eHigh) {
+		t.Fatalf("error not decreasing in space: %v, %v, %v", eLow, eMid, eHigh)
+	}
+}
+
+func TestErrorRateMatchesPrediction(t *testing.T) {
+	// Missing the one intersecting set among n with memory s happens with
+	// probability about 1 - s/n.
+	n := 2000
+	for _, frac := range []float64{0.25, 0.5, 0.75} {
+		got := ErrorRate(n, 400, int(frac*float64(n)), 400, 11)
+		want := 1 - frac
+		if got < want-0.12 || got > want+0.12 {
+			t.Fatalf("s/n=%v: error %v, predicted %v", frac, got, want)
+		}
+	}
+}
+
+func TestNewDisjointnessPanicsWhenTooBig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized disjoint instance accepted")
+		}
+	}()
+	NewDisjointness(10, 6, false, 1)
+}

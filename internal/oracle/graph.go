@@ -1,0 +1,36 @@
+package oracle
+
+import "repro/internal/bipartite"
+
+// BuildGraph materializes the Theorem 1.3 reduction instance as an
+// explicit bipartite graph, so that non-black-box algorithms (like the
+// H≤n sketch) can be run on the very same hidden instance the oracle
+// experiments use.
+//
+// Layout: elements 0..k-1 are the k common elements contained in every
+// set; each gold item g additionally owns ⌊n/k⌋ exclusive elements, so
+// that C(S) = k + (n/k)·Gold(S) for non-empty S, matching Appendix A.
+func (c *CoverageInstance) BuildGraph() *bipartite.Graph {
+	n, k := c.p.n, c.p.k
+	excl := n / k
+	if excl < 1 {
+		excl = 1
+	}
+	numElems := k // common block
+	edges := make([]bipartite.Edge, 0, n*k+k*excl)
+	for s := 0; s < n; s++ {
+		for e := 0; e < k; e++ {
+			edges = append(edges, bipartite.Edge{Set: uint32(s), Elem: uint32(e)})
+		}
+	}
+	for s := 0; s < n; s++ {
+		if !c.p.gold[s] {
+			continue
+		}
+		for j := 0; j < excl; j++ {
+			edges = append(edges, bipartite.Edge{Set: uint32(s), Elem: uint32(numElems)})
+			numElems++
+		}
+	}
+	return bipartite.MustFromEdges(n, numElems, edges)
+}

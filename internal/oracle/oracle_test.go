@@ -1,0 +1,217 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+func TestPurificationSetup(t *testing.T) {
+	p := NewPurification(100, 20, 0.3, 1)
+	if p.N() != 100 || p.K() != 20 {
+		t.Fatal("dims wrong")
+	}
+	gold := 0
+	for i := 0; i < 100; i++ {
+		gold += p.GoldCount([]int{i})
+	}
+	if gold != 20 {
+		t.Fatalf("instance has %d gold items, want 20", gold)
+	}
+}
+
+func TestPureSemantics(t *testing.T) {
+	p := NewPurification(100, 50, 0.2, 2)
+	all := make([]int, 100)
+	for i := range all {
+		all[i] = i
+	}
+	// Querying everything: Gold = k exactly = expectation -> Pure = 0.
+	if p.Pure(all) != 0 {
+		t.Fatal("full query should sit exactly at expectation")
+	}
+	// A query of only gold items deviates maximally (when band allows).
+	var golds []int
+	for i := 0; i < 100 && len(golds) < 10; i++ {
+		if p.GoldCount([]int{i}) == 1 {
+			golds = append(golds, i)
+		}
+	}
+	// Gold(golds) = 10, expected = 50*10/100 = 5, band = 0.2*(5+25) = 6.
+	// 10 > 5+6? No -> Pure=0. Use eps smaller to trip it.
+	p2 := NewPurification(100, 50, 0.05, 2)
+	var golds2 []int
+	for i := 0; i < 100 && len(golds2) < 10; i++ {
+		if p2.GoldCount([]int{i}) == 1 {
+			golds2 = append(golds2, i)
+		}
+	}
+	// band = 0.05*(5+25) = 1.5; |10-5| > 1.5 -> Pure=1.
+	if p2.Pure(golds2) != 1 {
+		t.Fatal("all-gold query should trip a tight oracle")
+	}
+}
+
+func TestPureCountsQueries(t *testing.T) {
+	p := NewPurification(50, 10, 0.3, 3)
+	if p.Queries() != 0 {
+		t.Fatal("fresh instance has queries")
+	}
+	p.Pure([]int{1, 2, 3})
+	p.Pure([]int{4})
+	if p.Queries() != 2 {
+		t.Fatalf("Queries = %d, want 2", p.Queries())
+	}
+}
+
+func TestBand(t *testing.T) {
+	p := NewPurification(100, 20, 0.5, 4)
+	want := 0.5 * (20.0*10/100 + 400.0/100)
+	if got := p.Band(10); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Band(10) = %v, want %v", got, want)
+	}
+}
+
+func TestRandomQueriesRarelyTrip(t *testing.T) {
+	// In the hardness regime (k = n/2, constant eps) random queries
+	// should almost never produce Pure = 1.
+	n, k := 400, 200
+	trips := 0
+	const trials = 50
+	for seed := uint64(0); seed < trials; seed++ {
+		p := NewPurification(n, k, 0.5, seed)
+		rng := hashing.NewRNG(seed + 1000)
+		ok, _ := RunPurification(p, RandomSubsetStrategy{Size: k}, rng, 20)
+		if ok {
+			trips++
+		}
+	}
+	if float64(trips)/trials > 0.2 {
+		t.Fatalf("random strategy tripped the oracle in %d/%d trials", trips, trials)
+	}
+}
+
+func TestReductionOracleIsApproximate(t *testing.T) {
+	// Appendix A: C_{eps'} with eps' = 2eps must satisfy
+	// (1-eps')C(S) <= C_{eps'}(S) <= (1+eps')C(S) for every S.
+	n, k := 200, 100
+	eps := 0.25
+	epsP := 2 * eps
+	p := NewPurification(n, k, eps, 7)
+	ci := NewCoverageInstance(p)
+	rng := hashing.NewRNG(9)
+	for trial := 0; trial < 300; trial++ {
+		size := 1 + rng.Intn(n)
+		s := rng.Sample(n, size)
+		est := ci.ApproxOracle(s)
+		truth := ci.TrueCoverage(s)
+		if est < (1-epsP)*truth-1e-9 || est > (1+epsP)*truth+1e-9 {
+			t.Fatalf("oracle estimate %v outside (1±%v)·%v for |S|=%d", est, epsP, truth, size)
+		}
+	}
+}
+
+func TestTrueCoverageFormula(t *testing.T) {
+	n, k := 100, 20
+	p := NewPurification(n, k, 0.3, 11)
+	ci := NewCoverageInstance(p)
+	if ci.TrueCoverage(nil) != 0 {
+		t.Fatal("empty family covers nothing")
+	}
+	if got, want := ci.Opt(), float64(n+k); got != want {
+		t.Fatalf("Opt = %v, want %v", got, want)
+	}
+	// A single gold item covers k + n/k; a brass item covers k.
+	for i := 0; i < n; i++ {
+		got := ci.TrueCoverage([]int{i})
+		if p.GoldCount([]int{i}) == 1 {
+			if got != float64(k)+float64(n)/float64(k) {
+				t.Fatalf("gold coverage %v", got)
+			}
+		} else if got != float64(k) {
+			t.Fatalf("brass coverage %v", got)
+		}
+	}
+}
+
+func TestBuildGraphMatchesFormula(t *testing.T) {
+	n, k := 60, 12
+	p := NewPurification(n, k, 0.3, 13)
+	ci := NewCoverageInstance(p)
+	g := ci.BuildGraph()
+	if g.NumSets() != n {
+		t.Fatalf("graph has %d sets", g.NumSets())
+	}
+	rng := hashing.NewRNG(17)
+	for trial := 0; trial < 50; trial++ {
+		size := 1 + rng.Intn(n/2)
+		s := rng.Sample(n, size)
+		if got, want := float64(g.Coverage(s)), ci.TrueCoverage(s); got != want {
+			t.Fatalf("graph coverage %v != formula %v for %v", got, want, s)
+		}
+	}
+	// The optimum (all gold sets) covers everything.
+	var golds []int
+	for i := 0; i < n; i++ {
+		if p.GoldCount([]int{i}) == 1 {
+			golds = append(golds, i)
+		}
+	}
+	if float64(g.Coverage(golds)) != ci.Opt() {
+		t.Fatalf("gold family covers %d, want %v", g.Coverage(golds), ci.Opt())
+	}
+}
+
+func TestOracleGreedyIsBlind(t *testing.T) {
+	// The oracle-guided greedy should perform like a random picker:
+	// ratio ≈ 2k/(n+k), nowhere near 1.
+	n, k := 300, 150
+	p := NewPurification(n, k, 0.5, 19)
+	ci := NewCoverageInstance(p)
+	rng := hashing.NewRNG(21)
+	_, ratio := OracleGreedyKCover(ci, rng, 0)
+	blind := 2 * float64(k) / float64(n+k)
+	if ratio > blind*1.5 {
+		t.Fatalf("oracle greedy ratio %.3f suspiciously above blind %.3f — information leak?", ratio, blind)
+	}
+	if ratio < 0.3*blind {
+		t.Fatalf("oracle greedy ratio %.3f far below blind %.3f", ratio, blind)
+	}
+}
+
+func TestTheoreticalQueryBoundMonotone(t *testing.T) {
+	b1 := TheoreticalQueryBound(1000, 100, 0.5, 0.9)
+	b2 := TheoreticalQueryBound(1000, 500, 0.5, 0.9)
+	if b2 <= b1 {
+		t.Fatal("bound should grow with k")
+	}
+	if TheoreticalQueryBound(1000, 100, 0.5, 0.9) <= 0 {
+		t.Fatal("bound must be positive")
+	}
+}
+
+func TestVaryingSizeStrategy(t *testing.T) {
+	s := &VaryingSizeStrategy{}
+	rng := hashing.NewRNG(23)
+	sizes := map[int]bool{}
+	for i := 0; i < 20; i++ {
+		q := s.NextQuery(rng, 50, 10)
+		if len(q) < 1 || len(q) > 50 {
+			t.Fatalf("query size %d out of range", len(q))
+		}
+		sizes[len(q)] = true
+	}
+	if len(sizes) < 5 {
+		t.Fatalf("strategy not varying sizes: %d distinct", len(sizes))
+	}
+}
+
+func TestNewPurificationPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k > n accepted")
+		}
+	}()
+	NewPurification(5, 6, 0.1, 1)
+}

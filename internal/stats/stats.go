@@ -1,0 +1,229 @@
+// Package stats provides the small statistical helpers and the aligned
+// text-table renderer used by the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs (0 for fewer than
+// two values).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Min returns the minimum of xs (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation on the sorted sample.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if q <= 0 {
+		return cp[0]
+	}
+	if q >= 1 {
+		return cp[len(cp)-1]
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(cp) {
+		return cp[len(cp)-1]
+	}
+	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}
+
+// Summary bundles the usual descriptive statistics of a sample.
+type Summary struct {
+	N            int
+	Mean, Stddev float64
+	Min, Max     float64
+	Median       float64
+	Q10, Q90     float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Stddev: Stddev(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		Median: Quantile(xs, 0.5),
+		Q10:    Quantile(xs, 0.1),
+		Q90:    Quantile(xs, 0.9),
+	}
+}
+
+// Table is an experiment result rendered as an aligned text table (and
+// exportable as CSV). Rows are formatted strings; numeric formatting is
+// the caller's choice via Fmt helpers.
+type Table struct {
+	Title string
+	Notes []string
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case string:
+			row[i] = x
+		case float64:
+			row[i] = FmtFloat(x)
+		case float32:
+			row[i] = FmtFloat(float64(x))
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FmtFloat renders a float compactly: integers without decimals, small
+// values with enough precision to compare.
+func FmtFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%.0f", x)
+	}
+	if math.Abs(x) >= 1000 {
+		return fmt.Sprintf("%.1f", x)
+	}
+	if math.Abs(x) >= 1 {
+		return fmt.Sprintf("%.3f", x)
+	}
+	return fmt.Sprintf("%.4f", x)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for p := len(cell); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values (with a header row).
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	var b strings.Builder
+	for i, c := range t.Cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(esc(c))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(cell))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	// Sample stddev of the classic dataset: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if got := Stddev(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Stddev = %v, want %v", got, want)
+	}
+	if Mean(nil) != 0 || Stddev(nil) != 0 || Stddev([]float64{1}) != 0 {
+		t.Fatal("empty/singleton edge cases wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatal("Min/Max wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty Min/Max should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation.
+	if got := Quantile([]float64{0, 10}, 0.5); got != 5 {
+		t.Fatalf("interpolated median = %v", got)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	// Input must not be reordered.
+	ys := []float64{5, 1, 3}
+	Quantile(ys, 0.5)
+	if ys[0] != 5 || ys[1] != 1 || ys[2] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || s.Mean != 5.5 || s.Min != 1 || s.Max != 10 || s.Median != 5.5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.Q10 >= s.Median || s.Median >= s.Q90 {
+		t.Fatalf("quantiles out of order: %+v", s)
+	}
+}
+
+func TestFmtFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"},
+		{1234.5678, "1234.6"},
+		{3.14159, "3.142"},
+		{0.01234, "0.0123"},
+		{-2, "-2"},
+	}
+	for _, c := range cases {
+		if got := FmtFloat(c.in); got != c.want {
+			t.Fatalf("FmtFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title: "demo",
+		Cols:  []string{"name", "value"},
+		Notes: []string{"a note"},
+	}
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("b", 42)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "name", "value", "alpha", "1.500", "42", "note: a note", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Aligned: every data line has the same prefix width for column 2.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected line count: %d", len(lines))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Cols: []string{"a", "b"}}
+	tbl.AddRow("x,y", `quote"inside`)
+	tbl.AddRow("plain", 7)
+	var buf bytes.Buffer
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, `"x,y"`) {
+		t.Fatalf("comma not escaped: %q", out)
+	}
+	if !strings.Contains(out, `"quote""inside"`) {
+		t.Fatalf("quote not escaped: %q", out)
+	}
+	if !strings.Contains(out, "plain,7\n") {
+		t.Fatalf("plain row wrong: %q", out)
+	}
+}
+
+func TestAddRowFormatsTypes(t *testing.T) {
+	tbl := &Table{Cols: []string{"v"}}
+	tbl.AddRow("s")
+	tbl.AddRow(3.5)
+	tbl.AddRow(float32(2))
+	tbl.AddRow(7)
+	tbl.AddRow(true)
+	want := []string{"s", "3.500", "2", "7", "true"}
+	for i, row := range tbl.Rows {
+		if row[0] != want[i] {
+			t.Fatalf("row %d = %q, want %q", i, row[0], want[i])
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package stream provides the edge-arrival streaming substrate: streams of
+// (set, element) membership edges in arbitrary order, resettable streams
+// for multi-pass algorithms, instrumented wrappers that count traffic, and
+// a set-arrival adapter for the prior-work baselines that require whole
+// sets (the model this paper improves on).
+package stream
+
+import (
+	"repro/internal/bipartite"
+	"repro/internal/hashing"
+)
+
+// Stream yields edges one at a time, in the order chosen by the producer.
+// Next returns ok=false after the final edge.
+type Stream interface {
+	Next() (e bipartite.Edge, ok bool)
+}
+
+// Resettable is a stream that can be replayed from the beginning; required
+// by the multi-pass set-cover algorithm (Algorithm 6). Implementations
+// must yield the same edge multiset on every pass (the order may differ
+// between passes, matching the adversarial model).
+type Resettable interface {
+	Stream
+	Reset()
+}
+
+// Sized is implemented by streams whose total edge count is known.
+type Sized interface {
+	Len() int
+}
+
+// Slice is a Resettable stream over a fixed edge slice.
+type Slice struct {
+	edges []bipartite.Edge
+	pos   int
+}
+
+// NewSlice returns a stream over edges; the slice is not copied.
+func NewSlice(edges []bipartite.Edge) *Slice {
+	return &Slice{edges: edges}
+}
+
+// Next implements Stream.
+func (s *Slice) Next() (bipartite.Edge, bool) {
+	if s.pos >= len(s.edges) {
+		return bipartite.Edge{}, false
+	}
+	e := s.edges[s.pos]
+	s.pos++
+	return e, true
+}
+
+// Reset implements Resettable.
+func (s *Slice) Reset() { s.pos = 0 }
+
+// Len implements Sized.
+func (s *Slice) Len() int { return len(s.edges) }
+
+// Shuffled materializes the edges of g in a pseudo-random order determined
+// by seed and returns a Resettable stream over them. This is the standard
+// way experiments present a graph in the edge-arrival model.
+func Shuffled(g *bipartite.Graph, seed uint64) *Slice {
+	edges := g.Edges(nil)
+	rng := hashing.NewRNG(seed)
+	rng.Shuffle(len(edges), func(i, j int) {
+		edges[i], edges[j] = edges[j], edges[i]
+	})
+	return NewSlice(edges)
+}
+
+// BySet returns a Resettable stream that emits the edges of g grouped by
+// set, with the set order permuted by seed. This realizes the set-arrival
+// order as a special case of edge arrival.
+func BySet(g *bipartite.Graph, seed uint64) *Slice {
+	rng := hashing.NewRNG(seed)
+	order := rng.Perm(g.NumSets())
+	edges := make([]bipartite.Edge, 0, g.NumEdges())
+	for _, s := range order {
+		for _, e := range g.Set(s) {
+			edges = append(edges, bipartite.Edge{Set: uint32(s), Elem: e})
+		}
+	}
+	return NewSlice(edges)
+}
+
+// Adversarial returns a Resettable stream ordered to stress sampling
+// algorithms: edges are sorted so that all edges of high-degree elements
+// arrive first, which maximizes churn in bounded-memory sketches.
+func Adversarial(g *bipartite.Graph) *Slice {
+	type ed struct {
+		deg int
+		e   bipartite.Edge
+	}
+	tmp := make([]ed, 0, g.NumEdges())
+	for s := 0; s < g.NumSets(); s++ {
+		for _, e := range g.Set(s) {
+			tmp = append(tmp, ed{deg: g.ElemDegree(int(e)), e: bipartite.Edge{Set: uint32(s), Elem: e}})
+		}
+	}
+	// Simple stable ordering: descending element degree, then element id,
+	// then set id. Insertion into buckets by degree keeps it O(E + maxDeg).
+	maxDeg := 0
+	for _, t := range tmp {
+		if t.deg > maxDeg {
+			maxDeg = t.deg
+		}
+	}
+	buckets := make([][]bipartite.Edge, maxDeg+1)
+	for _, t := range tmp {
+		buckets[t.deg] = append(buckets[t.deg], t.e)
+	}
+	edges := make([]bipartite.Edge, 0, len(tmp))
+	for d := maxDeg; d >= 0; d-- {
+		edges = append(edges, buckets[d]...)
+	}
+	return NewSlice(edges)
+}
+
+// Counter wraps a stream and counts the edges delivered; used for
+// verifying single-pass claims and for reporting stream sizes.
+type Counter struct {
+	inner Stream
+	seen  int64
+}
+
+// NewCounter wraps inner.
+func NewCounter(inner Stream) *Counter { return &Counter{inner: inner} }
+
+// Next implements Stream.
+func (c *Counter) Next() (bipartite.Edge, bool) {
+	e, ok := c.inner.Next()
+	if ok {
+		c.seen++
+	}
+	return e, ok
+}
+
+// Seen returns the number of edges delivered so far.
+func (c *Counter) Seen() int64 { return c.seen }
+
+// Reset implements Resettable when the inner stream does; it panics
+// otherwise. The edge count accumulates across passes.
+func (c *Counter) Reset() {
+	r, ok := c.inner.(Resettable)
+	if !ok {
+		panic("stream: Reset on non-resettable inner stream")
+	}
+	r.Reset()
+}
+
+// Limit wraps a stream and stops after max edges; used in failure
+// injection tests (truncated streams).
+type Limit struct {
+	inner Stream
+	left  int
+}
+
+// NewLimit wraps inner, delivering at most max edges.
+func NewLimit(inner Stream, max int) *Limit { return &Limit{inner: inner, left: max} }
+
+// Next implements Stream.
+func (l *Limit) Next() (bipartite.Edge, bool) {
+	if l.left <= 0 {
+		return bipartite.Edge{}, false
+	}
+	e, ok := l.inner.Next()
+	if ok {
+		l.left--
+	}
+	return e, ok
+}
+
+// Concat chains streams back to back.
+type Concat struct {
+	streams []Stream
+	idx     int
+}
+
+// NewConcat returns a stream that yields all edges of each input in turn.
+func NewConcat(streams ...Stream) *Concat { return &Concat{streams: streams} }
+
+// Next implements Stream.
+func (c *Concat) Next() (bipartite.Edge, bool) {
+	for c.idx < len(c.streams) {
+		if e, ok := c.streams[c.idx].Next(); ok {
+			return e, true
+		}
+		c.idx++
+	}
+	return bipartite.Edge{}, false
+}
+
+// Func adapts a closure to the Stream interface.
+type Func func() (bipartite.Edge, bool)
+
+// Next implements Stream.
+func (f Func) Next() (bipartite.Edge, bool) { return f() }
+
+// Drain consumes the stream and returns all edges; test helper.
+func Drain(s Stream) []bipartite.Edge {
+	var out []bipartite.Edge
+	for {
+		e, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}

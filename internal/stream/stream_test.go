@@ -1,0 +1,204 @@
+package stream
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/bipartite"
+)
+
+func edgeKey(e bipartite.Edge) uint64 { return uint64(e.Set)<<32 | uint64(e.Elem) }
+
+func multiset(edges []bipartite.Edge) map[uint64]int {
+	m := map[uint64]int{}
+	for _, e := range edges {
+		m[edgeKey(e)]++
+	}
+	return m
+}
+
+func sameMultiset(a, b []bipartite.Edge) bool {
+	ma, mb := multiset(a), multiset(b)
+	if len(ma) != len(mb) {
+		return false
+	}
+	for k, v := range ma {
+		if mb[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func testGraph(t *testing.T) *bipartite.Graph {
+	t.Helper()
+	return bipartite.MustFromEdges(4, 6, []bipartite.Edge{
+		{Set: 0, Elem: 0}, {Set: 0, Elem: 1},
+		{Set: 1, Elem: 1}, {Set: 1, Elem: 2}, {Set: 1, Elem: 3},
+		{Set: 2, Elem: 3}, {Set: 2, Elem: 4},
+		{Set: 3, Elem: 5},
+	})
+}
+
+func TestSliceNextAndReset(t *testing.T) {
+	edges := []bipartite.Edge{{Set: 0, Elem: 1}, {Set: 1, Elem: 2}}
+	s := NewSlice(edges)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got := Drain(s)
+	if !sameMultiset(got, edges) {
+		t.Fatal("Drain lost edges")
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted stream yielded edge")
+	}
+	s.Reset()
+	if got2 := Drain(s); !sameMultiset(got2, edges) {
+		t.Fatal("Reset did not replay")
+	}
+}
+
+func TestShuffledPreservesMultiset(t *testing.T) {
+	g := testGraph(t)
+	st := Shuffled(g, 42)
+	got := Drain(st)
+	if !sameMultiset(got, g.Edges(nil)) {
+		t.Fatal("Shuffled changed the edge multiset")
+	}
+}
+
+func TestShuffledDeterministicBySeed(t *testing.T) {
+	g := testGraph(t)
+	a := Drain(Shuffled(g, 7))
+	b := Drain(Shuffled(g, 7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different orders")
+		}
+	}
+	c := Drain(Shuffled(g, 8))
+	different := false
+	for i := range a {
+		if a[i] != c[i] {
+			different = true
+		}
+	}
+	if !different {
+		t.Fatal("different seeds produced identical order (suspicious)")
+	}
+}
+
+func TestBySetGroupsEdges(t *testing.T) {
+	g := testGraph(t)
+	st := BySet(g, 3)
+	edges := Drain(st)
+	if !sameMultiset(edges, g.Edges(nil)) {
+		t.Fatal("BySet changed the edge multiset")
+	}
+	// All edges of a set must be contiguous.
+	seen := map[uint32]bool{}
+	var cur uint32 = ^uint32(0)
+	for _, e := range edges {
+		if e.Set != cur {
+			if seen[e.Set] {
+				t.Fatalf("set %d appeared in two runs", e.Set)
+			}
+			seen[e.Set] = true
+			cur = e.Set
+		}
+	}
+}
+
+func TestAdversarialOrdersByElementDegree(t *testing.T) {
+	g := testGraph(t)
+	edges := Drain(Adversarial(g))
+	if !sameMultiset(edges, g.Edges(nil)) {
+		t.Fatal("Adversarial changed the edge multiset")
+	}
+	for i := 1; i < len(edges); i++ {
+		if g.ElemDegree(int(edges[i-1].Elem)) < g.ElemDegree(int(edges[i].Elem)) {
+			t.Fatal("Adversarial not sorted by descending element degree")
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	g := testGraph(t)
+	c := NewCounter(Shuffled(g, 1))
+	Drain(c)
+	if c.Seen() != int64(g.NumEdges()) {
+		t.Fatalf("Seen = %d, want %d", c.Seen(), g.NumEdges())
+	}
+	c.Reset()
+	Drain(c)
+	if c.Seen() != 2*int64(g.NumEdges()) {
+		t.Fatalf("Seen after second pass = %d", c.Seen())
+	}
+}
+
+func TestCounterResetPanicsOnNonResettable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset on non-resettable stream did not panic")
+		}
+	}()
+	c := NewCounter(Func(func() (bipartite.Edge, bool) { return bipartite.Edge{}, false }))
+	c.Reset()
+}
+
+func TestLimit(t *testing.T) {
+	g := testGraph(t)
+	got := Drain(NewLimit(Shuffled(g, 1), 3))
+	if len(got) != 3 {
+		t.Fatalf("Limit delivered %d edges", len(got))
+	}
+	if got2 := Drain(NewLimit(Shuffled(g, 1), 100)); len(got2) != g.NumEdges() {
+		t.Fatalf("generous Limit delivered %d edges", len(got2))
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := NewSlice([]bipartite.Edge{{Set: 0, Elem: 0}})
+	b := NewSlice([]bipartite.Edge{{Set: 1, Elem: 1}, {Set: 2, Elem: 2}})
+	got := Drain(NewConcat(a, b))
+	if len(got) != 3 || got[0].Set != 0 || got[2].Set != 2 {
+		t.Fatalf("Concat = %v", got)
+	}
+}
+
+func TestGraphSetStream(t *testing.T) {
+	g := testGraph(t)
+	ss := NewGraphSetStream(g, 5)
+	if ss.NumSets() != g.NumSets() {
+		t.Fatalf("NumSets = %d", ss.NumSets())
+	}
+	ids, sets := CollectSets(ss)
+	if len(ids) != g.NumSets() {
+		t.Fatalf("collected %d sets", len(ids))
+	}
+	sortedIDs := append([]uint32(nil), ids...)
+	sort.Slice(sortedIDs, func(i, j int) bool { return sortedIDs[i] < sortedIDs[j] })
+	for i, id := range sortedIDs {
+		if id != uint32(i) {
+			t.Fatalf("ids not a permutation: %v", ids)
+		}
+	}
+	for i, id := range ids {
+		want := g.Set(int(id))
+		if len(sets[i]) != len(want) {
+			t.Fatalf("set %d has wrong elements", id)
+		}
+		for j := range want {
+			if sets[i][j] != want[j] {
+				t.Fatalf("set %d element mismatch", id)
+			}
+		}
+	}
+	// Resettable.
+	ss.ResetSets()
+	ids2, _ := CollectSets(ss)
+	if len(ids2) != len(ids) {
+		t.Fatal("ResetSets did not replay")
+	}
+}

@@ -1,0 +1,127 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/bipartite"
+)
+
+// TextStream parses the text edge-list format ("c n m" header optional,
+// then "set elem" lines) lazily from an io.Reader — true edge-at-a-time
+// streaming without materializing the instance. If the reader is an
+// io.ReadSeeker the stream is resettable, enabling the multi-pass
+// algorithms directly on a file.
+type TextStream struct {
+	r       io.Reader
+	seeker  io.ReadSeeker
+	scanner *bufio.Scanner
+	line    int
+	err     error
+
+	// Header dimensions, when a "c n m" line was present (else zero).
+	NumSets  int
+	NumElems int
+}
+
+// NewTextStream wraps r. Parse errors surface through Err after the
+// stream ends (Next returns ok=false on malformed input).
+func NewTextStream(r io.Reader) *TextStream {
+	ts := &TextStream{r: r}
+	if s, ok := r.(io.ReadSeeker); ok {
+		ts.seeker = s
+	}
+	ts.start()
+	return ts
+}
+
+func (ts *TextStream) start() {
+	ts.scanner = bufio.NewScanner(ts.r)
+	ts.scanner.Buffer(make([]byte, 1<<16), 1<<24)
+	ts.line = 0
+}
+
+// Err returns the first parse or I/O error encountered, if any.
+func (ts *TextStream) Err() error { return ts.err }
+
+// Next implements Stream. Malformed lines stop the stream and set Err.
+func (ts *TextStream) Next() (bipartite.Edge, bool) {
+	if ts.err != nil {
+		return bipartite.Edge{}, false
+	}
+	for ts.scanner.Scan() {
+		ts.line++
+		text := strings.TrimSpace(ts.scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "c" {
+			if len(fields) != 3 {
+				ts.err = fmt.Errorf("stream: line %d: header needs 'c n m'", ts.line)
+				return bipartite.Edge{}, false
+			}
+			n, err1 := parseUint32(fields[1])
+			m, err2 := parseUint32(fields[2])
+			if err1 != nil || err2 != nil {
+				ts.err = fmt.Errorf("stream: line %d: bad header", ts.line)
+				return bipartite.Edge{}, false
+			}
+			ts.NumSets, ts.NumElems = int(n), int(m)
+			continue
+		}
+		if len(fields) != 2 {
+			ts.err = fmt.Errorf("stream: line %d: expected 'set elem'", ts.line)
+			return bipartite.Edge{}, false
+		}
+		s, err1 := parseUint32(fields[0])
+		e, err2 := parseUint32(fields[1])
+		if err1 != nil || err2 != nil {
+			ts.err = fmt.Errorf("stream: line %d: bad edge %q", ts.line, text)
+			return bipartite.Edge{}, false
+		}
+		return bipartite.Edge{Set: s, Elem: e}, true
+	}
+	if err := ts.scanner.Err(); err != nil {
+		ts.err = err
+	}
+	return bipartite.Edge{}, false
+}
+
+// Reset implements Resettable when the underlying reader can seek; it
+// panics otherwise (check CanReset first).
+func (ts *TextStream) Reset() {
+	if ts.seeker == nil {
+		panic("stream: TextStream over a non-seekable reader cannot Reset")
+	}
+	if _, err := ts.seeker.Seek(0, io.SeekStart); err != nil {
+		ts.err = err
+		return
+	}
+	ts.err = nil
+	ts.start()
+}
+
+// CanReset reports whether Reset is available.
+func (ts *TextStream) CanReset() bool { return ts.seeker != nil }
+
+// parseUint32 is a minimal, allocation-free decimal parser.
+func parseUint32(s string) (uint32, error) {
+	if len(s) == 0 {
+		return 0, fmt.Errorf("empty number")
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad digit %q", c)
+		}
+		v = v*10 + uint64(c-'0')
+		if v > 1<<32-1 {
+			return 0, fmt.Errorf("overflow")
+		}
+	}
+	return uint32(v), nil
+}

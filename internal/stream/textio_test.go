@@ -1,0 +1,136 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bipartite"
+)
+
+func TestTextStreamParsesEdges(t *testing.T) {
+	in := "# comment\nc 3 5\n0 1\n1 2\n\n2 4\n"
+	ts := NewTextStream(strings.NewReader(in))
+	edges := Drain(ts)
+	if ts.Err() != nil {
+		t.Fatal(ts.Err())
+	}
+	want := []bipartite.Edge{{Set: 0, Elem: 1}, {Set: 1, Elem: 2}, {Set: 2, Elem: 4}}
+	if len(edges) != len(want) {
+		t.Fatalf("parsed %d edges", len(edges))
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, edges[i], want[i])
+		}
+	}
+	if ts.NumSets != 3 || ts.NumElems != 5 {
+		t.Fatalf("header not captured: n=%d m=%d", ts.NumSets, ts.NumElems)
+	}
+}
+
+func TestTextStreamNoHeader(t *testing.T) {
+	ts := NewTextStream(strings.NewReader("1 2\n3 4\n"))
+	edges := Drain(ts)
+	if len(edges) != 2 || ts.Err() != nil {
+		t.Fatalf("edges=%d err=%v", len(edges), ts.Err())
+	}
+	if ts.NumSets != 0 {
+		t.Fatal("phantom header")
+	}
+}
+
+func TestTextStreamMalformed(t *testing.T) {
+	cases := []string{
+		"c 1\n",
+		"c a b\n",
+		"0\n",
+		"x 1\n",
+		"1 y\n",
+		"1 99999999999\n",
+	}
+	for _, in := range cases {
+		ts := NewTextStream(strings.NewReader(in))
+		if _, ok := ts.Next(); ok {
+			t.Fatalf("input %q yielded an edge", in)
+		}
+		if ts.Err() == nil {
+			t.Fatalf("input %q produced no error", in)
+		}
+		// Stream stays stopped after an error.
+		if _, ok := ts.Next(); ok {
+			t.Fatal("stream continued after error")
+		}
+	}
+}
+
+func TestTextStreamResetWithSeeker(t *testing.T) {
+	in := "0 0\n1 1\n"
+	r := bytes.NewReader([]byte(in))
+	ts := NewTextStream(r)
+	if !ts.CanReset() {
+		t.Fatal("bytes.Reader should be seekable")
+	}
+	first := Drain(ts)
+	ts.Reset()
+	second := Drain(ts)
+	if len(first) != 2 || len(second) != 2 {
+		t.Fatalf("passes delivered %d and %d edges", len(first), len(second))
+	}
+}
+
+// nonSeeker hides the Seek method of an underlying reader.
+type nonSeeker struct{ r *strings.Reader }
+
+func (n nonSeeker) Read(p []byte) (int, error) { return n.r.Read(p) }
+
+func TestTextStreamResetPanicsWithoutSeeker(t *testing.T) {
+	ts := NewTextStream(nonSeeker{strings.NewReader("0 0\n")})
+	if ts.CanReset() {
+		t.Fatal("non-seekable reader reported resettable")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset on non-seekable did not panic")
+		}
+	}()
+	ts.Reset()
+}
+
+func TestTextStreamRoundTripWithWriter(t *testing.T) {
+	// bipartite.WriteText output must stream back identically.
+	g := bipartite.MustFromEdges(4, 6, []bipartite.Edge{
+		{Set: 0, Elem: 5}, {Set: 1, Elem: 0}, {Set: 3, Elem: 2},
+	})
+	var buf bytes.Buffer
+	if err := bipartite.WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTextStream(bytes.NewReader(buf.Bytes()))
+	edges := Drain(ts)
+	if ts.Err() != nil {
+		t.Fatal(ts.Err())
+	}
+	g2, err := bipartite.FromEdges(ts.NumSets, ts.NumElems, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() || g2.NumSets() != g.NumSets() {
+		t.Fatal("round trip changed instance")
+	}
+}
+
+func TestParseUint32(t *testing.T) {
+	good := map[string]uint32{"0": 0, "7": 7, "4294967295": 1<<32 - 1}
+	for s, want := range good {
+		got, err := parseUint32(s)
+		if err != nil || got != want {
+			t.Fatalf("parseUint32(%q) = %d, %v", s, got, err)
+		}
+	}
+	for _, s := range []string{"", "-1", "x", "4294967296"} {
+		if _, err := parseUint32(s); err == nil {
+			t.Fatalf("parseUint32(%q) accepted", s)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package tables
+
+import (
+	"fmt"
+
+	"repro/internal/hashing"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/weighted"
+	"repro/internal/workload"
+)
+
+// RunExtWeighted documents the weighted-coverage extension (DESIGN.md):
+// per-weight-class H≤n sketches plus a weighted lazy greedy. Measured
+// against the offline weighted greedy on instances whose element weights
+// span several orders of magnitude.
+func RunExtWeighted(cfg Config) []*stats.Table {
+	n := cfg.pick(300, 60)
+	m := cfg.pick(30000, 3000)
+	k := cfg.pick(10, 4)
+	budget := 40 * n
+	t := &stats.Table{
+		Title: "Extension: weighted k-cover via weight-class sketches",
+		Cols: []string{"weight spread", "classes", "ratio vs offline greedy",
+			"est rel err", "edges stored", "input edges"},
+		Notes: []string{
+			fmt.Sprintf("n=%d m=%d k=%d, per-class budget %d, trials=%d", n, m, k, budget, cfg.trials()),
+			"space grows with the number of non-empty weight classes (log of the weight spread)",
+		},
+	}
+	for si, spread := range []int{1, 4, 64, 1024} {
+		var ratios, estErrs, edges []float64
+		classes := 0
+		inputEdges := 0
+		for tr := 0; tr < cfg.trials(); tr++ {
+			seed := cfg.trialSeed(1400+si, tr)
+			inst := workload.Zipf(n, m, m/8, 0.9, 0.8, seed)
+			inputEdges = inst.G.NumEdges()
+			rng := hashing.NewRNG(seed + 1)
+			ws := make([]float64, m)
+			for i := range ws {
+				// Log-uniform weights in [1, spread].
+				ws[i] = 1
+				for ws[i] < float64(spread) && rng.Float64() < 0.5 {
+					ws[i] *= 2
+				}
+			}
+			in := weighted.Instance{G: inst.G, W: ws}
+			res, err := weighted.KCover(stream.Shuffled(inst.G, seed), n, k,
+				func(e uint32) float64 { return ws[e] },
+				weighted.Options{Eps: 0.4, Seed: seed, NumElems: m, EdgeBudget: budget})
+			if err != nil {
+				panic(err)
+			}
+			classes = res.Classes
+			truth := in.Coverage(res.Sets)
+			ref := weighted.MaxCover(in, k).Covered
+			ratios = append(ratios, ratio(truth, ref))
+			if truth > 0 {
+				estErrs = append(estErrs, abs(res.EstimatedCoverage-truth)/truth)
+			}
+			edges = append(edges, float64(res.EdgesStored))
+		}
+		t.AddRow(fmt.Sprintf("1..%d", spread), classes, stats.Mean(ratios),
+			stats.Mean(estErrs), stats.Mean(edges), inputEdges)
+	}
+	return []*stats.Table{t}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

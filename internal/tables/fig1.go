@@ -1,0 +1,60 @@
+package tables
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// RunFig1Sketch regenerates Figure 1: a small bipartite instance with
+// hashed elements, showing which edges survive in Hp (hash filter at
+// p = 0.5) and which additionally survive in H′p (degree cap). Solid
+// edges of the paper's figure correspond to included=yes rows.
+func RunFig1Sketch(cfg Config) []*stats.Table {
+	// A fixed small instance in the spirit of the figure: 4 sets, 8
+	// elements, mixed degrees so that the cap visibly bites.
+	g := bipartite.MustFromEdges(4, 8, []bipartite.Edge{
+		{Set: 0, Elem: 0}, {Set: 0, Elem: 1}, {Set: 0, Elem: 2},
+		{Set: 1, Elem: 1}, {Set: 1, Elem: 2}, {Set: 1, Elem: 3}, {Set: 1, Elem: 4},
+		{Set: 2, Elem: 2}, {Set: 2, Elem: 4}, {Set: 2, Elem: 5}, {Set: 2, Elem: 6},
+		{Set: 3, Elem: 2}, {Set: 3, Elem: 6}, {Set: 3, Elem: 7},
+	})
+	const p = 0.5
+	const degCap = 2
+	seed := cfg.seed()
+
+	edges := core.FigureEdges(g, p, degCap, seed)
+
+	t1 := &stats.Table{
+		Title: fmt.Sprintf("Figure 1: Hp and H'p membership per edge (p=%.2f, degree cap=%d)", p, degCap),
+		Cols:  []string{"set", "elem", "h(elem)", "in Hp", "in H'p"},
+		Notes: []string{
+			"'in Hp'   = element hash <= p (solid edge, left panel)",
+			"'in H'p'  = in Hp and among the first degCap edges of the element (solid edge, right panel)",
+		},
+	}
+	yn := func(b bool) string {
+		if b {
+			return "solid"
+		}
+		return "dotted"
+	}
+	for _, e := range edges {
+		t1.AddRow(fmt.Sprintf("S%d", e.Set), fmt.Sprintf("e%d", e.Elem),
+			fmt.Sprintf("%.3f", e.HashUnit), yn(e.InHp), yn(e.InHpPrime))
+	}
+
+	// Summary panel: edge counts of G, Hp, H'p.
+	hp := core.BuildHp(g, p, seed)
+	hpp := core.BuildHpPrime(g, p, degCap, seed)
+	t2 := &stats.Table{
+		Title: "Figure 1 summary: edges kept by each sketch stage",
+		Cols:  []string{"graph", "elements w/ edges", "edges"},
+	}
+	t2.AddRow("G", g.CoveredElems(), g.NumEdges())
+	t2.AddRow("Hp", hp.CoveredElems(), hp.NumEdges())
+	t2.AddRow("H'p", hpp.CoveredElems(), hpp.NumEdges())
+	return []*stats.Table{t1, t2}
+}

@@ -1,0 +1,206 @@
+package tables
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/algorithms"
+	"repro/internal/baselines"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// RunTable1KCover regenerates the k-cover rows of Table 1: the ¼-approx
+// set-arrival swap algorithm [44], the ½-approx SieveStreaming [9], and
+// the paper's single-pass 1−1/e−ε edge-arrival algorithm. Ratios are
+// against the best known solution (max of planted and offline greedy);
+// space is stored items (edges / element ids), reported both absolutely
+// and relative to n and m. The paper's shape to verify: the H≤n algorithm
+// has the best ratio at space proportional to n only, while the
+// set-arrival baselines pay Ω(m)-type space.
+func RunTable1KCover(cfg Config) []*stats.Table {
+	n := cfg.pick(300, 60)
+	m := cfg.pick(30000, 2000)
+	k := cfg.pick(12, 5)
+	eps := 0.4
+	budget := 80 * n // practical O(n) budget (theory constants in DESIGN.md §3)
+
+	type algo struct {
+		name, passes, arrival string
+		run                   func(inst workload.Instance, seed uint64) (sets []int, items int)
+	}
+	algos := []algo{
+		{
+			name: "swap [44]", passes: "1", arrival: "set",
+			run: func(inst workload.Instance, seed uint64) ([]int, int) {
+				out := baselines.SwapKCover(stream.NewGraphSetStream(inst.G, seed), inst.G.NumElems(), k, 0)
+				return out.Sets, out.Space.PeakItems
+			},
+		},
+		{
+			name: "sieve [9]", passes: "1", arrival: "set",
+			run: func(inst workload.Instance, seed uint64) ([]int, int) {
+				out := baselines.SieveKCover(stream.NewGraphSetStream(inst.G, seed), inst.G.NumElems(), k, 0.1)
+				return out.Sets, out.Space.PeakItems
+			},
+		},
+		{
+			name: "l0 [App D]", passes: "1", arrival: "edge",
+			run: func(inst workload.Instance, seed uint64) ([]int, int) {
+				out := baselines.L0KCover(stream.Shuffled(inst.G, seed), inst.G.NumSets(), k,
+					baselines.L0Options{Eps: 0.25, Seed: seed, Reps: 8})
+				return out.Sets, out.Space.PeakItems
+			},
+		},
+		{
+			name: "H<=n (here)", passes: "1", arrival: "edge",
+			run: func(inst workload.Instance, seed uint64) ([]int, int) {
+				res, err := algorithms.KCover(stream.Shuffled(inst.G, seed), inst.G.NumSets(), k,
+					algorithms.Options{Eps: eps, Seed: seed, NumElems: inst.G.NumElems(), EdgeBudget: budget})
+				if err != nil {
+					panic(err)
+				}
+				return res.Sets, res.Sketch.PeakEdges
+			},
+		},
+	}
+
+	insts := []workload.Instance{
+		workload.PlantedKCover(n, m, k, 0.9, m/100, cfg.trialSeed(0, 999)),
+		workload.Zipf(n, m, m/4, 0.9, 0.8, cfg.trialSeed(1, 999)),
+		workload.LargeSets(n/4, m, 0.3, cfg.trialSeed(2, 999)),
+	}
+
+	t := &stats.Table{
+		Title: "Table 1 (k-cover rows): approximation and space, edge/set arrival",
+		Cols:  []string{"workload", "algorithm", "passes", "arrival", "ratio", "space(items)", "space/n", "space/m"},
+		Notes: []string{
+			fmt.Sprintf("n=%d m=%d k=%d eps=%g trials=%d; ratio vs max(planted, offline greedy)", n, m, k, eps, cfg.trials()),
+			"paper shape: H<=n ratio ~1-1/e or better at O(n) space; set-arrival baselines pay O(m)-type space",
+		},
+	}
+	for wi, inst := range insts {
+		ref := referenceCoverage(inst, k)
+		for ai, a := range algos {
+			var ratios, items []float64
+			for tr := 0; tr < cfg.trials(); tr++ {
+				seed := cfg.trialSeed(10+wi*10+ai, tr)
+				sets, spaceItems := a.run(inst, seed)
+				ratios = append(ratios, ratio(float64(inst.G.Coverage(sets)), ref))
+				items = append(items, float64(spaceItems))
+			}
+			meanItems := stats.Mean(items)
+			t.AddRow(inst.Name, a.name, a.passes, a.arrival,
+				stats.Mean(ratios), meanItems, meanItems/float64(inst.G.NumSets()), meanItems/float64(m))
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// referenceCoverage returns the best coverage we can certify: the max of
+// the planted solution (when any) and the offline greedy on the full
+// graph. For k-cover this lower-bounds Opt_k within 1−1/e.
+func referenceCoverage(inst workload.Instance, k int) float64 {
+	best := float64(inst.PlantedCoverage)
+	out := baselines.FullGreedy(stream.Shuffled(inst.G, 7), inst.G.NumSets(), inst.G.NumElems(), k)
+	if c := float64(inst.G.Coverage(out.Sets)); c > best {
+		best = c
+	}
+	return best
+}
+
+// RunTable1Outliers regenerates the set-cover-with-outliers rows: the
+// paper's single-pass (1+ε)·ln(1/λ) algorithm against its k* and coverage
+// promises on planted instances.
+func RunTable1Outliers(cfg Config) []*stats.Table {
+	n := cfg.pick(200, 60)
+	m := cfg.pick(20000, 2000)
+	kStar := cfg.pick(10, 4)
+	eps := 0.5
+	budget := 60 * n
+
+	t := &stats.Table{
+		Title: "Table 1 (set cover with outliers): single-pass, edge arrival",
+		Cols:  []string{"lambda", "k*", "|sol|", "bound (1+eps)ln(1/lambda)k*", "coverage", "target 1-lambda", "space(items)"},
+		Notes: []string{
+			fmt.Sprintf("n=%d m=%d eps=%g trials=%d, planted set cover of size k*", n, m, eps, cfg.trials()),
+		},
+	}
+	for li, lambda := range []float64{0.05, 0.1, 0.2, 1 / math.E} {
+		var sizes, coverages, spaces []float64
+		for tr := 0; tr < cfg.trials(); tr++ {
+			seed := cfg.trialSeed(100+li, tr)
+			inst := workload.PlantedSetCover(n, m, kStar, m/200+1, seed)
+			res, err := algorithms.SetCoverOutliers(stream.Shuffled(inst.G, seed), n, lambda,
+				algorithms.Options{Eps: eps, Seed: seed, NumElems: m, EdgeBudget: budget})
+			if err != nil {
+				panic(err)
+			}
+			sizes = append(sizes, float64(len(res.Sets)))
+			coverages = append(coverages, float64(inst.G.Coverage(res.Sets))/float64(m))
+			spaces = append(spaces, float64(res.TotalEdges))
+		}
+		bound := (1 + eps) * math.Log(1/lambda) * float64(kStar)
+		t.AddRow(lambda, kStar, stats.Mean(sizes), bound, stats.Mean(coverages), 1-lambda, stats.Mean(spaces))
+	}
+	return []*stats.Table{t}
+}
+
+// RunTable1SetCover regenerates the set-cover rows: the paper's p-pass
+// (1+ε)·ln m algorithm (Algorithm 6) against the classical multi-pass
+// threshold greedy ((p+1)·m^{1/(p+1)} ratio, the [13,44]/[18] rows).
+func RunTable1SetCover(cfg Config) []*stats.Table {
+	n := cfg.pick(200, 60)
+	m := cfg.pick(8000, 1200)
+	kStar := cfg.pick(10, 4)
+	eps := 0.5
+	budget := 40 * n
+
+	t := &stats.Table{
+		Title: "Table 1 (set cover rows): solution size vs passes",
+		Cols:  []string{"algorithm", "passes", "|sol|", "|sol|/k*", "guarantee", "space(items)"},
+		Notes: []string{
+			fmt.Sprintf("n=%d m=%d k*=%d eps=%g trials=%d, planted set cover", n, m, kStar, eps, cfg.trials()),
+			"paper shape: (1+eps)ln(m) beats (p+1)m^{1/(p+1)} for small p at comparable passes",
+		},
+	}
+
+	for _, p := range []int{1, 2, 3} {
+		var sizes, spaces []float64
+		for tr := 0; tr < cfg.trials(); tr++ {
+			seed := cfg.trialSeed(200+p, tr)
+			inst := workload.PlantedSetCover(n, m, kStar, m/200+1, seed)
+			out, err := baselines.ThresholdSetCover(stream.NewGraphSetStream(inst.G, seed), m, p)
+			if err != nil {
+				panic(err)
+			}
+			sizes = append(sizes, float64(len(out.Sets)))
+			spaces = append(spaces, float64(out.Space.PeakItems))
+		}
+		guar := float64(p+1) * math.Pow(float64(m), 1/float64(p+1))
+		t.AddRow("threshold [13,44]", p+1, stats.Mean(sizes), stats.Mean(sizes)/float64(kStar),
+			fmt.Sprintf("(p+1)m^(1/(p+1))=%.1f x k*", guar), stats.Mean(spaces))
+	}
+
+	for _, r := range []int{2, 3, 4} {
+		var sizes, spaces []float64
+		passes := 0
+		for tr := 0; tr < cfg.trials(); tr++ {
+			seed := cfg.trialSeed(300+r, tr)
+			inst := workload.PlantedSetCover(n, m, kStar, m/200+1, seed)
+			res, err := algorithms.SetCoverMultiPass(stream.Shuffled(inst.G, seed), n, m, r,
+				algorithms.Options{Eps: eps, Seed: seed, EdgeBudget: budget})
+			if err != nil {
+				panic(err)
+			}
+			passes = res.Passes
+			sizes = append(sizes, float64(len(res.Sets)))
+			spaces = append(spaces, float64(res.PeakEdges))
+		}
+		guar := (1 + eps) * math.Log(float64(m))
+		t.AddRow(fmt.Sprintf("H<=n r=%d (here)", r), passes, stats.Mean(sizes), stats.Mean(sizes)/float64(kStar),
+			fmt.Sprintf("(1+eps)ln(m)=%.1f x k*", guar), stats.Mean(spaces))
+	}
+	return []*stats.Table{t}
+}

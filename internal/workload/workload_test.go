@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"testing"
+)
+
+func assertNoIsolated(t *testing.T, inst Instance) {
+	t.Helper()
+	for e := 0; e < inst.G.NumElems(); e++ {
+		if inst.G.ElemDegree(e) == 0 {
+			t.Fatalf("%s: element %d isolated", inst.Name, e)
+		}
+	}
+}
+
+func TestUniformShape(t *testing.T) {
+	inst := Uniform(10, 200, 0.1, 1)
+	if inst.G.NumSets() != 10 || inst.G.NumElems() != 200 {
+		t.Fatal("dims wrong")
+	}
+	assertNoIsolated(t, inst)
+	// Expected ~10*200*0.1 = 200 edges; allow wide slack plus isolates fix.
+	if e := inst.G.NumEdges(); e < 120 || e > 320 {
+		t.Fatalf("edge count %d far from expectation 200", e)
+	}
+}
+
+func TestUniformDeterministicBySeed(t *testing.T) {
+	a := Uniform(8, 100, 0.2, 7)
+	b := Uniform(8, 100, 0.2, 7)
+	if a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatal("same seed, different instance")
+	}
+	c := Uniform(8, 100, 0.2, 8)
+	if a.G.NumEdges() == c.G.NumEdges() && a.G.Coverage([]int{0}) == c.G.Coverage([]int{0}) {
+		t.Log("different seeds produced equal stats (possible but unlikely)")
+	}
+}
+
+func TestUniformFixedSize(t *testing.T) {
+	inst := UniformFixedSize(12, 150, 20, 3)
+	// Isolated-element patching may add a few extra edges to some sets,
+	// so sizes are >= the requested size but close to it in total.
+	total := 0
+	for s := 0; s < 12; s++ {
+		l := inst.G.SetLen(s)
+		if l < 20 {
+			t.Fatalf("set %d has %d elements, want >= 20", s, l)
+		}
+		total += l
+	}
+	if total > 12*20+150 {
+		t.Fatalf("total edges %d far above the requested 240", total)
+	}
+	assertNoIsolated(t, inst)
+}
+
+func TestUniformFixedSizeClampsToM(t *testing.T) {
+	inst := UniformFixedSize(3, 10, 50, 3)
+	for s := 0; s < 3; s++ {
+		if inst.G.SetLen(s) != 10 {
+			t.Fatalf("set %d should be the whole ground set", s)
+		}
+	}
+}
+
+func TestZipfSizesDecay(t *testing.T) {
+	inst := Zipf(50, 2000, 500, 1.0, 0.8, 11)
+	assertNoIsolated(t, inst)
+	if inst.G.SetLen(0) <= inst.G.SetLen(40) {
+		t.Fatalf("zipf sizes not decaying: |S0|=%d |S40|=%d", inst.G.SetLen(0), inst.G.SetLen(40))
+	}
+	if inst.G.SetLen(49) < 1 {
+		t.Fatal("smallest set empty")
+	}
+}
+
+func TestPlantedKCover(t *testing.T) {
+	inst := PlantedKCover(30, 1000, 5, 0.8, 10, 13)
+	assertNoIsolated(t, inst)
+	if len(inst.PlantedSets) != 5 {
+		t.Fatalf("planted %d sets", len(inst.PlantedSets))
+	}
+	cov := inst.G.Coverage(inst.PlantedSets)
+	if cov != inst.PlantedCoverage {
+		t.Fatalf("PlantedCoverage %d != recomputed %d", inst.PlantedCoverage, cov)
+	}
+	if cov < 800 {
+		t.Fatalf("planted coverage %d below signal*m = 800", cov)
+	}
+	// Decoys must be dominated: any 5 decoys cover at most 5*(10+slack).
+	decoys := []int{10, 11, 12, 13, 14}
+	if d := inst.G.Coverage(decoys); d >= cov {
+		t.Fatalf("decoys cover %d >= planted %d", d, cov)
+	}
+}
+
+func TestPlantedKCoverPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k > n accepted")
+		}
+	}()
+	PlantedKCover(3, 100, 5, 0.8, 2, 1)
+}
+
+func TestPlantedSetCoverPartition(t *testing.T) {
+	inst := PlantedSetCover(20, 500, 4, 5, 17)
+	if inst.OptCoverSize != 4 {
+		t.Fatalf("OptCoverSize = %d", inst.OptCoverSize)
+	}
+	if got := inst.G.Coverage(inst.PlantedSets); got != 500 {
+		t.Fatalf("planted cover covers %d of 500", got)
+	}
+	// Planted sets partition: pairwise disjoint.
+	total := 0
+	for _, s := range inst.PlantedSets {
+		total += inst.G.SetLen(s)
+	}
+	if total != 500 {
+		t.Fatalf("planted sets overlap: sizes sum to %d", total)
+	}
+}
+
+func TestLargeSetsRegime(t *testing.T) {
+	inst := LargeSets(8, 1000, 0.4, 19)
+	assertNoIsolated(t, inst)
+	for s := 0; s < 8; s++ {
+		if l := inst.G.SetLen(s); l < 380 || l > 420 {
+			t.Fatalf("set %d size %d, want ~400", s, l)
+		}
+	}
+}
+
+func TestClustered(t *testing.T) {
+	inst := Clustered(12, 120, 4, 23)
+	assertNoIsolated(t, inst)
+	if inst.OptCoverSize != 4 {
+		t.Fatalf("OptCoverSize = %d", inst.OptCoverSize)
+	}
+	if got := inst.G.Coverage(inst.PlantedSets); got != 120 {
+		t.Fatalf("representatives cover %d of 120", got)
+	}
+	// Non-representatives are strictly smaller than their representative.
+	if inst.G.SetLen(4) >= inst.G.SetLen(0) {
+		t.Fatalf("noisy member not smaller: %d vs %d", inst.G.SetLen(4), inst.G.SetLen(0))
+	}
+}
+
+func TestBlogTopics(t *testing.T) {
+	inst := BlogTopics(40, 800, 200, 29)
+	assertNoIsolated(t, inst)
+	if inst.G.NumSets() != 40 || inst.G.NumElems() != 800 {
+		t.Fatal("dims wrong")
+	}
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	gens := []func(seed uint64) Instance{
+		func(s uint64) Instance { return Uniform(10, 100, 0.1, s) },
+		func(s uint64) Instance { return Zipf(10, 100, 40, 0.9, 0.5, s) },
+		func(s uint64) Instance { return PlantedKCover(10, 100, 3, 0.8, 4, s) },
+		func(s uint64) Instance { return PlantedSetCover(10, 100, 3, 4, s) },
+		func(s uint64) Instance { return LargeSets(5, 100, 0.3, s) },
+		func(s uint64) Instance { return Clustered(8, 96, 4, s) },
+	}
+	for gi, gen := range gens {
+		a, b := gen(99), gen(99)
+		if a.G.NumEdges() != b.G.NumEdges() {
+			t.Fatalf("generator %d not deterministic", gi)
+		}
+		ea, eb := a.G.Edges(nil), b.G.Edges(nil)
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("generator %d not deterministic at edge %d", gi, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package streamcover
+
+import "testing"
+
+// BenchmarkMaxCoverage measures the public single-pass k-cover end to end
+// on a 2000-blog blog-watch instance.
+func BenchmarkMaxCoverage(b *testing.B) {
+	inst := GenerateBlogTopics(2000, 50000, 2500, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := MaxCoverage(inst.EdgeStream(uint64(i)), inst.NumSets(), 20,
+			Options{Eps: 0.4, Seed: 9, NumElems: inst.NumElems(), EdgeBudget: 80 * 2000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Sets) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkEdgeStream measures stream materialization alone, to separate
+// harness cost from algorithm cost in BenchmarkMaxCoverage.
+func BenchmarkEdgeStream(b *testing.B) {
+	inst := GenerateBlogTopics(2000, 50000, 2500, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := inst.EdgeStream(uint64(i))
+		if _, ok := st.Next(); !ok {
+			b.Fatal("empty stream")
+		}
+	}
+}

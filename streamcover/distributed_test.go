@@ -1,0 +1,169 @@
+package streamcover
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestShardsPartitionEdges(t *testing.T) {
+	inst := GenerateUniform(20, 500, 0.08, 3)
+	shards := inst.Shards(4, 9)
+	if len(shards) != 4 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	total := 0
+	seen := map[uint64]bool{}
+	for _, sh := range shards {
+		for {
+			e, ok := sh.Next()
+			if !ok {
+				break
+			}
+			key := uint64(e.Set)<<32 | uint64(e.Elem)
+			if seen[key] {
+				t.Fatal("edge duplicated across shards")
+			}
+			seen[key] = true
+			total++
+		}
+	}
+	if total != inst.NumEdges() {
+		t.Fatalf("shards deliver %d of %d edges", total, inst.NumEdges())
+	}
+}
+
+func TestMaxCoverageShardedMatchesSingle(t *testing.T) {
+	inst := GenerateZipf(80, 4000, 1000, 0.9, 0.7, 5)
+	opt := Options{Eps: 0.4, Seed: 77, NumElems: inst.NumElems(), EdgeBudget: 60 * 80}
+
+	single, err := MaxCoverage(inst.EdgeStream(1), inst.NumSets(), 6, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 7} {
+		res, err := MaxCoverageSharded(inst.Shards(workers, 11), inst.NumSets(), 6, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Sets) != len(single.Sets) {
+			t.Fatalf("w=%d: %v vs single %v", workers, res.Sets, single.Sets)
+		}
+		for i := range res.Sets {
+			if res.Sets[i] != single.Sets[i] {
+				t.Fatalf("w=%d: %v vs single %v", workers, res.Sets, single.Sets)
+			}
+		}
+		if res.EstimatedCoverage != single.EstimatedCoverage {
+			t.Fatalf("w=%d: estimate %v vs single %v", workers, res.EstimatedCoverage, single.EstimatedCoverage)
+		}
+		if len(res.WorkerEdges) != workers || res.EdgesShipped <= 0 {
+			t.Fatalf("w=%d: stats malformed %+v", workers, res)
+		}
+	}
+}
+
+func TestMaxCoverageShardedValidation(t *testing.T) {
+	if _, err := MaxCoverageSharded(nil, 5, 2, Options{}); err == nil {
+		t.Fatal("no shards accepted")
+	}
+	inst := GenerateUniform(5, 50, 0.2, 1)
+	if _, err := MaxCoverageSharded(inst.Shards(2, 1), 0, 2, Options{}); err == nil {
+		t.Fatal("numSets=0 accepted")
+	}
+}
+
+func TestTextEdgeStreamHeaderAndEdges(t *testing.T) {
+	in := "c 4 10\n0 1\n1 2\n3 9\n"
+	ts := NewTextEdgeStream(strings.NewReader(in))
+	n, m, ok := ts.Header()
+	if !ok || n != 4 || m != 10 {
+		t.Fatalf("Header = %d,%d,%v", n, m, ok)
+	}
+	count := 0
+	for {
+		_, ok := ts.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 3 || ts.Err() != nil {
+		t.Fatalf("streamed %d edges, err=%v", count, ts.Err())
+	}
+}
+
+func TestTextEdgeStreamNoHeader(t *testing.T) {
+	ts := NewTextEdgeStream(strings.NewReader("0 1\n"))
+	if _, _, ok := ts.Header(); ok {
+		t.Fatal("phantom header")
+	}
+	// The peeked edge must not be lost.
+	e, ok := ts.Next()
+	if !ok || e.Set != 0 || e.Elem != 1 {
+		t.Fatalf("lost the first edge: %v %v", e, ok)
+	}
+}
+
+func TestTextEdgeStreamReset(t *testing.T) {
+	r := bytes.NewReader([]byte("c 2 3\n0 0\n1 2\n"))
+	ts := NewTextEdgeStream(r)
+	if !ts.CanReset() {
+		t.Fatal("seekable reader not resettable")
+	}
+	c1 := 0
+	for {
+		if _, ok := ts.Next(); !ok {
+			break
+		}
+		c1++
+	}
+	ts.Reset()
+	c2 := 0
+	for {
+		if _, ok := ts.Next(); !ok {
+			break
+		}
+		c2++
+	}
+	if c1 != 2 || c2 != 2 {
+		t.Fatalf("passes delivered %d and %d", c1, c2)
+	}
+}
+
+func TestTextEdgeStreamDrivesMaxCoverage(t *testing.T) {
+	// End to end: serialize an instance, stream the text bytes directly
+	// into the algorithm, and check the result against the in-memory run.
+	inst := GeneratePlantedKCover(40, 2000, 4, 0.9, 10, 7)
+	var buf bytes.Buffer
+	if err := inst.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTextEdgeStream(bytes.NewReader(buf.Bytes()))
+	n, m, ok := ts.Header()
+	if !ok {
+		t.Fatal("WriteText output lacks header")
+	}
+	opt := Options{Eps: 0.4, Seed: 3, NumElems: m, EdgeBudget: 60 * n}
+	direct, err := MaxCoverage(ts, n, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Err(); err != nil {
+		t.Fatal(err)
+	}
+	inMem, err := MaxCoverage(inst.EdgeStream(9), n, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same sketch policy + same seed => same solution regardless of the
+	// radically different edge orders (file order vs shuffled).
+	if len(direct.Sets) != len(inMem.Sets) {
+		t.Fatalf("direct %v vs in-memory %v", direct.Sets, inMem.Sets)
+	}
+	for i := range direct.Sets {
+		if direct.Sets[i] != inMem.Sets[i] {
+			t.Fatalf("direct %v vs in-memory %v", direct.Sets, inMem.Sets)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package streamcover
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaxCoverageEnsembleEndToEnd(t *testing.T) {
+	inst := GeneratePlantedKCover(50, 3000, 5, 0.9, 15, 5)
+	res, err := MaxCoverageEnsemble(inst.EdgeStream(2), inst.NumSets(), 5, 5,
+		Options{Eps: 0.4, Seed: 7, NumElems: inst.NumElems(), EdgeBudget: 40 * inst.NumSets()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replicas != 5 || len(res.Sets) > 5 {
+		t.Fatalf("malformed result %+v", res)
+	}
+	got := inst.Coverage(res.Sets)
+	if float64(got) < (1-1/math.E-0.45)*float64(inst.Planted.Coverage) {
+		t.Fatalf("ensemble covered %d, planted %d", got, inst.Planted.Coverage)
+	}
+	if res.EstimatedCoverage < 0.7*float64(got) || res.EstimatedCoverage > 1.3*float64(got) {
+		t.Fatalf("estimate %v vs truth %d", res.EstimatedCoverage, got)
+	}
+	// Space is R sketches.
+	single, err := MaxCoverage(inst.EdgeStream(2), inst.NumSets(), 5,
+		Options{Eps: 0.4, Seed: 7, NumElems: inst.NumElems(), EdgeBudget: 40 * inst.NumSets()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgesStored < 4*single.Sketch.EdgesStored {
+		t.Fatalf("ensemble space %d suspiciously small vs single %d",
+			res.EdgesStored, single.Sketch.EdgesStored)
+	}
+}
+
+func TestMaxCoverageEnsembleAtLeastAsGoodAsWorstReplica(t *testing.T) {
+	// The ensemble picks by median estimate; over several seeds it must
+	// never return something wildly below the single-sketch run.
+	inst := GenerateZipf(40, 2000, 500, 0.9, 0.7, 9)
+	for seed := uint64(0); seed < 3; seed++ {
+		opt := Options{Eps: 0.4, Seed: seed, NumElems: inst.NumElems(), EdgeBudget: 1500}
+		ens, err := MaxCoverageEnsemble(inst.EdgeStream(seed), inst.NumSets(), 4, 3, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := MaxCoverage(inst.EdgeStream(seed), inst.NumSets(), 4, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := inst.Coverage(ens.Sets)
+		s := inst.Coverage(single.Sets)
+		if float64(e) < 0.9*float64(s) {
+			t.Fatalf("seed=%d: ensemble %d far below single %d", seed, e, s)
+		}
+	}
+}
+
+func TestMaxCoverageEnsembleValidation(t *testing.T) {
+	if _, err := MaxCoverageEnsemble(&SliceStream{}, 0, 1, 3, Options{}); err == nil {
+		t.Fatal("numSets=0 accepted")
+	}
+	// replicas < 1 clamps rather than failing.
+	inst := GenerateUniform(5, 30, 0.2, 1)
+	res, err := MaxCoverageEnsemble(inst.EdgeStream(1), 5, 2, 0,
+		Options{Eps: 0.5, NumElems: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replicas != 1 {
+		t.Fatalf("replicas = %d, want clamp to 1", res.Replicas)
+	}
+}

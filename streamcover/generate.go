@@ -1,0 +1,67 @@
+package streamcover
+
+import "repro/internal/workload"
+
+// This file exposes the synthetic instance generators. Each returns an
+// *Instance whose Planted field carries ground truth when the generator
+// plants a solution, letting applications measure true approximation
+// ratios. All generators are deterministic given the seed and never
+// produce isolated elements.
+
+func fromWorkload(w workload.Instance) *Instance {
+	inst := &Instance{g: w.G}
+	if w.PlantedSets != nil {
+		inst.Planted = &PlantedInfo{
+			Sets:      append([]int(nil), w.PlantedSets...),
+			Coverage:  w.PlantedCoverage,
+			CoverSize: w.OptCoverSize,
+		}
+	}
+	return inst
+}
+
+// GenerateUniform returns n sets over m elements, each set containing
+// each element independently with probability density.
+func GenerateUniform(n, m int, density float64, seed uint64) *Instance {
+	return fromWorkload(workload.Uniform(n, m, density, seed))
+}
+
+// GenerateZipf returns a heavy-tailed instance: set sizes decay as a
+// power law with exponent sizeAlpha from maxSize, and element popularity
+// follows a Zipf law with exponent elemAlpha.
+func GenerateZipf(n, m, maxSize int, sizeAlpha, elemAlpha float64, seed uint64) *Instance {
+	return fromWorkload(workload.Zipf(n, m, maxSize, sizeAlpha, elemAlpha, seed))
+}
+
+// GeneratePlantedKCover returns an instance whose optimal k-cover is
+// (generically) a planted partition of a signal fraction of the ground
+// set; Planted reports it.
+func GeneratePlantedKCover(n, m, k int, signal float64, decoySize int, seed uint64) *Instance {
+	return fromWorkload(workload.PlantedKCover(n, m, k, signal, decoySize, seed))
+}
+
+// GeneratePlantedSetCover returns an instance with a planted set cover of
+// exactly coverSize sets partitioning the ground set; Planted reports it.
+func GeneratePlantedSetCover(n, m, coverSize, overlap int, seed uint64) *Instance {
+	return fromWorkload(workload.PlantedSetCover(n, m, coverSize, overlap, seed))
+}
+
+// GenerateBlogTopics mimics the multi-topic blog-watch application: sets
+// are blogs, elements are the topics they post about, with power-law
+// blog activity and topic popularity.
+func GenerateBlogTopics(nBlogs, nTopics, maxTopicsPerBlog int, seed uint64) *Instance {
+	return fromWorkload(workload.BlogTopics(nBlogs, nTopics, maxTopicsPerBlog, seed))
+}
+
+// GenerateLargeSets returns the regime the paper highlights: few sets,
+// each covering a frac fraction of a large ground set (m ≫ n), where
+// set-arrival algorithms must buffer Θ(m) while the sketch stays O~(n).
+func GenerateLargeSets(n, m int, frac float64, seed uint64) *Instance {
+	return fromWorkload(workload.LargeSets(n, m, frac, seed))
+}
+
+// GenerateClustered returns nClusters groups of near-duplicate sets with
+// one full representative per cluster (the planted cover).
+func GenerateClustered(n, m, nClusters int, seed uint64) *Instance {
+	return fromWorkload(workload.Clustered(n, m, nClusters, seed))
+}
