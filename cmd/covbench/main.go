@@ -6,19 +6,33 @@
 //	covbench -run all                # every experiment, full sizes
 //	covbench -run table1-kcover      # one experiment
 //	covbench -run all -quick         # small sizes (seconds, for CI)
-//	covbench -run thm31-kcover -csv  # machine-readable output
+//	covbench -run thm31-kcover -csv  # machine-readable CSV output
+//	covbench -run thm31-kcover -json # one JSON line per experiment
 //
 // The measured outputs behind EXPERIMENTS.md come from `covbench -run all`.
+// The -json format is one line per experiment —
+// {"experiment", "elapsed_ms", "tables": [{"title", "notes", "cols",
+// "rows"}]} — so trajectory files (BENCH_*.json) can be produced without
+// scraping stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/stats"
 	"repro/internal/tables"
 )
+
+// jsonResult is the -json output schema: one line per experiment.
+type jsonResult struct {
+	Experiment string         `json:"experiment"`
+	ElapsedMS  int64          `json:"elapsed_ms"`
+	Tables     []*stats.Table `json:"tables"`
+}
 
 func main() {
 	var (
@@ -28,6 +42,7 @@ func main() {
 		trials = flag.Int("trials", 0, "trials per row (0 = default 3)")
 		seed   = flag.Uint64("seed", 0, "master seed (0 = default)")
 		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonl  = flag.Bool("json", false, "emit one JSON line per experiment instead of tables")
 	)
 	flag.Parse()
 
@@ -49,6 +64,19 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "covbench: %v\n", err)
 			os.Exit(1)
+		}
+		if *jsonl {
+			line := jsonResult{
+				Experiment: id,
+				ElapsedMS:  time.Since(start).Milliseconds(),
+				Tables:     tbls,
+			}
+			enc := json.NewEncoder(os.Stdout)
+			if err := enc.Encode(line); err != nil {
+				fmt.Fprintf(os.Stderr, "covbench: %v\n", err)
+				os.Exit(1)
+			}
+			continue
 		}
 		fmt.Printf("### experiment %s (%v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		for _, tbl := range tbls {

@@ -1,0 +1,188 @@
+// Command covcli is the client for covserved: it replays a coverage
+// instance file (as written by covgen) against a running server in
+// batched POSTs, triggers a snapshot merge, queries k-cover, and —
+// with -compare — runs the offline single-pass algorithm locally on the
+// same instance and verifies the server returns the same answer (the
+// merge-composability guarantee, end to end over the wire).
+//
+// Usage:
+//
+//	covgen -kind zipf -n 200 -m 20000 -o inst.txt
+//	covserved -n 200 -k 10 -eps 0.4 -seed 7 -budget 10000 &
+//	covcli -server http://127.0.0.1:8080 -file inst.txt -k 10 \
+//	       -eps 0.4 -seed 7 -budget 10000 -compare
+//
+// The -eps/-seed/-budget/-space-factor flags only matter with -compare:
+// they must repeat the server's configuration for the offline run to
+// build the same sketch.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/streamcover"
+)
+
+func main() {
+	var (
+		serverURL = flag.String("server", "http://127.0.0.1:8080", "covserved base URL")
+		file      = flag.String("file", "", "instance file from covgen (required)")
+		k         = flag.Int("k", 10, "k-cover solution size to query")
+		batch     = flag.Int("batch", 2048, "edges per ingest request")
+		seed      = flag.Uint64("seed", 1, "server's hash seed (for -compare) and replay order")
+		eps       = flag.Float64("eps", 0.5, "server's eps (for -compare)")
+		budget    = flag.Int("budget", 0, "server's edge budget override (for -compare)")
+		space     = flag.Float64("space-factor", 0, "server's space factor (for -compare)")
+		compare   = flag.Bool("compare", false, "run the offline algorithm locally and verify the answers match")
+	)
+	flag.Parse()
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "covcli: -file is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		fatal(err)
+	}
+	inst, err := streamcover.ReadInstance(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "covcli: replaying %s: n=%d m=%d edges=%d batch=%d\n",
+		*file, inst.NumSets(), inst.NumElems(), inst.NumEdges(), *batch)
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	start := time.Now()
+	sent, batches := 0, 0
+	st := inst.EdgeStream(*seed)
+	pairs := make([][2]uint32, 0, *batch)
+	flush := func() error {
+		if len(pairs) == 0 {
+			return nil
+		}
+		body, _ := json.Marshal(map[string]interface{}{"edges": pairs})
+		resp, err := client.Post(*serverURL+"/v1/edges", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(resp.Body)
+			return fmt.Errorf("POST /v1/edges: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		}
+		sent += len(pairs)
+		batches++
+		pairs = pairs[:0]
+		return nil
+	}
+	for {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		pairs = append(pairs, [2]uint32{e.Set, e.Elem})
+		if len(pairs) == *batch {
+			if err := flush(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "covcli: ingested %d edges in %d batches (%v)\n",
+		sent, batches, time.Since(start).Round(time.Millisecond))
+
+	// Merge, then query.
+	resp, err := client.Post(*serverURL+"/v1/snapshot", "", nil)
+	if err != nil {
+		fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	qURL := fmt.Sprintf("%s/v1/query?algo=kcover&k=%d", *serverURL, *k)
+	resp, err = client.Get(qURL)
+	if err != nil {
+		fatal(err)
+	}
+	var remote struct {
+		Sets              []int   `json:"sets"`
+		EstimatedCoverage float64 `json:"estimated_coverage"`
+		SketchCoverage    int     `json:"sketch_coverage"`
+		PStar             float64 `json:"p_star"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fatal(fmt.Errorf("GET /v1/query: %s: %s", resp.Status, bytes.TrimSpace(msg)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&remote); err != nil {
+		fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("server kcover k=%d: sets=%v estimated_coverage=%.1f p*=%.4g\n",
+		*k, remote.Sets, remote.EstimatedCoverage, remote.PStar)
+
+	if !*compare {
+		return
+	}
+	opt := streamcover.Options{
+		Eps: *eps, Seed: *seed, NumElems: inst.NumElems(),
+		EdgeBudget: *budget, SpaceFactor: *space,
+	}
+	offline, err := streamcover.MaxCoverage(inst.EdgeStream(*seed+1), inst.NumSets(), *k, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("offline kcover k=%d: sets=%v estimated_coverage=%.1f\n",
+		*k, offline.Sets, offline.EstimatedCoverage)
+	exact := inst.Coverage(remote.Sets)
+	fmt.Printf("exact coverage of server solution: %d of %d covered elements\n",
+		exact, inst.CoveredElems())
+	if remote.EstimatedCoverage != offline.EstimatedCoverage || !sameSets(remote.Sets, offline.Sets) {
+		// Exact equality between the sharded and single-pass sketches is
+		// only guaranteed while the per-element degree cap never binds:
+		// when it does, Definition 2.1 allows each side to keep a
+		// different D-subset of a high-degree element's edges, and the
+		// greedy solutions may legitimately diverge.
+		p := algorithms.KCoverParams(inst.NumSets(), *k, algorithms.Options{
+			Eps: *eps, Seed: *seed, NumElems: inst.NumElems(),
+			EdgeBudget: *budget, SpaceFactor: *space,
+		})
+		if cap := p.EffectiveDegreeCap(); cap < inst.NumSets() {
+			fmt.Fprintf(os.Stderr, "covcli: answers differ, but the degree cap (D=%d < n=%d) can bind at these parameters, "+
+				"so the sharded and offline sketches may legitimately keep different edge subsets\n", cap, inst.NumSets())
+			return
+		}
+		fmt.Fprintln(os.Stderr, "covcli: MISMATCH between server and offline answers")
+		os.Exit(1)
+	}
+	fmt.Println("covcli: server answer matches the offline single-pass run")
+}
+
+func sameSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "covcli: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Command covserved serves coverage queries over a live edge stream: a
+// sharded concurrent ingest engine (internal/server) behind an HTTP JSON
+// API. Edges arrive in batches; queries run the paper's algorithms on a
+// merged snapshot of the shard sketches without stalling ingest.
+//
+// Usage:
+//
+//	covserved -n 1000 -k 10 -addr :8080
+//	covserved -n 1000 -k 10 -shards 8 -merge-every 2s -snapshot-file state.skch
+//
+// API:
+//
+//	POST /v1/edges     {"edges": [[set, elem], ...]}   bulk ingest
+//	GET  /v1/query?algo=kcover&k=10[&refresh=1]        query a snapshot
+//	GET  /v1/query?algo=outliers&lambda=0.1
+//	GET  /v1/query?algo=greedy
+//	GET  /v1/stats                                     engine accounting
+//	POST /v1/snapshot                                  merge (+persist)
+//	GET  /v1/healthz                                   liveness
+//
+// With -snapshot-file, POST /v1/snapshot persists the merged sketch and
+// covserved restores from the file at startup when it exists, resuming
+// the service where the last snapshot left it. Use cmd/covcli to replay
+// an instance file against a running server and verify the answer
+// against the offline single-pass algorithm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		n          = flag.Int("n", 0, "number of sets (required)")
+		m          = flag.Int("m", 0, "number of elements, if known (tunes the budget only)")
+		k          = flag.Int("k", 10, "solution size the sketch is provisioned for")
+		eps        = flag.Float64("eps", 0.5, "accuracy parameter in (0,1]")
+		seed       = flag.Uint64("seed", 1, "hash seed (determinism)")
+		budget     = flag.Int("budget", 0, "edge budget override (0 = paper formula)")
+		space      = flag.Float64("space-factor", 0, "multiply the formula budget (0 = off)")
+		shards     = flag.Int("shards", 4, "ingest worker shards")
+		queue      = flag.Int("queue", 64, "per-shard queue depth, in batches")
+		mergeEvery = flag.Duration("merge-every", 0, "periodic snapshot merge (0 = on demand only)")
+		snapFile   = flag.String("snapshot-file", "", "persist/restore the merged sketch here")
+		maxBatch   = flag.Int("max-batch", 1<<20, "largest accepted ingest batch, in edges")
+	)
+	flag.Parse()
+	if *n <= 0 {
+		fmt.Fprintln(os.Stderr, "covserved: -n (number of sets) is required")
+		os.Exit(2)
+	}
+
+	cfg := server.Config{
+		NumSets:     *n,
+		NumElems:    *m,
+		K:           *k,
+		Eps:         *eps,
+		Seed:        *seed,
+		EdgeBudget:  *budget,
+		SpaceFactor: *space,
+		Shards:      *shards,
+		QueueDepth:  *queue,
+		MergeEvery:  *mergeEvery,
+	}
+	if *snapFile != "" {
+		if f, err := os.Open(*snapFile); err == nil {
+			sk, rerr := core.ReadSketch(f)
+			f.Close()
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "covserved: restoring %s: %v\n", *snapFile, rerr)
+				os.Exit(1)
+			}
+			cfg.Restore = sk
+			fmt.Fprintf(os.Stderr, "covserved: restored %d kept edges from %s\n", sk.Edges(), *snapFile)
+		}
+	}
+
+	eng, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covserved: %v\n", err)
+		os.Exit(1)
+	}
+	defer eng.Close()
+
+	handler := server.NewHTTPHandler(eng, server.HTTPOptions{
+		MaxBatchEdges: *maxBatch,
+		SnapshotPath:  *snapFile,
+	})
+	fmt.Fprintf(os.Stderr, "covserved: serving n=%d k=%d eps=%g shards=%d on %s\n",
+		*n, *k, *eps, *shards, *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "covserved: %v\n", err)
+		os.Exit(1)
+	}
+}

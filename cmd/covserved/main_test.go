@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/server"
+	"repro/streamcover"
+)
+
+// TestEndToEndAgainstOfflineKCover is the acceptance test of the service
+// subsystem: covserved's handler on a loopback listener, a generated
+// instance ingested in batches across 4 shards while queries run
+// concurrently, and a final kcover answer that must equal the offline
+// single-pass streamcover.MaxCoverage result for the same Options.
+func TestEndToEndAgainstOfflineKCover(t *testing.T) {
+	const (
+		n, m, k = 60, 5000, 6
+		seed    = 29
+	)
+	inst := streamcover.GenerateZipf(n, m, 900, 0.9, 0.7, 17)
+	opt := streamcover.Options{Eps: 0.4, Seed: seed, NumElems: m, EdgeBudget: 50 * n}
+
+	offline, err := streamcover.MaxCoverage(inst.EdgeStream(3), n, k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// covserved's engine + handler on a loopback listener, 4 shards.
+	eng, err := server.New(server.Config{
+		NumSets: n, NumElems: m, K: k,
+		Eps: opt.Eps, Seed: opt.Seed, EdgeBudget: opt.EdgeBudget,
+		Shards: 4, QueueDepth: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: server.NewHTTPHandler(eng, server.HTTPOptions{})}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Collect the edge stream as [set, elem] pairs.
+	st := inst.EdgeStream(7)
+	var pairs [][2]uint32
+	for {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		pairs = append(pairs, [2]uint32{e.Set, e.Elem})
+	}
+
+	post := func(batch [][2]uint32) error {
+		body, _ := json.Marshal(map[string]interface{}{"edges": batch})
+		resp, err := http.Post(base+"/v1/edges", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /v1/edges: %s", resp.Status)
+		}
+		return nil
+	}
+	queryKCover := func(refresh bool) (server.QueryResult, error) {
+		url := fmt.Sprintf("%s/v1/query?algo=kcover&k=%d", base, k)
+		if refresh {
+			url += "&refresh=1"
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			return server.QueryResult{}, err
+		}
+		defer resp.Body.Close()
+		var out server.QueryResult
+		if resp.StatusCode != http.StatusOK {
+			return out, fmt.Errorf("GET /v1/query: %s", resp.Status)
+		}
+		return out, json.NewDecoder(resp.Body).Decode(&out)
+	}
+
+	// Ingest in batches from two concurrent producers while querying.
+	var wg sync.WaitGroup
+	errc := make(chan error, 2)
+	for p := 0; p < 2; p++ {
+		lo, hi := p*len(pairs)/2, (p+1)*len(pairs)/2
+		wg.Add(1)
+		go func(part [][2]uint32) {
+			defer wg.Done()
+			for i := 0; i < len(part); i += 251 {
+				j := i + 251
+				if j > len(part) {
+					j = len(part)
+				}
+				if err := post(part[i:j]); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(pairs[lo:hi])
+	}
+	// Queries must succeed while ingestion is still in progress.
+	for q := 0; q < 5; q++ {
+		if _, err := queryKCover(true); err != nil {
+			t.Fatalf("query during ingest: %v", err)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	// Force a final merge, then the answer must equal the offline run.
+	resp, err := http.Post(base+"/v1/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	final, err := queryKCover(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.SnapshotEdges != int64(len(pairs)) {
+		t.Fatalf("final snapshot at %d of %d edges", final.SnapshotEdges, len(pairs))
+	}
+	if final.EstimatedCoverage != offline.EstimatedCoverage {
+		t.Fatalf("service coverage %v != offline MaxCoverage %v",
+			final.EstimatedCoverage, offline.EstimatedCoverage)
+	}
+	if len(final.Sets) != len(offline.Sets) {
+		t.Fatalf("service sets %v != offline %v", final.Sets, offline.Sets)
+	}
+	for i := range final.Sets {
+		if final.Sets[i] != offline.Sets[i] {
+			t.Fatalf("service sets %v != offline %v", final.Sets, offline.Sets)
+		}
+	}
+}

@@ -60,15 +60,22 @@ func (s *Sketch) Merge(other *Sketch) error {
 	}
 	other.ForEachEdge(s.AddEdge)
 	if other.evicted {
-		if !s.evicted || priorityLess(other.barHash, other.barElem, s.barHash, s.barElem) {
-			s.evicted = true
-			s.barHash = other.barHash
-			s.barElem = other.barElem
-		}
-		s.evictAboveBar()
-		s.shrink()
+		s.foldBar(other.barHash, other.barElem)
 	}
 	return nil
+}
+
+// foldBar lowers the eviction bar to at most (h, e), evicts every kept
+// element at or above the new bar, and re-enforces the budget. Shared by
+// Merge and by snapshot restore (serialize.go).
+func (s *Sketch) foldBar(h uint64, e uint32) {
+	if !s.evicted || priorityLess(h, e, s.barHash, s.barElem) {
+		s.evicted = true
+		s.barHash = h
+		s.barElem = e
+	}
+	s.evictAboveBar()
+	s.shrink()
 }
 
 // evictAboveBar removes every kept element whose priority is at or above

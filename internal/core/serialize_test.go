@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// sketchEqual compares the observable state of two sketches: parameters,
+// sampling probability, and the exact kept (set, elem) edge set.
+func sketchEqual(t *testing.T, a, b *Sketch) {
+	t.Helper()
+	if a.Params() != b.Params() {
+		t.Fatalf("params differ: %+v vs %+v", a.Params(), b.Params())
+	}
+	if a.PStar() != b.PStar() {
+		t.Fatalf("pstar differs: %v vs %v", a.PStar(), b.PStar())
+	}
+	if a.Edges() != b.Edges() || a.Elements() != b.Elements() {
+		t.Fatalf("size differs: %d/%d edges, %d/%d elements",
+			a.Edges(), b.Edges(), a.Elements(), b.Elements())
+	}
+	edges := map[uint64]bool{}
+	a.ForEachEdge(func(e bipartite.Edge) { edges[uint64(e.Set)<<32|uint64(e.Elem)] = true })
+	b.ForEachEdge(func(e bipartite.Edge) {
+		if !edges[uint64(e.Set)<<32|uint64(e.Elem)] {
+			t.Fatalf("edge (%d,%d) only in restored sketch", e.Set, e.Elem)
+		}
+		delete(edges, uint64(e.Set)<<32|uint64(e.Elem))
+	})
+	if len(edges) != 0 {
+		t.Fatalf("%d edges only in original sketch", len(edges))
+	}
+}
+
+func buildTestSketch(t *testing.T, budget int, seed uint64) *Sketch {
+	t.Helper()
+	inst := workload.Zipf(40, 3000, 600, 0.9, 0.7, seed)
+	sk := MustNewSketch(Params{
+		NumSets: 40, NumElems: 3000, K: 5, Eps: 0.3,
+		EdgeBudget: budget, Seed: seed,
+	})
+	sk.AddStream(stream.Shuffled(inst.G, seed+1))
+	return sk
+}
+
+func TestCloneIsDeepAndEqual(t *testing.T) {
+	sk := buildTestSketch(t, 400, 7)
+	cl := sk.Clone()
+	sketchEqual(t, sk, cl)
+	// Mutating the clone must not affect the original.
+	before := sk.Edges()
+	inst := workload.Uniform(40, 3000, 0.05, 99)
+	cl.AddStream(stream.Shuffled(inst.G, 3))
+	if sk.Edges() != before {
+		t.Fatalf("clone mutation leaked into original: %d -> %d edges", before, sk.Edges())
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, budget := range []int{0 /* paper formula: nothing evicted */, 400, 2000} {
+		sk := buildTestSketch(t, budget, 11)
+		var buf bytes.Buffer
+		if _, err := sk.WriteTo(&buf); err != nil {
+			t.Fatalf("budget %d: WriteTo: %v", budget, err)
+		}
+		got, err := ReadSketch(&buf)
+		if err != nil {
+			t.Fatalf("budget %d: ReadSketch: %v", budget, err)
+		}
+		sketchEqual(t, sk, got)
+		if got.Stats().EdgesSeen != sk.Stats().EdgesSeen {
+			t.Fatalf("budget %d: EdgesSeen %d vs %d",
+				budget, got.Stats().EdgesSeen, sk.Stats().EdgesSeen)
+		}
+	}
+}
+
+func TestRestoredSketchKeepsStreaming(t *testing.T) {
+	// A restored sketch must behave exactly like the original under more
+	// stream: same evictions, same final state.
+	inst := workload.Zipf(30, 2000, 500, 0.9, 0.7, 5)
+	params := Params{NumSets: 30, NumElems: 2000, K: 4, Eps: 0.3, EdgeBudget: 300, Seed: 13}
+	edges := stream.Drain(stream.Shuffled(inst.G, 2))
+	half := len(edges) / 2
+
+	orig := MustNewSketch(params)
+	orig.AddStream(stream.NewSlice(edges[:half]))
+
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSketch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	orig.AddStream(stream.NewSlice(edges[half:]))
+	restored.AddStream(stream.NewSlice(edges[half:]))
+	sketchEqual(t, orig, restored)
+}
+
+func TestReadSketchRejectsGarbage(t *testing.T) {
+	if _, err := ReadSketch(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadSketch(strings.NewReader("NOTASKETCH")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Valid magic, truncated body.
+	if _, err := ReadSketch(strings.NewReader(sketchMagic)); err == nil {
+		t.Fatal("truncated sketch accepted")
+	}
+}

@@ -37,19 +37,35 @@ type Stats struct {
 	MergedElements int
 }
 
+// NewSketches allocates n worker sketches with identical parameters —
+// the precondition for mergeability. Both the one-shot simulation below
+// and the long-running serving engine (internal/server) build their
+// shard sketches through this function so they share one kept-edge
+// policy.
+func NewSketches(params core.Params, n int) ([]*core.Sketch, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("distributed: need at least one sketch, got %d", n)
+	}
+	sketches := make([]*core.Sketch, n)
+	for i := range sketches {
+		sk, err := core.NewSketch(params)
+		if err != nil {
+			return nil, err
+		}
+		sketches[i] = sk
+	}
+	return sketches, nil
+}
+
 // BuildSketches runs one worker goroutine per shard, each building an
 // H≤n sketch with identical parameters, and returns the local sketches.
 func BuildSketches(shards []stream.Stream, params core.Params) ([]*core.Sketch, *Stats, error) {
 	if len(shards) == 0 {
 		return nil, nil, fmt.Errorf("distributed: no shards")
 	}
-	sketches := make([]*core.Sketch, len(shards))
-	for i := range sketches {
-		sk, err := core.NewSketch(params)
-		if err != nil {
-			return nil, nil, err
-		}
-		sketches[i] = sk
+	sketches, err := NewSketches(params, len(shards))
+	if err != nil {
+		return nil, nil, err
 	}
 	var wg sync.WaitGroup
 	for i, sh := range shards {
@@ -114,23 +130,55 @@ func KCover(shards []stream.Stream, params core.Params, k int) (*Result, error) 
 	}, nil
 }
 
-// ShardGraph splits the edges of g into `workers` shards by a seeded
-// hash of the edge, returning one replayable stream per shard — the
-// random partition a distributed file system would provide.
-func ShardGraph(g *bipartite.Graph, workers int, seed uint64) []stream.Stream {
+// Partitioner routes edges to workers by a seeded hash — the random
+// partition a distributed file system (or a load balancer in front of
+// the serving engine) would provide. Any assignment of edges to workers
+// yields a correct merge; hashing merely balances the shards. The zero
+// Partitioner is not valid; use NewPartitioner.
+type Partitioner struct {
+	workers int
+	h       hashing.Hasher
+}
+
+// NewPartitioner returns a partitioner over `workers` shards (at least 1).
+func NewPartitioner(workers int, seed uint64) Partitioner {
 	if workers < 1 {
 		workers = 1
 	}
-	h := hashing.NewHasher(seed)
-	buckets := make([][]bipartite.Edge, workers)
+	return Partitioner{workers: workers, h: hashing.NewHasher(seed)}
+}
+
+// Workers returns the number of shards routed to.
+func (p Partitioner) Workers() int { return p.workers }
+
+// Route returns the worker index of e, in [0, Workers()).
+func (p Partitioner) Route(e bipartite.Edge) int {
+	return int(p.h.Hash(e.Set^e.Elem*0x9e3779b9) % uint64(p.workers))
+}
+
+// Split partitions edges into per-worker buckets.
+func (p Partitioner) Split(edges []bipartite.Edge) [][]bipartite.Edge {
+	buckets := make([][]bipartite.Edge, p.workers)
+	for _, e := range edges {
+		w := p.Route(e)
+		buckets[w] = append(buckets[w], e)
+	}
+	return buckets
+}
+
+// ShardGraph splits the edges of g into `workers` shards by a seeded
+// hash of the edge, returning one replayable stream per shard.
+func ShardGraph(g *bipartite.Graph, workers int, seed uint64) []stream.Stream {
+	p := NewPartitioner(workers, seed)
+	buckets := make([][]bipartite.Edge, p.Workers())
 	for s := 0; s < g.NumSets(); s++ {
 		for _, e := range g.Set(s) {
 			edge := bipartite.Edge{Set: uint32(s), Elem: e}
-			w := int(h.Hash(edge.Set^edge.Elem*0x9e3779b9) % uint64(workers))
+			w := p.Route(edge)
 			buckets[w] = append(buckets[w], edge)
 		}
 	}
-	out := make([]stream.Stream, workers)
+	out := make([]stream.Stream, len(buckets))
 	for i, b := range buckets {
 		out[i] = stream.NewSlice(b)
 	}

@@ -1,0 +1,111 @@
+package distributed
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/greedy"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// TestShardedKCoverMatchesSingleWorker is the merge-equivalence property
+// behind both the one-shot simulation and the serving engine: for any
+// shard count, sharding the stream, sketching each shard independently
+// and merging must yield the same k-cover value (and the same sampling
+// probability) as a single worker consuming the whole stream. Exercised
+// across several generator seeds and shard counts.
+func TestShardedKCoverMatchesSingleWorker(t *testing.T) {
+	const (
+		n = 60
+		m = 5000
+		k = 5
+	)
+	for _, seed := range []uint64{1, 17, 42, 1009} {
+		inst := workload.Zipf(n, m, 900, 0.9, 0.7, seed)
+		params := core.Params{
+			NumSets: n, NumElems: m, K: k, Eps: 0.3,
+			EdgeBudget: 50 * n, Seed: seed * 31,
+		}
+
+		single := core.MustNewSketch(params)
+		single.AddStream(stream.Shuffled(inst.G, seed+5))
+		singleRes := greedy.MaxCover(mustGraph(single), k)
+
+		for _, workers := range []int{1, 2, 4, 8} {
+			res, err := KCover(ShardGraph(inst.G, workers, seed+9), params, k)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if res.SketchCoverage != singleRes.Covered {
+				t.Fatalf("seed %d workers %d: sharded kcover %d != single-worker %d",
+					seed, workers, res.SketchCoverage, singleRes.Covered)
+			}
+			wantEst := float64(singleRes.Covered) / single.PStar()
+			if res.EstimatedCoverage != wantEst {
+				t.Fatalf("seed %d workers %d: estimate %v != single-worker %v",
+					seed, workers, res.EstimatedCoverage, wantEst)
+			}
+		}
+	}
+}
+
+// TestMergeAllOrderInvariant: the coordinator may receive worker sketches
+// in any order; the merged sketch must not depend on it.
+func TestMergeAllOrderInvariant(t *testing.T) {
+	inst := workload.PlantedKCover(40, 3000, 4, 0.9, 30, 3)
+	params := core.Params{
+		NumSets: 40, NumElems: 3000, K: 4, Eps: 0.3,
+		EdgeBudget: 40 * 40, Seed: 7,
+	}
+	sketches, _, err := BuildSketches(ShardGraph(inst.G, 5, 11), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, err := core.MergeAll(params, sketches...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := make([]*core.Sketch, len(sketches))
+	for i, sk := range sketches {
+		rev[len(rev)-1-i] = sk
+	}
+	bwd, err := core.MergeAll(params, rev...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd.Edges() != bwd.Edges() || fwd.Elements() != bwd.Elements() || fwd.PStar() != bwd.PStar() {
+		t.Fatalf("merge order changed the sketch: %d/%d edges, %d/%d elements, pstar %v/%v",
+			fwd.Edges(), bwd.Edges(), fwd.Elements(), bwd.Elements(), fwd.PStar(), bwd.PStar())
+	}
+}
+
+// TestPartitionerCoversAllEdges: Split routes every edge to exactly one
+// worker, and Route is consistent with Split.
+func TestPartitionerCoversAllEdges(t *testing.T) {
+	inst := workload.Uniform(20, 800, 0.05, 9)
+	edges := inst.G.Edges(nil)
+	p := NewPartitioner(4, 13)
+	buckets := p.Split(edges)
+	if len(buckets) != 4 {
+		t.Fatalf("got %d buckets", len(buckets))
+	}
+	total := 0
+	for w, b := range buckets {
+		total += len(b)
+		for _, e := range b {
+			if p.Route(e) != w {
+				t.Fatalf("edge %v in bucket %d but routes to %d", e, w, p.Route(e))
+			}
+		}
+	}
+	if total != len(edges) {
+		t.Fatalf("buckets hold %d of %d edges", total, len(edges))
+	}
+}
+
+func mustGraph(s *core.Sketch) *bipartite.Graph {
+	g, _ := s.Graph()
+	return g
+}

@@ -1,0 +1,502 @@
+// Package server hosts the long-running coverage-query service: a
+// concurrent sharded ingest engine over the paper's H≤n sketch, plus an
+// HTTP JSON API (httpapi.go) served by cmd/covserved.
+//
+// Architecture. N shard goroutines each own a private H≤n sketch built
+// with identical parameters (via internal/distributed.NewSketches, the
+// same policy the one-shot simulation uses). Edge batches are hash-routed
+// to shards over bounded channels; each shard applies its batches
+// sequentially, so no sketch is ever touched by two goroutines. Queries
+// never read shard sketches directly: a coordinator merge — triggered
+// periodically, on demand, or lazily by the first query — asks every
+// shard for a consistent clone of its state (a message in the same
+// mailbox as the batches, so it observes every batch sent before it),
+// merges the clones into one sketch, and publishes the result as an
+// immutable Snapshot behind an atomic pointer. Queries run greedy
+// algorithms against the current snapshot without stalling ingest; the
+// merge-composability of the sketch (internal/core/merge.go) makes the
+// snapshot identical to the sketch a single machine would have built
+// over every edge ingested before the merge.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/distributed"
+	"repro/internal/greedy"
+)
+
+// Config sizes the engine. NumSets, K and (implicitly) Eps mirror
+// algorithms.Options: the shard sketches are built with the exact
+// Algorithm 3 parameters, so a kcover query with k = K returns the same
+// solution as the offline single-pass streamcover.MaxCoverage run with
+// the same Options over the same edges.
+type Config struct {
+	// NumSets is n, the number of sets edges may refer to. Required.
+	NumSets int
+	// K is the solution size the sketch is provisioned for. Required.
+	// Queries may use any k; the approximation guarantee holds for k ≤ K.
+	K int
+	// Eps is the accuracy parameter (default 0.5, as in streamcover).
+	Eps float64
+	// Seed drives hashing, making the service deterministic.
+	Seed uint64
+	// NumElems is m when known (tunes a log log m budget factor only).
+	NumElems int
+	// EdgeBudget / SpaceFactor override the sketch budget (per shard
+	// sketch), as in streamcover.Options.
+	EdgeBudget  int
+	SpaceFactor float64
+
+	// Shards is the number of ingest workers (default 4).
+	Shards int
+	// QueueDepth is the per-shard mailbox capacity in batches (default 64).
+	// Ingest blocks when a shard's mailbox is full — backpressure, not loss.
+	QueueDepth int
+	// MergeEvery, when positive, refreshes the snapshot on a timer so
+	// queries see recent edges without paying a merge themselves.
+	MergeEvery time.Duration
+
+	// Restore, when non-nil, seeds the engine with a previously persisted
+	// sketch (see Engine.WriteSnapshot / core.ReadSketch). The restored
+	// sketch must have been produced by a service with the same Config.
+	Restore *core.Sketch
+}
+
+func (c Config) shards() int {
+	if c.Shards < 1 {
+		return 4
+	}
+	return c.Shards
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth < 1 {
+		return 64
+	}
+	return c.QueueDepth
+}
+
+// params derives the Algorithm 3 sketch parameters from the config.
+func (c Config) params() core.Params {
+	return algorithms.KCoverParams(c.NumSets, c.K, algorithms.Options{
+		Eps:         c.Eps,
+		Seed:        c.Seed,
+		NumElems:    c.NumElems,
+		EdgeBudget:  c.EdgeBudget,
+		SpaceFactor: c.SpaceFactor,
+	})
+}
+
+// ErrClosed is returned by every engine operation after Close.
+var ErrClosed = errors.New("server: engine closed")
+
+// shardMsg is a mailbox entry: either an edge batch or a state request.
+type shardMsg struct {
+	batch []bipartite.Edge
+	reply chan shardState // non-nil: respond with the shard's state
+	// wantClone asks for a deep copy of the sketch (a merge is coming);
+	// stats-only requests leave it false and skip the O(budget) copy.
+	wantClone bool
+}
+
+type shardState struct {
+	clone *core.Sketch
+	stats core.Stats
+}
+
+type shard struct {
+	mail chan shardMsg
+	done chan struct{}
+}
+
+// run is a shard's ingest loop; sk is owned exclusively by this goroutine.
+func (sh *shard) run(sk *core.Sketch) {
+	defer close(sh.done)
+	for msg := range sh.mail {
+		if msg.reply != nil {
+			st := shardState{stats: sk.Stats()}
+			if msg.wantClone {
+				st.clone = sk.Clone()
+			}
+			msg.reply <- st
+			continue
+		}
+		for _, e := range msg.batch {
+			sk.AddEdge(e)
+		}
+	}
+}
+
+// Snapshot is an immutable merged view of the service state at a point
+// in time. Queries execute against a snapshot; ingest continues
+// concurrently and is reflected by later snapshots.
+type Snapshot struct {
+	// Seq increases with every coordinator merge; 0 means "never merged".
+	Seq uint64
+	// CreatedAt is the merge time.
+	CreatedAt time.Time
+	// IngestedEdges is the number of edges the engine had accepted when
+	// the merge was requested (edges still queued in shard mailboxes at
+	// that moment are included by the mailbox ordering guarantee).
+	IngestedEdges int64
+
+	sketch *core.Sketch
+	graph  *bipartite.Graph
+	ids    []uint32 // sketch element id -> original element id
+}
+
+// Sketch returns the merged H≤n sketch. Callers must not mutate it.
+func (s *Snapshot) Sketch() *core.Sketch { return s.sketch }
+
+// Engine is the concurrent sharded ingest engine.
+type Engine struct {
+	cfg    Config
+	params core.Params
+	part   distributed.Partitioner
+	shards []*shard
+
+	ingestMu sync.RWMutex // guards shards' mailboxes against Close
+	closed   bool
+
+	refreshMu sync.Mutex // serializes coordinator merges
+	snap      atomic.Pointer[Snapshot]
+	seq       atomic.Uint64
+
+	ingested atomic.Int64
+	batches  atomic.Int64
+	queries  atomic.Int64
+
+	stopTicker chan struct{}
+	tickerDone chan struct{}
+}
+
+// New validates cfg and starts the shard goroutines (and the periodic
+// merge ticker when configured). Call Close to stop them.
+func New(cfg Config) (*Engine, error) {
+	if cfg.NumSets <= 0 || cfg.K <= 0 {
+		return nil, fmt.Errorf("server: Config needs positive NumSets and K")
+	}
+	params := cfg.params()
+	sketches, err := distributed.NewSketches(params, cfg.shards())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Restore != nil {
+		if err := sketches[0].Merge(cfg.Restore); err != nil {
+			return nil, fmt.Errorf("server: restoring snapshot: %w", err)
+		}
+	}
+	e := &Engine{
+		cfg:    cfg,
+		params: params,
+		// Offset the partition seed from the sketch seed so edge routing
+		// and element sampling are independent.
+		part:   distributed.NewPartitioner(cfg.shards(), cfg.Seed+0x5eed),
+		shards: make([]*shard, cfg.shards()),
+	}
+	for i := range e.shards {
+		sh := &shard{
+			mail: make(chan shardMsg, cfg.queueDepth()),
+			done: make(chan struct{}),
+		}
+		e.shards[i] = sh
+		go sh.run(sketches[i])
+	}
+	if cfg.Restore != nil {
+		e.ingested.Store(cfg.Restore.Stats().EdgesSeen)
+	}
+	if cfg.MergeEvery > 0 {
+		e.stopTicker = make(chan struct{})
+		e.tickerDone = make(chan struct{})
+		go e.mergeLoop(cfg.MergeEvery)
+	}
+	return e, nil
+}
+
+func (e *Engine) mergeLoop(every time.Duration) {
+	defer close(e.tickerDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			e.Refresh() // errors only after Close; the loop exits then anyway
+		case <-e.stopTicker:
+			return
+		}
+	}
+}
+
+// Ingest routes one batch of edges to the shard sketches and returns the
+// number of edges accepted. It blocks only when shard mailboxes are full
+// (backpressure). Safe for concurrent use.
+func (e *Engine) Ingest(edges []bipartite.Edge) (int, error) {
+	if len(edges) == 0 {
+		return 0, nil
+	}
+	for _, ed := range edges {
+		if int(ed.Set) >= e.cfg.NumSets {
+			return 0, fmt.Errorf("server: edge set id %d out of range [0,%d)", ed.Set, e.cfg.NumSets)
+		}
+	}
+	e.ingestMu.RLock()
+	defer e.ingestMu.RUnlock()
+	if e.closed {
+		return 0, ErrClosed
+	}
+	for w, b := range e.part.Split(edges) {
+		if len(b) > 0 {
+			e.shards[w].mail <- shardMsg{batch: b}
+		}
+	}
+	e.ingested.Add(int64(len(edges)))
+	e.batches.Add(1)
+	return len(edges), nil
+}
+
+// collect asks every shard for a consistent view of its state (with a
+// deep clone of the sketch when wantClone). The request rides the same
+// mailbox as the batches, so each reply reflects every batch enqueued
+// to that shard before the call.
+func (e *Engine) collect(wantClone bool) ([]shardState, error) {
+	e.ingestMu.RLock()
+	defer e.ingestMu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	replies := make([]chan shardState, len(e.shards))
+	for i, sh := range e.shards {
+		replies[i] = make(chan shardState, 1)
+		sh.mail <- shardMsg{reply: replies[i], wantClone: wantClone}
+	}
+	out := make([]shardState, len(replies))
+	for i, ch := range replies {
+		out[i] = <-ch
+	}
+	return out, nil
+}
+
+// Refresh runs a coordinator merge and publishes a new snapshot. The
+// returned snapshot reflects every edge whose Ingest call returned
+// before Refresh was called.
+func (e *Engine) Refresh() (*Snapshot, error) {
+	e.refreshMu.Lock()
+	defer e.refreshMu.Unlock()
+	ingested := e.ingested.Load()
+	states, err := e.collect(true)
+	if err != nil {
+		return nil, err
+	}
+	clones := make([]*core.Sketch, len(states))
+	for i, st := range states {
+		clones[i] = st.clone
+	}
+	merged, err := core.MergeAll(e.params, clones...)
+	if err != nil {
+		return nil, err
+	}
+	g, ids := merged.Graph()
+	snap := &Snapshot{
+		Seq:           e.seq.Add(1),
+		CreatedAt:     time.Now(),
+		IngestedEdges: ingested,
+		sketch:        merged,
+		graph:         g,
+		ids:           ids,
+	}
+	e.snap.Store(snap)
+	return snap, nil
+}
+
+// Snapshot returns the current snapshot, building the first one on
+// demand. It never blocks on ingest beyond one coordinator merge.
+func (e *Engine) Snapshot() (*Snapshot, error) {
+	if s := e.snap.Load(); s != nil {
+		return s, nil
+	}
+	return e.Refresh()
+}
+
+// Algo identifies a query algorithm.
+type Algo string
+
+const (
+	// AlgoKCover runs the greedy (1−1/e)-approximation for max k-cover on
+	// the snapshot sketch — Algorithm 3's offline step (Theorem 3.1).
+	AlgoKCover Algo = "kcover"
+	// AlgoOutliers runs greedy partial cover until a 1−λ fraction of the
+	// snapshot's sampled elements is covered — the offline step of the
+	// outlier algorithm (Theorem 3.3) on the service sketch.
+	AlgoOutliers Algo = "outliers"
+	// AlgoGreedy runs the full greedy set cover over the snapshot sketch.
+	AlgoGreedy Algo = "greedy"
+)
+
+// Query is a request against a snapshot.
+type Query struct {
+	Algo Algo
+	// K bounds the solution size (required for kcover).
+	K int
+	// Lambda is the outlier fraction in (0, 1) (required for outliers).
+	Lambda float64
+	// Refresh forces a coordinator merge before answering, so the result
+	// reflects every previously ingested edge.
+	Refresh bool
+}
+
+// QueryResult reports a query execution.
+type QueryResult struct {
+	Algo Algo  `json:"algo"`
+	Sets []int `json:"sets"`
+	// SketchCoverage is the number of sampled elements Sets covers.
+	SketchCoverage int `json:"sketch_coverage"`
+	// EstimatedCoverage is SketchCoverage / p*, the Lemma 2.2 estimate of
+	// the true coverage.
+	EstimatedCoverage float64 `json:"estimated_coverage"`
+	// SampledElements and PStar describe the snapshot the query ran on.
+	SampledElements int     `json:"sampled_elements"`
+	PStar           float64 `json:"p_star"`
+	// SnapshotSeq and SnapshotEdges identify the snapshot; a query issued
+	// during ingestion reports the merge it was served from.
+	SnapshotSeq   uint64 `json:"snapshot_seq"`
+	SnapshotEdges int64  `json:"snapshot_edges"`
+}
+
+// Query executes q against the current (or freshly merged) snapshot.
+// Safe for concurrent use with Ingest: the snapshot is immutable.
+func (e *Engine) Query(q Query) (*QueryResult, error) {
+	var (
+		snap *Snapshot
+		err  error
+	)
+	if q.Refresh {
+		snap, err = e.Refresh()
+	} else {
+		snap, err = e.Snapshot()
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.queries.Add(1)
+	var res greedy.Result
+	switch q.Algo {
+	case AlgoKCover:
+		if q.K <= 0 {
+			return nil, fmt.Errorf("server: kcover query needs positive k")
+		}
+		res = greedy.MaxCover(snap.graph, q.K)
+	case AlgoOutliers:
+		if !(q.Lambda > 0 && q.Lambda < 1) {
+			return nil, fmt.Errorf("server: outliers query needs lambda in (0,1), got %v", q.Lambda)
+		}
+		target := int(float64(snap.graph.CoveredElems()) * (1 - q.Lambda))
+		res = greedy.PartialCover(snap.graph, target)
+	case AlgoGreedy:
+		res = greedy.SetCover(snap.graph)
+	default:
+		return nil, fmt.Errorf("server: unknown query algo %q", q.Algo)
+	}
+	return &QueryResult{
+		Algo:              q.Algo,
+		Sets:              res.Sets,
+		SketchCoverage:    res.Covered,
+		EstimatedCoverage: float64(res.Covered) / snap.sketch.PStar(),
+		SampledElements:   snap.sketch.Elements(),
+		PStar:             snap.sketch.PStar(),
+		SnapshotSeq:       snap.Seq,
+		SnapshotEdges:     snap.IngestedEdges,
+	}, nil
+}
+
+// WriteSnapshot merges and persists the service state; the bytes restore
+// through core.ReadSketch into Config.Restore. The persisted sketch
+// carries the engine's true ingested-edge total (a merged sketch only
+// counts the kept edges it replayed), so accounting survives restore.
+func (e *Engine) WriteSnapshot(w io.Writer) (*Snapshot, error) {
+	snap, err := e.Refresh()
+	if err != nil {
+		return nil, err
+	}
+	// Clone before fixing up the counter: the published snapshot sketch is
+	// shared with concurrent queries and must stay immutable.
+	sk := snap.sketch.Clone()
+	sk.SetEdgesSeen(snap.IngestedEdges)
+	if _, err := sk.WriteTo(w); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Stats reports engine-level accounting.
+type Stats struct {
+	Shards        int          `json:"shards"`
+	IngestedEdges int64        `json:"ingested_edges"`
+	Batches       int64        `json:"batches"`
+	Queries       int64        `json:"queries"`
+	ShardStats    []core.Stats `json:"shard_stats"`
+	// Snapshot describes the current merged snapshot (zero Seq: none yet).
+	SnapshotSeq      uint64  `json:"snapshot_seq"`
+	SnapshotEdges    int64   `json:"snapshot_edges"`
+	SnapshotElements int     `json:"snapshot_elements"`
+	SnapshotKept     int     `json:"snapshot_kept_edges"`
+	SnapshotPStar    float64 `json:"snapshot_p_star"`
+}
+
+// Stats returns a consistent per-shard and snapshot accounting. It rides
+// the shard mailboxes, so it reflects all previously ingested batches.
+func (e *Engine) Stats() (*Stats, error) {
+	states, err := e.collect(false)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stats{
+		Shards:        len(e.shards),
+		IngestedEdges: e.ingested.Load(),
+		Batches:       e.batches.Load(),
+		Queries:       e.queries.Load(),
+	}
+	for _, s := range states {
+		st.ShardStats = append(st.ShardStats, s.stats)
+	}
+	if snap := e.snap.Load(); snap != nil {
+		st.SnapshotSeq = snap.Seq
+		st.SnapshotEdges = snap.IngestedEdges
+		st.SnapshotElements = snap.sketch.Elements()
+		st.SnapshotKept = snap.sketch.Edges()
+		st.SnapshotPStar = snap.sketch.PStar()
+	}
+	return st, nil
+}
+
+// Close stops the merge ticker and the shard goroutines. Ingest and
+// queries fail afterwards; the last snapshot remains readable via
+// Snapshot (it is immutable). Close is idempotent.
+func (e *Engine) Close() error {
+	e.ingestMu.Lock()
+	if e.closed {
+		e.ingestMu.Unlock()
+		return nil
+	}
+	e.closed = true
+	for _, sh := range e.shards {
+		close(sh.mail)
+	}
+	e.ingestMu.Unlock()
+	if e.stopTicker != nil {
+		close(e.stopTicker)
+		<-e.tickerDone
+	}
+	for _, sh := range e.shards {
+		<-sh.done
+	}
+	return nil
+}

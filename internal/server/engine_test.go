@@ -1,0 +1,292 @@
+package server
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+func testConfig(n, m, k int, seed uint64, shards int) Config {
+	return Config{
+		NumSets: n, NumElems: m, K: k,
+		Eps: 0.4, Seed: seed, EdgeBudget: 50 * n,
+		Shards: shards, QueueDepth: 8,
+	}
+}
+
+// ingestAll pushes every edge of g through the engine in batches.
+func ingestAll(t *testing.T, e *Engine, g *bipartite.Graph, batch int, seed uint64) {
+	t.Helper()
+	edges := stream.Drain(stream.Shuffled(g, seed))
+	for i := 0; i < len(edges); i += batch {
+		j := i + batch
+		if j > len(edges) {
+			j = len(edges)
+		}
+		if _, err := e.Ingest(edges[i:j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEngineMatchesSinglePassKCover(t *testing.T) {
+	const (
+		n, m, k = 60, 5000, 6
+		seed    = 21
+	)
+	inst := workload.Zipf(n, m, 900, 0.9, 0.7, seed)
+	cfg := testConfig(n, m, k, seed, 4)
+
+	// Offline single-pass reference: Algorithm 3 with identical options.
+	opt := algorithms.Options{Eps: cfg.Eps, Seed: cfg.Seed, NumElems: m, EdgeBudget: cfg.EdgeBudget}
+	offline, err := algorithms.KCover(stream.Shuffled(inst.G, 3), n, k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ingestAll(t, e, inst.G, 257, 9)
+
+	res, err := e.Query(Query{Algo: AlgoKCover, K: k, Refresh: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EstimatedCoverage != offline.EstimatedCoverage {
+		t.Fatalf("service estimate %v != offline %v", res.EstimatedCoverage, offline.EstimatedCoverage)
+	}
+	if len(res.Sets) != len(offline.Sets) {
+		t.Fatalf("service sets %v != offline %v", res.Sets, offline.Sets)
+	}
+	for i := range res.Sets {
+		if res.Sets[i] != offline.Sets[i] {
+			t.Fatalf("service sets %v != offline %v", res.Sets, offline.Sets)
+		}
+	}
+	if res.SnapshotEdges != int64(inst.G.NumEdges()) {
+		t.Fatalf("snapshot saw %d of %d edges", res.SnapshotEdges, inst.G.NumEdges())
+	}
+}
+
+func TestQueriesDuringConcurrentIngest(t *testing.T) {
+	const n, m, k = 40, 3000, 4
+	inst := workload.PlantedKCover(n, m, k, 0.9, 30, 5)
+	e, err := New(testConfig(n, m, k, 11, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	edges := stream.Drain(stream.Shuffled(inst.G, 7))
+	var wg sync.WaitGroup
+	// Two concurrent producers.
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(part []bipartite.Edge) {
+			defer wg.Done()
+			for i := 0; i < len(part); i += 101 {
+				j := i + 101
+				if j > len(part) {
+					j = len(part)
+				}
+				if _, err := e.Ingest(part[i:j]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(edges[p*len(edges)/2 : (p+1)*len(edges)/2])
+	}
+	// Concurrent queries with forced merges must succeed mid-ingest.
+	for q := 0; q < 5; q++ {
+		res, err := e.Query(Query{Algo: AlgoKCover, K: k, Refresh: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SketchCoverage < 0 {
+			t.Fatalf("bad coverage %d", res.SketchCoverage)
+		}
+	}
+	wg.Wait()
+
+	res, err := e.Query(Query{Algo: AlgoKCover, K: k, Refresh: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SnapshotEdges != int64(len(edges)) {
+		t.Fatalf("final snapshot saw %d of %d edges", res.SnapshotEdges, len(edges))
+	}
+	st, err := e.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IngestedEdges != int64(len(edges)) || len(st.ShardStats) != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+	var seen int64
+	for _, s := range st.ShardStats {
+		seen += s.EdgesSeen
+	}
+	if seen != int64(len(edges)) {
+		t.Fatalf("shards consumed %d of %d edges", seen, len(edges))
+	}
+}
+
+func TestPeriodicMergePublishesSnapshots(t *testing.T) {
+	inst := workload.Uniform(20, 1000, 0.05, 3)
+	cfg := testConfig(20, 1000, 3, 5, 2)
+	cfg.MergeEvery = 5 * time.Millisecond
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ingestAll(t, e, inst.G, 64, 1)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snap, err := e.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.IngestedEdges == int64(inst.G.NumEdges()) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ticker never caught up: snapshot at %d of %d edges",
+				snap.IngestedEdges, inst.G.NumEdges())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSnapshotRestoreResumesService(t *testing.T) {
+	const n, m, k = 40, 3000, 4
+	inst := workload.Zipf(n, m, 700, 0.9, 0.7, 13)
+	cfg := testConfig(n, m, k, 29, 4)
+	edges := stream.Drain(stream.Shuffled(inst.G, 2))
+	half := len(edges) / 2
+
+	// Reference: one service sees everything.
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if _, err := ref.Ingest(edges); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Query(Query{Algo: AlgoKCover, K: k, Refresh: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First service ingests half, persists, and shuts down.
+	first, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.Ingest(edges[:half]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := first.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first.Close()
+
+	// Second service restores and ingests the rest.
+	restored, err := core.ReadSketch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Restore = restored
+	second, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	if _, err := second.Ingest(edges[half:]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := second.Query(Query{Algo: AlgoKCover, K: k, Refresh: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EstimatedCoverage != want.EstimatedCoverage || got.PStar != want.PStar {
+		t.Fatalf("restored service answer %v/%v != uninterrupted %v/%v",
+			got.EstimatedCoverage, got.PStar, want.EstimatedCoverage, want.PStar)
+	}
+	// The ingested-edge accounting must survive the snapshot/restore
+	// cycle: a merged sketch only replays kept edges, so WriteSnapshot
+	// carries the engine's true total instead.
+	if got.SnapshotEdges != int64(len(edges)) {
+		t.Fatalf("restored service accounts %d of %d ingested edges",
+			got.SnapshotEdges, len(edges))
+	}
+}
+
+func TestQueryAlgos(t *testing.T) {
+	inst := workload.PlantedSetCover(30, 2000, 5, 20, 7)
+	e, err := New(testConfig(30, 2000, 5, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ingestAll(t, e, inst.G, 500, 1)
+
+	if _, err := e.Query(Query{Algo: AlgoKCover}); err == nil {
+		t.Fatal("kcover without k accepted")
+	}
+	if _, err := e.Query(Query{Algo: AlgoOutliers, Lambda: 1.5}); err == nil {
+		t.Fatal("outliers with bad lambda accepted")
+	}
+	if _, err := e.Query(Query{Algo: "nope"}); err == nil {
+		t.Fatal("unknown algo accepted")
+	}
+
+	out, err := e.Query(Query{Algo: AlgoOutliers, Lambda: 0.1, Refresh: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := e.Query(Query{Algo: AlgoGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SketchCoverage > full.SketchCoverage {
+		t.Fatalf("outlier cover %d exceeds full cover %d", out.SketchCoverage, full.SketchCoverage)
+	}
+	if len(out.Sets) > len(full.Sets) {
+		t.Fatalf("outlier cover uses %d sets, full cover %d", len(out.Sets), len(full.Sets))
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := New(Config{NumSets: 0, K: 1}); err == nil {
+		t.Fatal("NumSets=0 accepted")
+	}
+	e, err := New(testConfig(10, 100, 2, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest([]bipartite.Edge{{Set: 10, Elem: 0}}); err == nil {
+		t.Fatal("out-of-range set id accepted")
+	}
+	e.Close()
+	e.Close() // idempotent
+	if _, err := e.Ingest([]bipartite.Edge{{Set: 1, Elem: 1}}); err == nil {
+		t.Fatal("ingest after close accepted")
+	}
+	if _, err := e.Stats(); err == nil {
+		t.Fatal("stats after close accepted")
+	}
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/bipartite"
+)
+
+// HTTPOptions tunes the HTTP front end.
+type HTTPOptions struct {
+	// MaxBatchEdges rejects ingest bodies with more edges (default 1<<20).
+	MaxBatchEdges int
+	// SnapshotPath, when non-empty, is where POST /v1/snapshot persists
+	// the merged sketch (written atomically via a temp file + rename).
+	SnapshotPath string
+}
+
+func (o HTTPOptions) maxBatch() int {
+	if o.MaxBatchEdges < 1 {
+		return 1 << 20
+	}
+	return o.MaxBatchEdges
+}
+
+// NewHTTPHandler exposes an engine as the covserved JSON API:
+//
+//	POST /v1/edges     {"edges": [[set, elem], ...]}  → bulk ingest
+//	GET  /v1/query     ?algo=kcover&k=10 | ?algo=outliers&lambda=0.1 |
+//	                   ?algo=greedy — optional &refresh=1 merges first
+//	GET  /v1/stats     → engine + per-shard accounting
+//	POST /v1/snapshot  → coordinator merge; persists when configured
+//	GET  /v1/healthz   → liveness
+func NewHTTPHandler(e *Engine, opt HTTPOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/edges", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		var body ingestRequest
+		dec := json.NewDecoder(r.Body)
+		if err := dec.Decode(&body); err != nil {
+			httpError(w, http.StatusBadRequest, "bad ingest body: %v", err)
+			return
+		}
+		if len(body.Edges) > opt.maxBatch() {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"batch of %d edges exceeds limit %d", len(body.Edges), opt.maxBatch())
+			return
+		}
+		n, err := e.Ingest(body.edges())
+		if err != nil {
+			httpError(w, statusFor(err), "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ingestResponse{Accepted: n, IngestedTotal: e.ingested.Load()})
+	})
+
+	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		q := Query{Algo: Algo(r.URL.Query().Get("algo"))}
+		if q.Algo == "" {
+			q.Algo = AlgoKCover
+		}
+		if v := r.URL.Query().Get("k"); v != "" {
+			k, err := strconv.Atoi(v)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad k: %v", err)
+				return
+			}
+			q.K = k
+		}
+		if v := r.URL.Query().Get("lambda"); v != "" {
+			l, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad lambda: %v", err)
+				return
+			}
+			q.Lambda = l
+		}
+		if v := r.URL.Query().Get("refresh"); v == "1" || v == "true" {
+			q.Refresh = true
+		}
+		res, err := e.Query(q)
+		if err != nil {
+			httpError(w, statusFor(err), "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		st, err := e.Stats()
+		if err != nil {
+			httpError(w, statusFor(err), "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("/v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		resp := snapshotResponse{}
+		if opt.SnapshotPath != "" {
+			snap, err := persistSnapshot(e, opt.SnapshotPath)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			resp.fill(snap)
+			resp.Persisted = opt.SnapshotPath
+		} else {
+			snap, err := e.Refresh()
+			if err != nil {
+				httpError(w, statusFor(err), "%v", err)
+				return
+			}
+			resp.fill(snap)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// persistSnapshot merges and writes the sketch atomically to path. The
+// temp file is private to this call, so concurrent snapshot requests
+// cannot interleave bytes; the rename publishes one complete sketch.
+func persistSnapshot(e *Engine, path string) (*Snapshot, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	tmp := f.Name()
+	snap, err := e.WriteSnapshot(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	return snap, nil
+}
+
+// ingestRequest is the POST /v1/edges body: edges as [set, elem] pairs.
+type ingestRequest struct {
+	Edges [][2]uint32 `json:"edges"`
+}
+
+func (r ingestRequest) edges() []bipartite.Edge {
+	out := make([]bipartite.Edge, len(r.Edges))
+	for i, p := range r.Edges {
+		out[i] = bipartite.Edge{Set: p[0], Elem: p[1]}
+	}
+	return out
+}
+
+type ingestResponse struct {
+	Accepted      int   `json:"accepted"`
+	IngestedTotal int64 `json:"ingested_total"`
+}
+
+type snapshotResponse struct {
+	Seq           uint64    `json:"seq"`
+	CreatedAt     time.Time `json:"created_at"`
+	IngestedEdges int64     `json:"ingested_edges"`
+	Elements      int       `json:"elements"`
+	KeptEdges     int       `json:"kept_edges"`
+	PStar         float64   `json:"p_star"`
+	Persisted     string    `json:"persisted,omitempty"`
+}
+
+func (r *snapshotResponse) fill(s *Snapshot) {
+	r.Seq = s.Seq
+	r.CreatedAt = s.CreatedAt
+	r.IngestedEdges = s.IngestedEdges
+	r.Elements = s.sketch.Elements()
+	r.KeptEdges = s.sketch.Edges()
+	r.PStar = s.sketch.PStar()
+}
+
+// statusFor maps engine errors to HTTP codes: a closed engine is a
+// conflict with the server's state; everything else is a bad request.
+func statusFor(err error) int {
+	if errors.Is(err, ErrClosed) {
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+func postEdges(t *testing.T, ts *httptest.Server, pairs [][2]uint32) ingestResponse {
+	t.Helper()
+	body, _ := json.Marshal(ingestRequest{Edges: pairs})
+	resp, err := http.Post(ts.URL+"/v1/edges", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/edges: %s", resp.Status)
+	}
+	var out ingestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	inst := workload.PlantedKCover(30, 2000, 3, 0.9, 25, 9)
+	e, err := New(testConfig(30, 2000, 3, 7, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	snapPath := filepath.Join(t.TempDir(), "state.skch")
+	ts := httptest.NewServer(NewHTTPHandler(e, HTTPOptions{SnapshotPath: snapPath}))
+	defer ts.Close()
+
+	// Ingest everything in batches of pairs.
+	edges := stream.Drain(stream.Shuffled(inst.G, 1))
+	pairs := make([][2]uint32, len(edges))
+	for i, ed := range edges {
+		pairs[i] = [2]uint32{ed.Set, ed.Elem}
+	}
+	total := int64(0)
+	for i := 0; i < len(pairs); i += 300 {
+		j := i + 300
+		if j > len(pairs) {
+			j = len(pairs)
+		}
+		r := postEdges(t, ts, pairs[i:j])
+		if r.Accepted != j-i {
+			t.Fatalf("accepted %d of %d", r.Accepted, j-i)
+		}
+		total = r.IngestedTotal
+	}
+	if total != int64(len(pairs)) {
+		t.Fatalf("ingested_total %d != %d", total, len(pairs))
+	}
+
+	// Snapshot: merges and persists.
+	resp, err := http.Post(ts.URL+"/v1/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshotResponse
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Seq == 0 || snap.IngestedEdges != int64(len(pairs)) || snap.Persisted != snapPath {
+		t.Fatalf("snapshot response %+v", snap)
+	}
+	f, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.ReadSketch(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Edges() != snap.KeptEdges {
+		t.Fatalf("persisted sketch has %d edges, response says %d", restored.Edges(), snap.KeptEdges)
+	}
+
+	// Query.
+	resp, err = http.Get(ts.URL + "/v1/query?algo=kcover&k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr QueryResult
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(qr.Sets) == 0 || qr.SketchCoverage <= 0 {
+		t.Fatalf("query result %+v", qr)
+	}
+
+	// Stats.
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Shards != 4 || st.IngestedEdges != int64(len(pairs)) {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Health.
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	e, err := New(testConfig(10, 100, 2, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ts := httptest.NewServer(NewHTTPHandler(e, HTTPOptions{MaxBatchEdges: 4}))
+	defer ts.Close()
+
+	check := func(method, path, body string, want int) {
+		t.Helper()
+		req, _ := http.NewRequest(method, ts.URL+path, bytes.NewReader([]byte(body)))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s %s: got %d want %d", method, path, resp.StatusCode, want)
+		}
+	}
+	check("GET", "/v1/edges", "", http.StatusMethodNotAllowed)
+	check("POST", "/v1/edges", "{not json", http.StatusBadRequest)
+	check("POST", "/v1/edges", `{"edges":[[0,0],[1,1],[2,2],[3,3],[4,4]]}`, http.StatusRequestEntityTooLarge)
+	check("POST", "/v1/edges", `{"edges":[[99,0]]}`, http.StatusBadRequest) // set id out of range
+	check("POST", "/v1/query", "", http.StatusMethodNotAllowed)
+	check("GET", "/v1/query?algo=kcover&k=zero", "", http.StatusBadRequest)
+	check("GET", "/v1/query?algo=outliers&lambda=nope", "", http.StatusBadRequest)
+	check("GET", fmt.Sprintf("/v1/query?algo=%s", "bogus"), "", http.StatusBadRequest)
+	check("GET", "/v1/snapshot", "", http.StatusMethodNotAllowed)
+	check("POST", "/v1/stats", "", http.StatusMethodNotAllowed)
+}

@@ -112,13 +112,14 @@ func Summarize(xs []float64) Summary {
 }
 
 // Table is an experiment result rendered as an aligned text table (and
-// exportable as CSV). Rows are formatted strings; numeric formatting is
-// the caller's choice via Fmt helpers.
+// exportable as CSV or JSON — the tags drive covbench -json). Rows are
+// formatted strings; numeric formatting is the caller's choice via Fmt
+// helpers.
 type Table struct {
-	Title string
-	Notes []string
-	Cols  []string
-	Rows  [][]string
+	Title string     `json:"title"`
+	Notes []string   `json:"notes,omitempty"`
+	Cols  []string   `json:"cols"`
+	Rows  [][]string `json:"rows"`
 }
 
 // AddRow appends a row; values are formatted with %v.

@@ -1,0 +1,240 @@
+package streamcover
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// ServiceOptions configures a long-running coverage service (see
+// internal/server for the engine architecture). The embedded Options
+// carry the usual accuracy/seed/budget knobs; a Service additionally
+// needs K, the solution size the sketch is provisioned for.
+type ServiceOptions struct {
+	// Options are the accuracy/seed/space knobs shared with the one-shot
+	// algorithms. A Service and a MaxCoverage run with identical Options
+	// (and k = K) return identical answers over the same edges.
+	Options
+	// K is the solution size the service sketch supports with guarantee
+	// (required, ≥ 1). Queries may ask for any k; Theorem 3.1's guarantee
+	// holds for k ≤ K.
+	K int
+	// Shards is the number of concurrent ingest workers (default 4).
+	Shards int
+	// BatchQueue is the per-shard mailbox depth, in batches (default 64).
+	// When full, Ingest blocks — backpressure instead of unbounded memory.
+	BatchQueue int
+	// MergeEvery, when positive, merges shard sketches into a fresh
+	// queryable snapshot on this period.
+	MergeEvery time.Duration
+}
+
+// Service is a live, concurrently-ingestible coverage-query service: the
+// H≤n sketch lifted from a batch library into a long-running sharded
+// engine. Feed it edges from any number of goroutines, query it at any
+// time; answers are computed on a merged snapshot of all shard sketches
+// and carry the same guarantees as the one-shot algorithms, because the
+// merged sketch equals the sketch a single pass would have built.
+//
+// The zero Service is not usable; construct with NewService and Close
+// when done. cmd/covserved exposes a Service over HTTP.
+type Service struct {
+	engine  *server.Engine
+	numSets int
+}
+
+// NewService starts a coverage service for instances with numSets sets.
+func NewService(numSets int, opt ServiceOptions) (*Service, error) {
+	return newService(numSets, opt, nil)
+}
+
+// RestoreService starts a service from a snapshot previously written by
+// WriteSnapshot. numSets and opt must match the writing service.
+func RestoreService(r io.Reader, numSets int, opt ServiceOptions) (*Service, error) {
+	sk, err := core.ReadSketch(r)
+	if err != nil {
+		return nil, fmt.Errorf("streamcover: restoring service: %w", err)
+	}
+	return newService(numSets, opt, sk)
+}
+
+func newService(numSets int, opt ServiceOptions, restore *core.Sketch) (*Service, error) {
+	if numSets <= 0 {
+		return nil, fmt.Errorf("streamcover: NewService needs positive numSets")
+	}
+	if opt.K <= 0 {
+		return nil, fmt.Errorf("streamcover: ServiceOptions.K must be positive")
+	}
+	eng, err := server.New(server.Config{
+		NumSets:     numSets,
+		K:           opt.K,
+		Eps:         opt.Eps,
+		Seed:        opt.Seed,
+		NumElems:    opt.NumElems,
+		EdgeBudget:  opt.EdgeBudget,
+		SpaceFactor: opt.SpaceFactor,
+		Shards:      opt.Shards,
+		QueueDepth:  opt.BatchQueue,
+		MergeEvery:  opt.MergeEvery,
+		Restore:     restore,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Service{engine: eng, numSets: numSets}, nil
+}
+
+// Engine exposes the underlying engine, e.g. to mount its HTTP handler.
+func (s *Service) Engine() *server.Engine { return s.engine }
+
+// Ingest absorbs a batch of edges. Safe for concurrent use; blocks only
+// for backpressure when shard queues are full.
+func (s *Service) Ingest(edges []Edge) error {
+	conv := make([]bipartite.Edge, len(edges))
+	for i, e := range edges {
+		conv[i] = bipartite.Edge{Set: e.Set, Elem: e.Elem}
+	}
+	_, err := s.engine.Ingest(conv)
+	return err
+}
+
+// IngestStream drains st into the service in batches of batchSize
+// (default 1024) and returns the number of edges ingested.
+func (s *Service) IngestStream(st Stream, batchSize int) (int64, error) {
+	if batchSize < 1 {
+		batchSize = 1024
+	}
+	var total int64
+	buf := make([]bipartite.Edge, 0, batchSize)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if _, err := s.engine.Ingest(buf); err != nil {
+			return err
+		}
+		total += int64(len(buf))
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		e, ok := st.Next()
+		if !ok {
+			return total, flush()
+		}
+		buf = append(buf, bipartite.Edge{Set: e.Set, Elem: e.Elem})
+		if len(buf) == batchSize {
+			if err := flush(); err != nil {
+				return total, err
+			}
+		}
+	}
+}
+
+// Refresh forces a coordinator merge so subsequent queries reflect every
+// previously ingested edge.
+func (s *Service) Refresh() error {
+	_, err := s.engine.Refresh()
+	return err
+}
+
+// ServiceQueryResult reports a service query.
+type ServiceQueryResult struct {
+	// Sets is the chosen solution.
+	Sets []int
+	// EstimatedCoverage estimates C(Sets) on everything ingested up to the
+	// snapshot the query ran on (Lemma 2.2).
+	EstimatedCoverage float64
+	// SketchCoverage is the raw covered-count inside the snapshot sketch.
+	SketchCoverage int
+	// SnapshotEdges is the ingested-edge count of that snapshot — how
+	// fresh the answer is.
+	SnapshotEdges int64
+}
+
+func fromEngineResult(r *server.QueryResult) *ServiceQueryResult {
+	return &ServiceQueryResult{
+		Sets:              r.Sets,
+		EstimatedCoverage: r.EstimatedCoverage,
+		SketchCoverage:    r.SketchCoverage,
+		SnapshotEdges:     r.SnapshotEdges,
+	}
+}
+
+// KCover answers a max-k-cover query against the current snapshot (stale
+// by design; call Refresh first — or pass fresh=true — for a fully
+// up-to-date answer). With k = Options.K and a fresh snapshot, the
+// answer equals the one-shot MaxCoverage over the same edges.
+func (s *Service) KCover(k int, fresh bool) (*ServiceQueryResult, error) {
+	r, err := s.engine.Query(server.Query{Algo: server.AlgoKCover, K: k, Refresh: fresh})
+	if err != nil {
+		return nil, err
+	}
+	return fromEngineResult(r), nil
+}
+
+// CoverWithOutliers greedily covers a 1−lambda fraction of the sampled
+// elements on the current snapshot.
+func (s *Service) CoverWithOutliers(lambda float64, fresh bool) (*ServiceQueryResult, error) {
+	r, err := s.engine.Query(server.Query{Algo: server.AlgoOutliers, Lambda: lambda, Refresh: fresh})
+	if err != nil {
+		return nil, err
+	}
+	return fromEngineResult(r), nil
+}
+
+// GreedyCover runs the full greedy set cover over the snapshot sketch.
+func (s *Service) GreedyCover(fresh bool) (*ServiceQueryResult, error) {
+	r, err := s.engine.Query(server.Query{Algo: server.AlgoGreedy, Refresh: fresh})
+	if err != nil {
+		return nil, err
+	}
+	return fromEngineResult(r), nil
+}
+
+// ServiceStats reports service accounting.
+type ServiceStats struct {
+	// Shards is the ingest worker count.
+	Shards int
+	// IngestedEdges is the total number of edges accepted.
+	IngestedEdges int64
+	// SnapshotEdges is the ingested-edge count of the current snapshot
+	// (0 when no merge has happened yet).
+	SnapshotEdges int64
+	// SketchEdges / SketchElements size the current merged sketch.
+	SketchEdges    int
+	SketchElements int
+	// PStar is the snapshot's sampling probability.
+	PStar float64
+}
+
+// Stats returns a consistent accounting of the service.
+func (s *Service) Stats() (*ServiceStats, error) {
+	st, err := s.engine.Stats()
+	if err != nil {
+		return nil, err
+	}
+	return &ServiceStats{
+		Shards:         st.Shards,
+		IngestedEdges:  st.IngestedEdges,
+		SnapshotEdges:  st.SnapshotEdges,
+		SketchEdges:    st.SnapshotKept,
+		SketchElements: st.SnapshotElements,
+		PStar:          st.SnapshotPStar,
+	}, nil
+}
+
+// WriteSnapshot merges and serializes the service state; restore it with
+// RestoreService.
+func (s *Service) WriteSnapshot(w io.Writer) error {
+	_, err := s.engine.WriteSnapshot(w)
+	return err
+}
+
+// Close stops the ingest workers. Idempotent; further calls on the
+// service fail with an error.
+func (s *Service) Close() error { return s.engine.Close() }
