@@ -75,3 +75,7 @@ func BenchmarkDistMerge(b *testing.B) { benchExperiment(b, "dist-merge") }
 
 // BenchmarkExtWeighted regenerates the weighted-coverage extension table.
 func BenchmarkExtWeighted(b *testing.B) { benchExperiment(b, "ext-weighted") }
+
+// BenchmarkIngestThroughput regenerates the hot-path ingest comparison
+// (single-edge AddEdge vs batched AddEdges) behind BENCH_ingest.json.
+func BenchmarkIngestThroughput(b *testing.B) { benchExperiment(b, "ingest-throughput") }

@@ -13,7 +13,12 @@
 // The -json format is one line per experiment —
 // {"experiment", "elapsed_ms", "tables": [{"title", "notes", "cols",
 // "rows"}]} — so trajectory files (BENCH_*.json) can be produced without
-// scraping stdout.
+// scraping stdout. In particular
+//
+//	covbench -run ingest-throughput -json > BENCH_ingest.json
+//
+// records the hot-path ingest comparison (single-edge AddEdge vs the
+// batched AddEdges path) that tracks the sketch update cost across PRs.
 package main
 
 import (

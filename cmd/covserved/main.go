@@ -51,6 +51,7 @@ func main() {
 		mergeEvery = flag.Duration("merge-every", 0, "periodic snapshot merge (0 = on demand only)")
 		snapFile   = flag.String("snapshot-file", "", "persist/restore the merged sketch here")
 		maxBatch   = flag.Int("max-batch", 1<<20, "largest accepted ingest batch, in edges")
+		maxBody    = flag.Int64("max-body-bytes", 0, "largest accepted request body (0 = derive from -max-batch)")
 	)
 	flag.Parse()
 	if *n <= 0 {
@@ -92,6 +93,7 @@ func main() {
 
 	handler := server.NewHTTPHandler(eng, server.HTTPOptions{
 		MaxBatchEdges: *maxBatch,
+		MaxBodyBytes:  *maxBody,
 		SnapshotPath:  *snapFile,
 	})
 	fmt.Fprintf(os.Stderr, "covserved: serving n=%d k=%d eps=%g shards=%d on %s\n",

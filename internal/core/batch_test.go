@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// Batch-vs-incremental equivalence: AddEdges must produce a sketch
+// identical to edge-by-edge AddEdge over the same edge sequence — same
+// kept elements, same eviction bar, same per-element set lists — for
+// every workload generator, for seeds across the board, for degree caps
+// that do and don't bind, and for any batch size. This pins the deferred
+// -shrink argument (DESIGN.md §6): any insert/shrink interleaving that
+// ends with a shrink reaches the same Definition 2.1 fixed point.
+
+// ingestWorkloads instantiates every generator in internal/workload at
+// test scale.
+func ingestWorkloads(seed uint64) []workload.Instance {
+	return []workload.Instance{
+		workload.Uniform(20, 400, 0.08, seed),
+		workload.UniformFixedSize(15, 300, 12, seed+1),
+		workload.Zipf(25, 500, 180, 0.9, 0.7, seed+2),
+		workload.PlantedKCover(20, 300, 4, 0.8, 10, seed+3),
+		workload.PlantedSetCover(18, 240, 5, 8, seed+4),
+		workload.BlogTopics(20, 300, 60, seed+5),
+		workload.LargeSets(12, 400, 0.4, seed+6),
+		workload.Clustered(16, 320, 4, seed+7),
+	}
+}
+
+// assertSketchesIdentical compares the full observable state of two
+// sketches built over the same stream, including the internal eviction
+// bar and the stream accounting.
+func assertSketchesIdentical(t *testing.T, label string, inc, bat *Sketch, numElems int) {
+	t.Helper()
+	if inc.Elements() != bat.Elements() || inc.Edges() != bat.Edges() {
+		t.Fatalf("%s: incremental (%d el, %d ed) != batched (%d el, %d ed)",
+			label, inc.Elements(), inc.Edges(), bat.Elements(), bat.Edges())
+	}
+	if inc.evicted != bat.evicted || inc.barHash != bat.barHash || inc.barElem != bat.barElem {
+		t.Fatalf("%s: bar (%v,%d,%d) != (%v,%d,%d)", label,
+			inc.evicted, inc.barHash, inc.barElem, bat.evicted, bat.barHash, bat.barElem)
+	}
+	if inc.PStar() != bat.PStar() {
+		t.Fatalf("%s: PStar %v != %v", label, inc.PStar(), bat.PStar())
+	}
+	if inc.edgesSeen != bat.edgesSeen {
+		t.Fatalf("%s: edgesSeen %d != %d", label, inc.edgesSeen, bat.edgesSeen)
+	}
+	for e := 0; e < numElems; e++ {
+		a, b := inc.SetsOf(uint32(e)), bat.SetsOf(uint32(e))
+		if (a == nil) != (b == nil) || len(a) != len(b) {
+			t.Fatalf("%s: element %d kept %v incrementally, %v batched", label, e, a, b)
+		}
+		for i := range a { // SetsOf returns sorted lists: exact comparison
+			if a[i] != b[i] {
+				t.Fatalf("%s: element %d set lists differ: %v vs %v", label, e, a, b)
+			}
+		}
+	}
+}
+
+func TestBatchEqualsIncremental(t *testing.T) {
+	for _, seed := range []uint64{1, 905} {
+		for _, inst := range ingestWorkloads(seed) {
+			edges := stream.Drain(stream.Shuffled(inst.G, seed*0x9e37+11))
+			// Degree caps: the formula default, a cap that binds hard, and
+			// one that never binds.
+			for _, degCap := range []int{0, 3, inst.G.MaxElemDegree() + 1} {
+				// Budgets: one forcing eviction, one keeping everything.
+				for _, budget := range []int{len(edges)/4 + 1, len(edges) + 16} {
+					params := Params{
+						NumSets: inst.G.NumSets(), NumElems: inst.G.NumElems(),
+						K: 3, Eps: 0.4, Seed: seed + 99,
+						EdgeBudget: budget, DegreeCap: degCap,
+					}
+					inc := MustNewSketch(params)
+					for _, e := range edges {
+						inc.AddEdge(e)
+					}
+					for _, batch := range []int{1, 7, 64, 1024, len(edges)} {
+						label := fmt.Sprintf("%s cap=%d budget=%d batch=%d",
+							inst.Name, degCap, budget, batch)
+						bat := MustNewSketch(params)
+						for lo := 0; lo < len(edges); lo += batch {
+							hi := lo + batch
+							if hi > len(edges) {
+								hi = len(edges)
+							}
+							bat.AddEdges(edges[lo:hi])
+						}
+						assertSketchesIdentical(t, label, inc, bat, inst.G.NumElems())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAddStreamEqualsAddEdge pins the internal batching of AddStream to
+// the edge-by-edge semantics.
+func TestAddStreamEqualsAddEdge(t *testing.T) {
+	inst := workload.Zipf(30, 2000, 700, 0.9, 0.7, 3)
+	edges := stream.Drain(stream.Shuffled(inst.G, 8))
+	params := Params{NumSets: 30, NumElems: 2000, K: 4, Eps: 0.4, Seed: 5, EdgeBudget: len(edges) / 3}
+
+	inc := MustNewSketch(params)
+	for _, e := range edges {
+		inc.AddEdge(e)
+	}
+	st := MustNewSketch(params)
+	if n := st.AddStream(stream.NewSlice(edges)); n != len(edges) {
+		t.Fatalf("AddStream consumed %d of %d edges", n, len(edges))
+	}
+	assertSketchesIdentical(t, "addstream", inc, st, inst.G.NumElems())
+}
+
+// TestAddEdgesEmptyAndConverged covers the trivial batched cases: empty
+// batches are no-ops, and replaying a converged sketch's stream through
+// AddEdges changes nothing (the bar drops everything cheaply).
+func TestAddEdgesEmptyAndConverged(t *testing.T) {
+	inst := workload.LargeSets(15, 600, 0.4, 2)
+	edges := stream.Drain(stream.Shuffled(inst.G, 4))
+	params := Params{NumSets: 15, NumElems: 600, K: 3, Eps: 0.4, Seed: 7, EdgeBudget: len(edges) / 5}
+	s := MustNewSketch(params)
+	s.AddEdges(nil)
+	s.AddEdges(edges)
+	if s.PStar() >= 1 {
+		t.Fatal("expected eviction on this instance")
+	}
+	el, ed, p := s.Elements(), s.Edges(), s.PStar()
+	s.AddEdges(edges)
+	if s.Elements() != el || s.Edges() != ed || s.PStar() != p {
+		t.Fatal("replaying the stream through AddEdges changed a converged sketch")
+	}
+	if s.Stats().EdgesSeen != int64(2*len(edges)) {
+		t.Fatalf("EdgesSeen = %d, want %d", s.Stats().EdgesSeen, 2*len(edges))
+	}
+}

@@ -49,19 +49,20 @@ func (e *Ensemble) AddEdge(edge bipartite.Edge) {
 	}
 }
 
-// AddStream drains st into every replica and returns the edge count.
+// AddEdges feeds a batch of edges to every replica through the batched
+// ingest path.
+func (e *Ensemble) AddEdges(edges []bipartite.Edge) {
+	for _, sk := range e.sketches {
+		sk.AddEdges(edges)
+	}
+}
+
+// AddStream drains st into every replica (batched) and returns the edge
+// count.
 func (e *Ensemble) AddStream(st interface {
 	Next() (bipartite.Edge, bool)
 }) int {
-	count := 0
-	for {
-		edge, ok := st.Next()
-		if !ok {
-			return count
-		}
-		e.AddEdge(edge)
-		count++
-	}
+	return drainBatches(st, e.AddEdges)
 }
 
 // EstimateCoverage returns the median of the replicas' coverage

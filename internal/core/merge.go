@@ -47,9 +47,13 @@ func (s *Sketch) ForEachEdge(fn func(e bipartite.Edge)) {
 // other discarded edges above its own bar; the prefix below them already
 // carries a full budget, so Definition 2.1 excludes them anyway.
 //
-// Stream-accounting note: s.Stats().EdgesSeen counts the merged kept
-// edges, not the edges other consumed; use the distributed package's
-// Stats for cluster-level accounting.
+// Stream-accounting note: folding other's kept edges goes through the
+// internal absorb path, which does NOT touch the stream counters —
+// s.Stats().EdgesSeen still reports only the edges s itself consumed
+// from a stream, never re-folded kept edges. A coordinator that needs
+// the cluster-wide consumed total sums the inputs' EdgesSeen (as
+// internal/distributed.Stats and the server engine do) or overrides it
+// with SetEdgesSeen before persisting.
 func (s *Sketch) Merge(other *Sketch) error {
 	if other == nil {
 		return nil
@@ -58,9 +62,13 @@ func (s *Sketch) Merge(other *Sketch) error {
 		return fmt.Errorf("core: cannot merge incompatible sketches (params %+v vs %+v)",
 			s.params, other.params)
 	}
-	other.ForEachEdge(s.AddEdge)
+	// Batched fold: absorb defers budget enforcement to slack boundaries;
+	// foldBar/shrink below restore Definition 2.1 once at the end.
+	other.ForEachEdge(s.absorb)
 	if other.evicted {
 		s.foldBar(other.barHash, other.barElem)
+	} else {
+		s.shrink()
 	}
 	return nil
 }

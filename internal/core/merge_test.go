@@ -219,6 +219,51 @@ func TestMergeBarDropsIncompleteElements(t *testing.T) {
 	sketchesEqual(t, merged, global, g, true)
 }
 
+func TestMergeDoesNotPolluteStreamAccounting(t *testing.T) {
+	// Regression: Merge used to fold other's kept edges through AddEdge,
+	// inflating the merged sketch's EdgesSeen/DupEdges as if the kept
+	// edges had been stream traffic. The merge path must update the
+	// structure without touching stream accounting.
+	inst := workload.Zipf(20, 500, 150, 0.9, 0.7, 12)
+	g := inst.G
+	params := smallParams(20, 3, 120, 19)
+
+	shards := splitEdges(g, 2, 5)
+	locals := make([]*Sketch, len(shards))
+	for i, sh := range shards {
+		locals[i] = MustNewSketch(params)
+		for _, e := range sh {
+			locals[i].AddEdge(e)
+		}
+	}
+	merged, err := MergeAll(params, locals...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := merged.Stats()
+	if st.EdgesSeen != 0 {
+		t.Fatalf("merged sketch EdgesSeen = %d, want 0 (re-folded kept edges are not stream traffic)", st.EdgesSeen)
+	}
+	if st.DupEdges != 0 || st.DropHash != 0 || st.DropDegree != 0 {
+		t.Fatalf("merged sketch drop counters polluted: %+v", st)
+	}
+
+	// Merging into a live sketch must leave its own stream accounting
+	// untouched.
+	live := MustNewSketch(params)
+	for _, e := range shards[0] {
+		live.AddEdge(e)
+	}
+	before := live.Stats()
+	if err := live.Merge(locals[1]); err != nil {
+		t.Fatal(err)
+	}
+	after := live.Stats()
+	if after.EdgesSeen != before.EdgesSeen || after.DupEdges != before.DupEdges {
+		t.Fatalf("merge changed stream accounting: %+v -> %+v", before, after)
+	}
+}
+
 func TestForEachEdgeEnumeratesExactly(t *testing.T) {
 	inst := workload.Uniform(8, 100, 0.15, 5)
 	params := smallParams(8, 2, 10000, 9)

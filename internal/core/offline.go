@@ -75,7 +75,9 @@ func BuildOffline(g *bipartite.Graph, params Params) (*Sketch, error) {
 		return priorityLess(order[i].hash, order[i].elem, order[j].hash, order[j].elem)
 	})
 	// Algorithm 1: add elements of minimum hash while the sketch holds
-	// fewer edges than the budget.
+	// fewer edges than the budget. Each element's incident edges go in as
+	// one batch through the same ingest core as the streaming path.
+	buf := make([]bipartite.Edge, 0, s.degCap)
 	for _, oe := range order {
 		if s.totalEdges >= s.budget {
 			// Mark the bar at the first excluded element so PStar matches
@@ -87,9 +89,11 @@ func BuildOffline(g *bipartite.Graph, params Params) (*Sketch, error) {
 			}
 			break
 		}
+		buf = buf[:0]
 		for _, set := range g.Elem(int(oe.elem)) {
-			s.AddEdge(bipartite.Edge{Set: set, Elem: oe.elem})
+			buf = append(buf, bipartite.Edge{Set: set, Elem: oe.elem})
 		}
+		s.AddEdges(buf)
 	}
 	return s, nil
 }

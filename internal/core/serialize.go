@@ -31,6 +31,7 @@ func (s *Sketch) Clone() *Sketch {
 		params:     s.params,
 		budget:     s.budget,
 		degCap:     s.degCap,
+		slack:      s.slack,
 		hash:       s.hash,
 		index:      make(map[uint32]int32, len(s.index)),
 		slots:      make([]slot, len(s.slots)),
@@ -95,6 +96,9 @@ func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
 	}
 	for _, si := range s.heap {
 		sl := &s.slots[si]
+		// Canonical bytes: the hot ingest path keeps set lists in arrival
+		// order; persist them sorted so equal sketches serialize equally.
+		sl.normalize()
 		if err := put(sl.elem); err != nil {
 			return n, err
 		}
@@ -174,14 +178,17 @@ func ReadSketch(r io.Reader) (*Sketch, error) {
 			if err := get(&set); err != nil {
 				return nil, fmt.Errorf("core: reading element %d: %w", i, err)
 			}
-			s.AddEdge(bipartite.Edge{Set: set, Elem: elem})
+			// absorb: replayed kept edges are not stream traffic, so the
+			// per-run counters (dup/drop) stay zero without a reset.
+			s.absorb(bipartite.Edge{Set: set, Elem: elem})
 		}
 	}
 	if evicted != 0 {
 		s.foldBar(barHash, barElem)
+	} else {
+		s.shrink()
 	}
 	s.edgesSeen = edgesSeen
-	s.dupEdges, s.dropDegree, s.dropHash = 0, 0, 0
 	s.peakEdges = s.totalEdges
 	return s, nil
 }

@@ -23,7 +23,10 @@ type Sketch struct {
 	params Params
 	budget int
 	degCap int
-	hash   func(uint32) uint64
+	// slack bounds how far totalEdges may overshoot the budget between
+	// deferred shrinks on the batched ingest path (see AddEdges).
+	slack int
+	hash  func(uint32) uint64
 
 	index map[uint32]int32 // element id -> slot index
 	slots []slot
@@ -47,9 +50,24 @@ type Sketch struct {
 type slot struct {
 	elem uint32
 	hash uint64
-	sets []uint32 // sorted distinct set ids, len <= degCap
-	full bool     // degree cap reached; later edges of this element drop
-	hpos int32    // position in heap, -1 if free
+	// sets holds the distinct set ids of the element in arrival order,
+	// len <= degCap. The hot path appends; readers that need a canonical
+	// order sort lazily via normalize (the sorted flag tracks whether the
+	// list is currently ascending).
+	sets   []uint32
+	sorted bool
+	full   bool  // degree cap reached; later edges of this element drop
+	hpos   int32 // position in heap, -1 if free
+}
+
+// normalize sorts the slot's set list ascending; it is idempotent and
+// called lazily by readers that expose or persist the list.
+func (sl *slot) normalize() {
+	if sl.sorted {
+		return
+	}
+	sort.Slice(sl.sets, func(i, j int) bool { return sl.sets[i] < sl.sets[j] })
+	sl.sorted = true
 }
 
 // NewSketch returns an empty sketch for the given parameters.
@@ -64,13 +82,23 @@ func NewSketch(params Params) (*Sketch, error) {
 	default:
 		hash = hashing.NewHasher(params.Seed).Hash
 	}
-	return &Sketch{
+	s := &Sketch{
 		params: params,
 		budget: params.EffectiveEdgeBudget(),
 		degCap: params.EffectiveDegreeCap(),
 		hash:   hash,
 		index:  make(map[uint32]int32),
-	}, nil
+	}
+	// Shrink slack: the batched path lets the sketch overshoot the budget
+	// by this many edges before re-enforcing Definition 2.1. Larger slack
+	// amortizes shrink better; smaller slack keeps the eviction bar fresh
+	// (so the cheap hash-only drop path engages sooner) and bounds the
+	// transient memory overshoot.
+	s.slack = s.budget / 8
+	if s.slack < 128 {
+		s.slack = 128
+	}
+	return s, nil
 }
 
 // MustNewSketch is NewSketch that panics on invalid parameters.
@@ -100,16 +128,18 @@ func priorityLess(h1 uint64, e1 uint32, h2 uint64, e2 uint32) bool {
 	return e1 < e2
 }
 
-// AddEdge processes one stream edge (Algorithm 2's update step).
+// AddEdge processes one stream edge (Algorithm 2's update step). It is a
+// thin single-edge wrapper over the same insertion core as AddEdges; the
+// element hash is only computed for elements not already kept (a kept
+// element needs no priority to accept another edge).
 func (s *Sketch) AddEdge(e bipartite.Edge) {
 	s.edgesSeen++
-	h := s.hash(e.Elem)
-
 	if si, ok := s.index[e.Elem]; ok {
-		s.addToSlot(si, e.Set)
+		s.addToSlot(si, e.Set, true)
 		s.shrink()
 		return
 	}
+	h := s.hash(e.Elem)
 	// New element: if it is at or above the eviction bar it would have
 	// been (or immediately be) evicted — discard without allocating.
 	if s.evicted && !priorityLess(h, e.Elem, s.barHash, s.barElem) {
@@ -117,24 +147,105 @@ func (s *Sketch) AddEdge(e bipartite.Edge) {
 		return
 	}
 	si := s.alloc(e.Elem, h)
-	s.addToSlot(si, e.Set)
+	s.addToSlot(si, e.Set, true)
 	s.shrink()
 }
 
-// AddStream drains st into the sketch and returns the number of edges
-// consumed. It is the whole single pass of Algorithm 2.
-func (s *Sketch) AddStream(st interface {
+// AddEdges processes a batch of stream edges. It is equivalent to calling
+// AddEdge on each edge in order — same kept elements, same per-element
+// set lists, same eviction bar (pinned by TestBatchEqualsIncremental) —
+// but amortizes the per-edge overheads over the batch:
+//
+//   - Every kept element is strictly below the eviction bar (the bar only
+//     moves down and evicted elements are never readmitted), so an edge
+//     whose element hashes at or above the bar is dropped after one
+//     SplitMix64 call, before the index lookup that dominates the
+//     per-edge cost.
+//   - shrink() — re-enforcing the Definition 2.1 minimal-prefix invariant
+//     — is deferred to slack boundaries and to the end of the batch
+//     instead of running after every edge. Deferral is sound because the
+//     sketch is an order-invariant function of the absorbed edge set:
+//     any insert/shrink interleaving that ends with a shrink reaches the
+//     same fixed point (see DESIGN.md §6 for the argument).
+//
+// Below-bar elements still short-circuit before any allocation, and the
+// transient budget overshoot between shrinks is bounded by the sketch's
+// slack (budget/8, at least 128 edges).
+func (s *Sketch) AddEdges(edges []bipartite.Edge) {
+	for _, e := range edges {
+		s.edgesSeen++
+		s.insert(e, true)
+	}
+	s.shrink()
+}
+
+// insert applies the kept-edge admission policy for one edge on the
+// deferred-shrink paths: bar-first hash drop, index lookup, alloc, slot
+// insert, and budget re-enforcement at slack boundaries only. count
+// selects stream accounting (false on the merge/restore path). Both
+// AddEdges and absorb go through here so the admission policy cannot
+// diverge between streaming and merge ingest.
+func (s *Sketch) insert(e bipartite.Edge, count bool) {
+	h := s.hash(e.Elem)
+	if s.evicted && !priorityLess(h, e.Elem, s.barHash, s.barElem) {
+		if count {
+			s.dropHash++
+		}
+		return
+	}
+	si, ok := s.index[e.Elem]
+	if !ok {
+		si = s.alloc(e.Elem, h)
+	}
+	s.addToSlot(si, e.Set, count)
+	if s.totalEdges >= s.budget+s.slack {
+		s.shrink()
+	}
+}
+
+// streamBatch is the internal batch size AddStream feeds to AddEdges.
+const streamBatch = 2048
+
+// drainBatches reads st into streamBatch-sized chunks, hands each chunk
+// to fn (including a final partial one), and returns the number of edges
+// consumed. Shared by Sketch.AddStream and Ensemble.AddStream.
+func drainBatches(st interface {
 	Next() (bipartite.Edge, bool)
-}) int {
+}, fn func([]bipartite.Edge)) int {
+	buf := make([]bipartite.Edge, 0, streamBatch)
 	count := 0
 	for {
 		e, ok := st.Next()
 		if !ok {
-			return count
+			break
 		}
-		s.AddEdge(e)
-		count++
+		buf = append(buf, e)
+		if len(buf) == streamBatch {
+			fn(buf)
+			count += len(buf)
+			buf = buf[:0]
+		}
 	}
+	fn(buf)
+	return count + len(buf)
+}
+
+// AddStream drains st into the sketch and returns the number of edges
+// consumed. It is the whole single pass of Algorithm 2, fed through the
+// batched AddEdges path.
+func (s *Sketch) AddStream(st interface {
+	Next() (bipartite.Edge, bool)
+}) int {
+	return drainBatches(st, s.AddEdges)
+}
+
+// absorb is the merge/restore ingest path: it inserts an edge with the
+// same kept-edge policy as AddEdges but without touching the stream
+// accounting (edgesSeen, dupEdges, dropDegree, dropHash) — a re-folded
+// kept edge is not stream traffic. Callers must shrink() afterwards;
+// absorb itself only re-enforces the budget at slack boundaries.
+func (s *Sketch) absorb(e bipartite.Edge) {
+	s.insert(e, false)
 }
 
 func (s *Sketch) alloc(elem uint32, h uint64) int32 {
@@ -145,9 +256,10 @@ func (s *Sketch) alloc(elem uint32, h uint64) int32 {
 		s.slots[si].elem = elem
 		s.slots[si].hash = h
 		s.slots[si].sets = s.slots[si].sets[:0]
+		s.slots[si].sorted = true
 		s.slots[si].full = false
 	} else {
-		s.slots = append(s.slots, slot{elem: elem, hash: h})
+		s.slots = append(s.slots, slot{elem: elem, hash: h, sorted: true})
 		si = int32(len(s.slots) - 1)
 	}
 	s.index[elem] = si
@@ -155,23 +267,69 @@ func (s *Sketch) alloc(elem uint32, h uint64) int32 {
 	return si
 }
 
-func (s *Sketch) addToSlot(si int32, set uint32) {
+// sortedInsertThreshold is the slot size beyond which addToSlot switches
+// from append-plus-linear-scan to a sorted list with binary-search dup
+// checks: short lists (the common case) stay append-only with no
+// memmove, long lists avoid O(D) scans on every duplicate.
+const sortedInsertThreshold = 24
+
+// addToSlot records set as incident to the slot's element. Duplicates
+// are rejected exactly — totalEdges always counts distinct edges, so the
+// budget checks stay sound — but adaptively: short lists append in
+// arrival order and dup-check with a branch-predictable linear scan;
+// once a list crosses sortedInsertThreshold it is sorted once and kept
+// sorted (binary-search dup check, positional insert). count selects
+// whether the dup/degree-drop stream counters are updated (false on the
+// merge/restore path).
+func (s *Sketch) addToSlot(si int32, set uint32, count bool) {
 	sl := &s.slots[si]
 	if sl.full {
-		s.dropDegree++
+		if count {
+			s.dropDegree++
+		}
 		return
 	}
-	sets := sl.sets
-	i := sort.Search(len(sets), func(i int) bool { return sets[i] >= set })
-	if i < len(sets) && sets[i] == set {
-		s.dupEdges++
-		return
+	if len(sl.sets) >= sortedInsertThreshold {
+		sl.normalize()
+		sets := sl.sets
+		i := sort.Search(len(sets), func(i int) bool { return sets[i] >= set })
+		if i < len(sets) && sets[i] == set {
+			if count {
+				s.dupEdges++
+			}
+			return
+		}
+		sets = append(sets, 0)
+		copy(sets[i+1:], sets[i:])
+		sets[i] = set
+		sl.sets = sets
+	} else {
+		for _, v := range sl.sets {
+			if v == set {
+				if count {
+					s.dupEdges++
+				}
+				return
+			}
+		}
+		if n := len(sl.sets); sl.sorted && n > 0 && set < sl.sets[n-1] {
+			sl.sorted = false
+		}
+		if cap(sl.sets) == 0 {
+			// First edge of a fresh slot: skip the tiny append growth steps
+			// (1→2→4) that dominate allocation churn during a build.
+			c := s.degCap
+			if c > 8 {
+				c = 8
+			}
+			sl.sets = make([]uint32, 0, c)
+		}
+		sl.sets = append(sl.sets, set)
 	}
-	sets = append(sets, 0)
-	copy(sets[i+1:], sets[i:])
-	sets[i] = set
-	sl.sets = sets
 	s.totalEdges++
+	// Peak residency is tracked at insert time so the batched path's
+	// transient overshoot between deferred shrinks (bounded by slack) is
+	// reported honestly in the space accounting.
 	if s.totalEdges > s.peakEdges {
 		s.peakEdges = s.totalEdges
 	}
@@ -294,13 +452,17 @@ func (s *Sketch) Contains(elem uint32) bool {
 	return ok
 }
 
-// SetsOf returns the kept set ids incident to elem (nil if not kept). The
-// slice aliases internal storage and must not be modified.
+// SetsOf returns the kept set ids incident to elem, sorted ascending
+// (nil if not kept). The slice aliases internal storage and must not be
+// modified. The hot ingest path stores lists in arrival order, so this
+// reader sorts lazily on first access; like every Sketch method it must
+// not race with other access.
 func (s *Sketch) SetsOf(elem uint32) []uint32 {
 	si, ok := s.index[elem]
 	if !ok {
 		return nil
 	}
+	s.slots[si].normalize()
 	return s.slots[si].sets
 }
 
@@ -358,6 +520,10 @@ func (s *Sketch) Graph() (*bipartite.Graph, []uint32) {
 	edges := make([]bipartite.Edge, 0, s.totalEdges)
 	for newID, e := range kept {
 		sl := &s.slots[e.si]
+		// Normalize while extracting: a sketch that has been graphed (every
+		// published server snapshot) is fully sorted, so subsequent readers
+		// like SetsOf are pure reads and safe to share.
+		sl.normalize()
 		ids[newID] = sl.elem
 		for _, set := range sl.sets {
 			edges = append(edges, bipartite.Edge{Set: set, Elem: uint32(newID)})

@@ -59,6 +59,10 @@ func NewSketches(params core.Params, n int) ([]*core.Sketch, error) {
 
 // BuildSketches runs one worker goroutine per shard, each building an
 // H≤n sketch with identical parameters, and returns the local sketches.
+// Workers drain their shard through the batched ingest path
+// (core.Sketch.AddStream feeds AddEdges internally), so per-edge
+// overheads — hashing above-bar elements past the index, per-edge budget
+// enforcement — are amortized across each batch.
 func BuildSketches(shards []stream.Stream, params core.Params) ([]*core.Sketch, *Stats, error) {
 	if len(shards) == 0 {
 		return nil, nil, fmt.Errorf("distributed: no shards")

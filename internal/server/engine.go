@@ -101,7 +101,10 @@ var ErrClosed = errors.New("server: engine closed")
 
 // shardMsg is a mailbox entry: either an edge batch or a state request.
 type shardMsg struct {
-	batch []bipartite.Edge
+	// batch is a pooled per-shard buffer owned by the message: the shard
+	// returns it to the engine's pool after applying it, so steady-state
+	// ingest recycles buffers instead of allocating per submission.
+	batch *[]bipartite.Edge
 	reply chan shardState // non-nil: respond with the shard's state
 	// wantClone asks for a deep copy of the sketch (a merge is coming);
 	// stats-only requests leave it false and skip the O(budget) copy.
@@ -116,6 +119,7 @@ type shardState struct {
 type shard struct {
 	mail chan shardMsg
 	done chan struct{}
+	pool *sync.Pool // shared with the engine; receives applied batches
 }
 
 // run is a shard's ingest loop; sk is owned exclusively by this goroutine.
@@ -130,9 +134,10 @@ func (sh *shard) run(sk *core.Sketch) {
 			msg.reply <- st
 			continue
 		}
-		for _, e := range msg.batch {
-			sk.AddEdge(e)
-		}
+		// Batched ingest: one deferred-shrink pass over the whole batch
+		// (core.Sketch.AddEdges) instead of per-edge updates.
+		sk.AddEdges(*msg.batch)
+		sh.pool.Put(msg.batch)
 	}
 }
 
@@ -175,6 +180,10 @@ type Engine struct {
 	batches  atomic.Int64
 	queries  atomic.Int64
 
+	// batchPool recycles the per-shard sub-batch buffers that Ingest
+	// routes edges into; shards return applied buffers here.
+	batchPool sync.Pool
+
 	stopTicker chan struct{}
 	tickerDone chan struct{}
 }
@@ -207,6 +216,7 @@ func New(cfg Config) (*Engine, error) {
 		sh := &shard{
 			mail: make(chan shardMsg, cfg.queueDepth()),
 			done: make(chan struct{}),
+			pool: &e.batchPool,
 		}
 		e.shards[i] = sh
 		go sh.run(sketches[i])
@@ -236,9 +246,22 @@ func (e *Engine) mergeLoop(every time.Duration) {
 	}
 }
 
+// getBatchBuf returns an empty pooled edge buffer.
+func (e *Engine) getBatchBuf() *[]bipartite.Edge {
+	if v := e.batchPool.Get(); v != nil {
+		b := v.(*[]bipartite.Edge)
+		*b = (*b)[:0]
+		return b
+	}
+	b := make([]bipartite.Edge, 0, 256)
+	return &b
+}
+
 // Ingest routes one batch of edges to the shard sketches and returns the
 // number of edges accepted. It blocks only when shard mailboxes are full
-// (backpressure). Safe for concurrent use.
+// (backpressure). Safe for concurrent use. The caller's slice is copied
+// into pooled per-shard buffers before Ingest returns, so callers may
+// reuse it immediately.
 func (e *Engine) Ingest(edges []bipartite.Edge) (int, error) {
 	if len(edges) == 0 {
 		return 0, nil
@@ -253,8 +276,18 @@ func (e *Engine) Ingest(edges []bipartite.Edge) (int, error) {
 	if e.closed {
 		return 0, ErrClosed
 	}
-	for w, b := range e.part.Split(edges) {
-		if len(b) > 0 {
+	// Route into pooled sub-batch buffers (ownership passes to the shard,
+	// which recycles them after its batched AddEdges pass).
+	buckets := make([]*[]bipartite.Edge, len(e.shards))
+	for _, ed := range edges {
+		w := e.part.Route(ed)
+		if buckets[w] == nil {
+			buckets[w] = e.getBatchBuf()
+		}
+		*buckets[w] = append(*buckets[w], ed)
+	}
+	for w, b := range buckets {
+		if b != nil {
 			e.shards[w].mail <- shardMsg{batch: b}
 		}
 	}

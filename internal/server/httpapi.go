@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -17,6 +18,11 @@ import (
 type HTTPOptions struct {
 	// MaxBatchEdges rejects ingest bodies with more edges (default 1<<20).
 	MaxBatchEdges int
+	// MaxBodyBytes caps the accepted request body size in bytes. Zero
+	// derives a limit from MaxBatchEdges (32 bytes per edge pair plus
+	// headroom — enough for the largest allowed batch in the JSON wire
+	// format even with whitespace-heavy encoders).
+	MaxBodyBytes int64
 	// SnapshotPath, when non-empty, is where POST /v1/snapshot persists
 	// the merged sketch (written atomically via a temp file + rename).
 	SnapshotPath string
@@ -27,6 +33,16 @@ func (o HTTPOptions) maxBatch() int {
 		return 1 << 20
 	}
 	return o.MaxBatchEdges
+}
+
+func (o HTTPOptions) maxBodyBytes() int64 {
+	if o.MaxBodyBytes > 0 {
+		return o.MaxBodyBytes
+	}
+	// Compact encoding needs 24 bytes per worst-case pair
+	// ("[4294967295,4294967295],"); budget 32 so clients that emit
+	// whitespace (e.g. pretty-printers) still fit a full -max-batch.
+	return 32*int64(o.maxBatch()) + 4096
 }
 
 // NewHTTPHandler exposes an engine as the covserved JSON API:
@@ -41,13 +57,28 @@ func NewHTTPHandler(e *Engine, opt HTTPOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/edges", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, "POST required")
+			methodNotAllowed(w, http.MethodPost)
 			return
 		}
+		// Bound the body before decoding: a misbehaving client cannot make
+		// the decoder buffer an unbounded payload.
+		r.Body = http.MaxBytesReader(w, r.Body, opt.maxBodyBytes())
 		var body ingestRequest
 		dec := json.NewDecoder(r.Body)
 		if err := dec.Decode(&body); err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					"body exceeds limit of %d bytes", tooLarge.Limit)
+				return
+			}
 			httpError(w, http.StatusBadRequest, "bad ingest body: %v", err)
+			return
+		}
+		// One JSON document per request: trailing tokens after the body
+		// are a malformed request, not silently ignorable garbage.
+		if _, err := dec.Token(); err != io.EOF {
+			httpError(w, http.StatusBadRequest, "trailing data after JSON body")
 			return
 		}
 		if len(body.Edges) > opt.maxBatch() {
@@ -65,7 +96,7 @@ func NewHTTPHandler(e *Engine, opt HTTPOptions) http.Handler {
 
 	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			httpError(w, http.StatusMethodNotAllowed, "GET required")
+			methodNotAllowed(w, http.MethodGet)
 			return
 		}
 		q := Query{Algo: Algo(r.URL.Query().Get("algo"))}
@@ -101,7 +132,7 @@ func NewHTTPHandler(e *Engine, opt HTTPOptions) http.Handler {
 
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			httpError(w, http.StatusMethodNotAllowed, "GET required")
+			methodNotAllowed(w, http.MethodGet)
 			return
 		}
 		st, err := e.Stats()
@@ -114,7 +145,7 @@ func NewHTTPHandler(e *Engine, opt HTTPOptions) http.Handler {
 
 	mux.HandleFunc("/v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, "POST required")
+			methodNotAllowed(w, http.MethodPost)
 			return
 		}
 		resp := snapshotResponse{}
@@ -138,9 +169,20 @@ func NewHTTPHandler(e *Engine, opt HTTPOptions) http.Handler {
 	})
 
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			methodNotAllowed(w, "GET, HEAD")
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
+}
+
+// methodNotAllowed writes a 405 with the required Allow header (RFC 9110
+// §15.5.6).
+func methodNotAllowed(w http.ResponseWriter, allowed string) {
+	w.Header().Set("Allow", allowed)
+	httpError(w, http.StatusMethodNotAllowed, "%s required", allowed)
 }
 
 // persistSnapshot merges and writes the sketch atomically to path. The

@@ -156,10 +156,84 @@ func TestHTTPErrors(t *testing.T) {
 	check("POST", "/v1/edges", "{not json", http.StatusBadRequest)
 	check("POST", "/v1/edges", `{"edges":[[0,0],[1,1],[2,2],[3,3],[4,4]]}`, http.StatusRequestEntityTooLarge)
 	check("POST", "/v1/edges", `{"edges":[[99,0]]}`, http.StatusBadRequest) // set id out of range
+	check("POST", "/v1/edges", `{"edges":[[0,0]]} trailing garbage`, http.StatusBadRequest)
+	check("POST", "/v1/edges", `{"edges":[[0,0]]}{"edges":[[1,1]]}`, http.StatusBadRequest)
 	check("POST", "/v1/query", "", http.StatusMethodNotAllowed)
 	check("GET", "/v1/query?algo=kcover&k=zero", "", http.StatusBadRequest)
 	check("GET", "/v1/query?algo=outliers&lambda=nope", "", http.StatusBadRequest)
 	check("GET", fmt.Sprintf("/v1/query?algo=%s", "bogus"), "", http.StatusBadRequest)
 	check("GET", "/v1/snapshot", "", http.StatusMethodNotAllowed)
 	check("POST", "/v1/stats", "", http.StatusMethodNotAllowed)
+	check("POST", "/v1/healthz", "", http.StatusMethodNotAllowed)
+}
+
+func TestHTTPMethodNotAllowedSetsAllow(t *testing.T) {
+	e, err := New(testConfig(10, 100, 2, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ts := httptest.NewServer(NewHTTPHandler(e, HTTPOptions{}))
+	defer ts.Close()
+
+	cases := []struct {
+		method, path, allow string
+	}{
+		{"GET", "/v1/edges", "POST"},
+		{"DELETE", "/v1/query", "GET"},
+		{"PUT", "/v1/stats", "GET"},
+		{"GET", "/v1/snapshot", "POST"},
+		{"POST", "/v1/healthz", "GET, HEAD"},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, ts.URL+c.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: got %d want 405", c.method, c.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != c.allow {
+			t.Fatalf("%s %s: Allow = %q, want %q", c.method, c.path, got, c.allow)
+		}
+	}
+}
+
+func TestHTTPIngestBodyLimit(t *testing.T) {
+	e, err := New(testConfig(10, 100, 2, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ts := httptest.NewServer(NewHTTPHandler(e, HTTPOptions{MaxBodyBytes: 64}))
+	defer ts.Close()
+
+	big := `{"edges":[` // > 64 bytes of valid JSON
+	for i := 0; i < 20; i++ {
+		if i > 0 {
+			big += ","
+		}
+		big += "[1,2]"
+	}
+	big += `]}`
+	resp, err := http.Post(ts.URL+"/v1/edges", "application/json", bytes.NewReader([]byte(big)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: got %d want 413", resp.StatusCode)
+	}
+	// A small batch still goes through.
+	resp, err = http.Post(ts.URL+"/v1/edges", "application/json",
+		bytes.NewReader([]byte(`{"edges":[[1,2]]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body: got %d want 200", resp.StatusCode)
+	}
 }

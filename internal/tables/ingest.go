@@ -1,0 +1,112 @@
+package tables
+
+// This file implements the ingest-throughput experiment: the hot-path
+// cost of Algorithm 2's update step — the paper's O~(1)-update claim is
+// what makes Õ(n/ε³)-space coverage practical at stream scale —
+// comparing edge-at-a-time AddEdge against the batched AddEdges path
+// (deferred shrink, bar-first hash filtering, append-only slot inserts)
+// on the dense-degree workload. `covbench -run ingest-throughput -json`
+// produces the BENCH_ingest.json trajectory line.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// ingestMode is one measured ingest strategy: batch == 0 selects the
+// single-edge AddEdge loop; otherwise AddEdges is fed batches of the
+// given size.
+type ingestMode struct {
+	name  string
+	batch int
+}
+
+// runIngestMode builds one fresh sketch over edges and reports the wall
+// time and the heap allocation count of the build.
+func runIngestMode(params core.Params, edges []bipartite.Edge, batch int) (time.Duration, uint64) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	s := core.MustNewSketch(params)
+	if batch <= 0 {
+		for _, e := range edges {
+			s.AddEdge(e)
+		}
+	} else {
+		for lo := 0; lo < len(edges); lo += batch {
+			hi := lo + batch
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			s.AddEdges(edges[lo:hi])
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if s.Edges() == 0 {
+		panic("tables: ingest experiment built an empty sketch")
+	}
+	return elapsed, after.Mallocs - before.Mallocs
+}
+
+// RunIngestThroughput measures single-edge vs batched ingest throughput
+// (edges/sec) on the dense-degree workload, the regime where per-edge
+// overheads dominate. The speedup column is relative to the single-edge
+// row.
+func RunIngestThroughput(cfg Config) []*stats.Table {
+	n := cfg.pick(200, 60)
+	m := cfg.pick(20000, 4000)
+	inst := workload.LargeSets(n, m, 0.3, cfg.seed())
+	edges := stream.Drain(stream.Shuffled(inst.G, cfg.seed()+1))
+	params := core.Params{
+		NumSets: n, NumElems: m, K: 10, Eps: 0.3,
+		Seed: cfg.seed(), EdgeBudget: 40 * n,
+	}
+
+	modes := []ingestMode{
+		{"AddEdge (single)", 0},
+		{"AddEdges batch=256", 256},
+		{"AddEdges batch=1024", 1024},
+		{"AddEdges batch=4096", 4096},
+	}
+
+	tbl := &stats.Table{
+		Title: fmt.Sprintf("ingest throughput — %s, %d edges, budget %d",
+			inst.Name, len(edges), params.EffectiveEdgeBudget()),
+		Cols: []string{"mode", "ms/build", "edges/sec", "speedup", "allocs/build"},
+		Notes: []string{
+			"dense-degree workload; each build is one full pass over the stream",
+			fmt.Sprintf("best of %d trials per mode; speedup is vs the single-edge row", cfg.trials()),
+		},
+	}
+
+	baseline := 0.0
+	for _, mode := range modes {
+		best := time.Duration(0)
+		allocs := uint64(0)
+		for trial := 0; trial < cfg.trials(); trial++ {
+			elapsed, al := runIngestMode(params, edges, mode.batch)
+			if best == 0 || elapsed < best {
+				best = elapsed
+				allocs = al
+			}
+		}
+		eps := float64(len(edges)) / best.Seconds()
+		if baseline == 0 {
+			baseline = eps
+		}
+		tbl.AddRow(mode.name,
+			float64(best.Milliseconds()),
+			eps,
+			ratio(eps, baseline),
+			fmt.Sprintf("%d", allocs))
+	}
+	return []*stats.Table{tbl}
+}

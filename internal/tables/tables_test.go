@@ -12,9 +12,9 @@ func TestExperimentRegistryComplete(t *testing.T) {
 	ids := ExperimentIDs()
 	want := []string{
 		"ablate-degcap", "ablate-guess", "appD-l0", "dist-merge", "ext-weighted",
-		"fig1-sketch", "lem22-accuracy", "table1-kcover", "table1-outliers",
-		"table1-setcover", "thm12-lb", "thm13-oracle", "thm31-kcover",
-		"thm33-outliers", "thm34-setcover",
+		"fig1-sketch", "ingest-throughput", "lem22-accuracy", "table1-kcover",
+		"table1-outliers", "table1-setcover", "thm12-lb", "thm13-oracle",
+		"thm31-kcover", "thm33-outliers", "thm34-setcover",
 	}
 	if len(ids) != len(want) {
 		t.Fatalf("have %d experiments, want %d: %v", len(ids), len(want), ids)
@@ -179,6 +179,30 @@ func TestExtWeightedRuns(t *testing.T) {
 		}
 		if r < 0.7 || r > 1.05 {
 			t.Fatalf("weighted ratio %v implausible for spread %s", r, row[0])
+		}
+	}
+}
+
+func TestIngestThroughputShape(t *testing.T) {
+	tbls, err := Run("ingest-throughput", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tbls[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 mode rows, got %d", len(rows))
+	}
+	if rows[0][0] != "AddEdge (single)" {
+		t.Fatalf("first row must be the single-edge baseline, got %q", rows[0][0])
+	}
+	for _, row := range rows {
+		eps, err1 := strconv.ParseFloat(row[2], 64)
+		sp, err2 := strconv.ParseFloat(row[3], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparsable row %v", row)
+		}
+		if eps <= 0 || sp <= 0 {
+			t.Fatalf("non-positive throughput in row %v", row)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package streamcover
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/bipartite"
@@ -45,6 +46,11 @@ type ServiceOptions struct {
 type Service struct {
 	engine  *server.Engine
 	numSets int
+	// convPool recycles the public-to-internal edge conversion buffers of
+	// Ingest: the engine copies edges into its own pooled per-shard
+	// buffers before returning, so a conversion buffer is reusable the
+	// moment the engine call returns.
+	convPool sync.Pool
 }
 
 // NewService starts a coverage service for instances with numSets sets.
@@ -92,13 +98,20 @@ func newService(numSets int, opt ServiceOptions, restore *core.Sketch) (*Service
 func (s *Service) Engine() *server.Engine { return s.engine }
 
 // Ingest absorbs a batch of edges. Safe for concurrent use; blocks only
-// for backpressure when shard queues are full.
+// for backpressure when shard queues are full. The caller's slice may be
+// reused as soon as Ingest returns.
 func (s *Service) Ingest(edges []Edge) error {
-	conv := make([]bipartite.Edge, len(edges))
-	for i, e := range edges {
-		conv[i] = bipartite.Edge{Set: e.Set, Elem: e.Elem}
+	var conv []bipartite.Edge
+	if v := s.convPool.Get(); v != nil {
+		conv = (*v.(*[]bipartite.Edge))[:0]
+	} else {
+		conv = make([]bipartite.Edge, 0, len(edges))
+	}
+	for _, e := range edges {
+		conv = append(conv, bipartite.Edge{Set: e.Set, Elem: e.Elem})
 	}
 	_, err := s.engine.Ingest(conv)
+	s.convPool.Put(&conv)
 	return err
 }
 
