@@ -16,9 +16,12 @@
 // scraping stdout. In particular
 //
 //	covbench -run ingest-throughput -json > BENCH_ingest.json
+//	covbench -run query-throughput -json > BENCH_query.json
 //
-// records the hot-path ingest comparison (single-edge AddEdge vs the
-// batched AddEdges path) that tracks the sketch update cost across PRs.
+// record the hot-path comparisons tracked across PRs: ingest (single-edge
+// AddEdge vs the batched AddEdges path) and the query plane (stamp vs
+// bitset greedy, engine result cache, sequential vs parallel snapshot
+// merge, idle-refresh short-circuit).
 package main
 
 import (

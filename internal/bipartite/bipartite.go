@@ -14,6 +14,7 @@ package bipartite
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Edge is one (set, element) membership pair — the unit of the
@@ -35,6 +36,12 @@ type Graph struct {
 
 	elemOff []int64  // len numElems+1; elemAdj[...] = sets containing the element
 	elemAdj []uint32 // sorted within each element
+
+	// coverOnce/coverIndex lazily cache the dense per-set bitmap index
+	// behind the bitset coverage engine (cover.go); built at most once
+	// per graph and shared by every BitsetCoverer.
+	coverOnce  sync.Once
+	coverIndex *setBitmaps
 }
 
 // FromEdges builds a Graph from an edge list. numSets and numElems fix the

@@ -1,0 +1,99 @@
+package bipartite
+
+import "testing"
+
+// TestBitsetCovererMatchesStamp drives both evaluators through the same
+// add/marginal schedule on random graphs and demands identical answers
+// at every step.
+func TestBitsetCovererMatchesStamp(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g := randomGraph(seed, 25, 300, 0.08)
+		stamp := NewCoverer(g)
+		bits := NewBitsetCoverer(g)
+		for round := 0; round < 3; round++ {
+			for s := 0; s < g.NumSets(); s++ {
+				if stamp.Marginal(s) != bits.Marginal(s) {
+					t.Fatalf("seed=%d round=%d set=%d: marginal %d != %d",
+						seed, round, s, stamp.Marginal(s), bits.Marginal(s))
+				}
+			}
+			pick := int(seed+uint64(round)*7) % g.NumSets()
+			if a, b := stamp.Add(pick), bits.Add(pick); a != b {
+				t.Fatalf("seed=%d round=%d: add %d != %d", seed, round, a, b)
+			}
+			for e := 0; e < g.NumElems(); e++ {
+				if stamp.IsCovered(uint32(e)) != bits.IsCovered(uint32(e)) {
+					t.Fatalf("seed=%d round=%d elem=%d: IsCovered disagree", seed, round, e)
+				}
+			}
+		}
+		if stamp.Covered() != bits.Covered() {
+			t.Fatalf("seed=%d: covered %d != %d", seed, stamp.Covered(), bits.Covered())
+		}
+		stamp.Reset()
+		bits.Reset()
+		if bits.Covered() != 0 || bits.IsCovered(0) {
+			t.Fatal("reset did not clear bitset coverer")
+		}
+		if a, b := stamp.Add(0, 1, 2), bits.Add(0, 1, 2); a != b {
+			t.Fatalf("post-reset add %d != %d", a, b)
+		}
+	}
+}
+
+func TestBitsetCoverersShareGraphIndex(t *testing.T) {
+	g := randomGraph(3, 10, 100, 0.2)
+	a := NewBitsetCoverer(g)
+	b := NewBitsetCoverer(g)
+	if a.ix != b.ix {
+		t.Fatal("bitmap index not shared across coverers of one graph")
+	}
+	// Coverers are independent despite the shared index.
+	a.Add(0)
+	if b.Covered() != 0 {
+		t.Fatal("coverers share covered state")
+	}
+}
+
+func TestNewEvaluatorHeuristic(t *testing.T) {
+	// Dense-degree: avg set size (~0.5*m) far exceeds m/64 words.
+	dense := randomGraph(1, 20, 512, 0.5)
+	if _, ok := dense.NewEvaluator().(*BitsetCoverer); !ok {
+		t.Fatalf("dense graph got %T, want bitset engine", dense.NewEvaluator())
+	}
+	// Sparse: avg set size ~2 over a wide ground set; stamp must win.
+	sparse := randomGraph(2, 50, 20000, 0.0001)
+	if _, ok := sparse.NewEvaluator().(*Coverer); !ok {
+		t.Fatalf("sparse graph got %T, want stamp engine", sparse.NewEvaluator())
+	}
+	// Empty graph falls back to the stamp engine.
+	empty := MustFromEdges(4, 4, nil)
+	if _, ok := empty.NewEvaluator().(*Coverer); !ok {
+		t.Fatal("empty graph must use the stamp engine")
+	}
+}
+
+func TestBuildCoverIndexIsEagerAndIdempotent(t *testing.T) {
+	g := randomGraph(5, 16, 256, 0.4)
+	g.BuildCoverIndex()
+	if g.coverIndex == nil {
+		t.Fatal("BuildCoverIndex did not materialize the index on a dense graph")
+	}
+	ix := g.coverIndex
+	g.BuildCoverIndex()
+	if g.coverIndex != ix {
+		t.Fatal("BuildCoverIndex rebuilt the index")
+	}
+	// The index rows must agree with adjacency.
+	for s := 0; s < g.NumSets(); s++ {
+		row := ix.row(s)
+		if row.Count() != g.SetLen(s) {
+			t.Fatalf("set %d: %d bits != %d adjacency entries", s, row.Count(), g.SetLen(s))
+		}
+		for _, e := range g.Set(s) {
+			if !row.Get(int(e)) {
+				t.Fatalf("set %d missing element %d in bitmap", s, e)
+			}
+		}
+	}
+}

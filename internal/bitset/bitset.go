@@ -96,6 +96,21 @@ func (b Bitset) AndNotCount(other Bitset) int {
 	return c
 }
 
+// UnionCount sets b to b ∪ other and returns the number of members newly
+// added — the fused accept step of greedy algorithms (AndNotCount of the
+// pick followed by Or, in one pass).
+func (b Bitset) UnionCount(other Bitset) int {
+	c := 0
+	for i, w := range other {
+		nw := w &^ b[i]
+		if nw != 0 {
+			c += bits.OnesCount64(nw)
+			b[i] |= w
+		}
+	}
+	return c
+}
+
 // Equal reports whether b and other contain the same members.
 func (b Bitset) Equal(other Bitset) bool {
 	if len(b) != len(other) {

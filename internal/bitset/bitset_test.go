@@ -189,3 +189,33 @@ func TestAny(t *testing.T) {
 		t.Fatal("non-empty set Any() = false")
 	}
 }
+
+func TestUnionCountAgainstModel(t *testing.T) {
+	const n = 300
+	err := quick.Check(func(xs, ys []uint16) bool {
+		a, ma := refSet(xs, n)
+		b, mb := refSet(ys, n)
+
+		added := 0
+		for i := 0; i < n; i++ {
+			if mb[i] && !ma[i] {
+				added++
+			}
+		}
+		got := a.UnionCount(b)
+		if got != added {
+			return false
+		}
+		// a is now the union; b is untouched.
+		for i := 0; i < n; i++ {
+			if a.Get(i) != (ma[i] || mb[i]) || b.Get(i) != mb[i] {
+				return false
+			}
+		}
+		// A second union adds nothing.
+		return a.UnionCount(b) == 0
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -299,3 +299,114 @@ func TestTabulationSketchOrderInvariance(t *testing.T) {
 		}
 	}
 }
+
+// sequentialMergeAll is the pre-tree left fold MergeAll used to pin the
+// parallel reduction against.
+func sequentialMergeAll(t *testing.T, params Params, sketches []*Sketch) *Sketch {
+	t.Helper()
+	out := MustNewSketch(params)
+	for _, sk := range sketches {
+		if err := out.Merge(sk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestMergeAllTreeEqualsSequential(t *testing.T) {
+	inst := workload.Zipf(30, 600, 200, 0.9, 0.7, 5)
+	g := inst.G
+	params := smallParams(30, 4, 200, 17)
+	params.DegreeCap = g.MaxElemDegree() + 1 // caps never bind -> exact equality
+
+	// Odd and even shard counts exercise the leftover carry of the tree.
+	for _, w := range []int{3, 4, 5, 8, 9} {
+		shards := splitEdges(g, w, uint64(w)+100)
+		locals := make([]*Sketch, w)
+		before := make([]Stats, w)
+		for i, sh := range shards {
+			locals[i] = MustNewSketch(params)
+			locals[i].AddEdges(sh)
+			before[i] = locals[i].Stats()
+		}
+		want := sequentialMergeAll(t, params, locals)
+		got, err := MergeAll(params, locals...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sketchesEqual(t, got, want, g, true)
+		// Inputs must come back untouched: the tree only mutates
+		// intermediates it allocated itself.
+		for i, sk := range locals {
+			if sk.Stats() != before[i] {
+				t.Fatalf("w=%d: input sketch %d modified by MergeAll: %+v -> %+v",
+					w, i, before[i], sk.Stats())
+			}
+		}
+	}
+}
+
+func TestMergeAllTreeWithBindingCaps(t *testing.T) {
+	// With binding degree caps the kept D-subsets may legally differ
+	// between fold orders; elements, degrees and p* may not.
+	inst := workload.LargeSets(20, 800, 0.5, 4)
+	g := inst.G
+	params := smallParams(20, 3, 300, 7)
+	params.DegreeCap = 4
+
+	shards := splitEdges(g, 5, 21)
+	locals := make([]*Sketch, len(shards))
+	for i, sh := range shards {
+		locals[i] = MustNewSketch(params)
+		locals[i].AddEdges(sh)
+	}
+	want := sequentialMergeAll(t, params, locals)
+	got, err := MergeAll(params, locals...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketchesEqual(t, got, want, g, false)
+}
+
+func TestMergeAllSkipsNilInputs(t *testing.T) {
+	inst := workload.Uniform(10, 200, 0.1, 9)
+	params := smallParams(10, 2, 100, 3)
+	params.DegreeCap = inst.G.MaxElemDegree() + 1
+	a := MustNewSketch(params)
+	feed(a, inst.G, 2)
+	got, err := MergeAll(params, nil, a, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketchesEqual(t, got, a, inst.G, true)
+}
+
+// TestMergeAllOverlappingInputs exercises the presift fallback: inputs
+// that share (set, elem) pairs inflate the presift degree sums, which
+// MergeAll must detect and survive with an answer identical to the
+// sequential fold.
+func TestMergeAllOverlappingInputs(t *testing.T) {
+	inst := workload.Zipf(25, 500, 150, 0.9, 0.7, 11)
+	g := inst.G
+	params := smallParams(25, 3, 150, 13)
+	params.DegreeCap = g.MaxElemDegree() + 1
+
+	// Each input sees a random ~60% of the edges; overlaps abound.
+	edges := g.Edges(nil)
+	locals := make([]*Sketch, 5)
+	for i := range locals {
+		locals[i] = MustNewSketch(params)
+		h := hashing.NewHasher(uint64(i) * 77)
+		for _, e := range edges {
+			if h.Hash(e.Set*131+e.Elem)%10 < 6 {
+				locals[i].AddEdge(e)
+			}
+		}
+	}
+	want := sequentialMergeAll(t, params, locals)
+	got, err := MergeAll(params, locals...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketchesEqual(t, got, want, g, true)
+}

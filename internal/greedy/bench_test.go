@@ -3,6 +3,7 @@ package greedy
 import (
 	"testing"
 
+	"repro/internal/bipartite"
 	"repro/internal/workload"
 )
 
@@ -41,5 +42,37 @@ func BenchmarkPartialCover(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		PartialCover(inst.G, target)
+	}
+}
+
+// BenchmarkMaxCoverStampDense / BenchmarkMaxCoverBitsetDense compare the
+// two coverage engines head to head on the dense-degree regime of sketch
+// snapshots (the query-plane hot path).
+func BenchmarkMaxCoverStampDense(b *testing.B) {
+	inst := workload.LargeSets(200, 4000, 0.3, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := BudgetedWith(inst.G, bipartite.NewCoverer(inst.G), func(picked, covered, gain int) bool {
+			return picked < 10 && gain > 0
+		})
+		if res.Covered == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkMaxCoverBitsetDense(b *testing.B) {
+	inst := workload.LargeSets(200, 4000, 0.3, 1)
+	inst.G.BuildCoverIndex()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := BudgetedWith(inst.G, bipartite.NewBitsetCoverer(inst.G), func(picked, covered, gain int) bool {
+			return picked < 10 && gain > 0
+		})
+		if res.Covered == 0 {
+			b.Fatal("empty result")
+		}
 	}
 }

@@ -1,0 +1,88 @@
+package greedy
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/workload"
+)
+
+// equivInstances is the fuzz-style workload table: every generator the
+// repository ships, at sizes spanning sparse and dense regimes, each at
+// several seeds.
+func equivInstances(seed uint64) []workload.Instance {
+	return []workload.Instance{
+		workload.Uniform(25, 400, 0.05, seed),
+		workload.Uniform(15, 200, 0.4, seed+1), // dense: bitset-profitable
+		workload.UniformFixedSize(30, 500, 12, seed+2),
+		workload.Zipf(40, 800, 150, 0.9, 0.7, seed+3),
+		workload.PlantedKCover(30, 600, 5, 0.8, 10, seed+4),
+		workload.PlantedSetCover(25, 400, 6, 15, seed+5),
+		workload.BlogTopics(35, 500, 80, seed+6),
+		workload.LargeSets(20, 300, 0.3, seed+7),
+		workload.Clustered(24, 360, 6, seed+8),
+	}
+}
+
+// resultsEqual demands bit-identical greedy outcomes: same picks in the
+// same order, same gain sequence, same covered count.
+func resultsEqual(t *testing.T, label string, stamp, bits Result) {
+	t.Helper()
+	if stamp.Covered != bits.Covered {
+		t.Fatalf("%s: covered %d != %d", label, stamp.Covered, bits.Covered)
+	}
+	if len(stamp.Sets) != len(bits.Sets) {
+		t.Fatalf("%s: picked %v != %v", label, stamp.Sets, bits.Sets)
+	}
+	for i := range stamp.Sets {
+		if stamp.Sets[i] != bits.Sets[i] || stamp.Gains[i] != bits.Gains[i] {
+			t.Fatalf("%s: pick %d: (%d, gain %d) != (%d, gain %d)",
+				label, i, stamp.Sets[i], stamp.Gains[i], bits.Sets[i], bits.Gains[i])
+		}
+	}
+}
+
+// TestBitsetGreedyEqualsStampGreedy pins the tentpole equivalence: the
+// bitset and stamp coverage engines produce identical Results for
+// kcover (all k), outliers-style partial cover, and full set cover,
+// across every workload generator. This is what lets the query plane
+// swap engines without changing a single published answer.
+func TestBitsetGreedyEqualsStampGreedy(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		for _, inst := range equivInstances(seed * 100) {
+			g := inst.G
+			n := g.NumSets()
+			contKCover := func(k int) func(picked, covered, gain int) bool {
+				return func(picked, covered, gain int) bool { return picked < k && gain > 0 }
+			}
+			for _, k := range []int{1, 2, 3, 5, 8, n} {
+				label := fmt.Sprintf("%s seed=%d kcover k=%d", inst.Name, seed, k)
+				stamp := BudgetedWith(g, bipartite.NewCoverer(g), contKCover(k))
+				bits := BudgetedWith(g, bipartite.NewBitsetCoverer(g), contKCover(k))
+				resultsEqual(t, label, stamp, bits)
+				// The default entry point must agree with both.
+				resultsEqual(t, label+" (auto)", MaxCover(g, k), bits)
+			}
+			for _, frac := range []int{2, 4} { // cover 1/2 and 3/4 of elements
+				target := g.CoveredElems() * (frac + 1) / (frac + 2)
+				label := fmt.Sprintf("%s seed=%d partial target=%d", inst.Name, seed, target)
+				contPartial := func(picked, covered, gain int) bool {
+					return covered < target && gain > 0
+				}
+				stamp := BudgetedWith(g, bipartite.NewCoverer(g), contPartial)
+				bits := BudgetedWith(g, bipartite.NewBitsetCoverer(g), contPartial)
+				resultsEqual(t, label, stamp, bits)
+			}
+			full := g.CoveredElems()
+			contFull := func(picked, covered, gain int) bool {
+				return covered < full && gain > 0
+			}
+			label := fmt.Sprintf("%s seed=%d setcover", inst.Name, seed)
+			stamp := BudgetedWith(g, bipartite.NewCoverer(g), contFull)
+			bits := BudgetedWith(g, bipartite.NewBitsetCoverer(g), contFull)
+			resultsEqual(t, label, stamp, bits)
+			resultsEqual(t, label+" (auto)", SetCover(g), bits)
+		}
+	}
+}

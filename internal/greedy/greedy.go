@@ -7,11 +7,15 @@
 // order: cached marginal gains are kept in a max-heap and only the top
 // candidate is re-evaluated, which is valid because coverage is submodular
 // so marginals only shrink.
+//
+// Marginals come from a bipartite.CoverageEvaluator: on dense instances
+// (sketch snapshots in particular) that is the bitset popcount engine,
+// otherwise the stamp-array scan — the two produce identical integer
+// gains, so the picked solution is bit-identical either way (pinned by
+// the equivalence property tests in this package).
 package greedy
 
 import (
-	"container/heap"
-
 	"repro/internal/bipartite"
 )
 
@@ -25,33 +29,60 @@ type Result struct {
 	Gains []int
 }
 
-// candidate is a heap entry: a set with its cached (stale) marginal gain.
-type candidate struct {
-	set  int
-	gain int
+// candidate is a heap entry: a set with its cached (stale) marginal
+// gain, packed into one word so the heap orders with a single integer
+// compare — gain in the high 32 bits (descending) and the complemented
+// set id in the low 32 (so equal gains break toward the smaller id).
+// The order is a strict total order — distinct sets give distinct keys —
+// so the maximum is unique and the algorithm is fully deterministic: it
+// picks the same solution as the textbook scan-all greedy that keeps
+// the first maximum.
+type candidate uint64
+
+func packCand(set, gain int) candidate {
+	return candidate(uint64(uint32(gain))<<32 | uint64(^uint32(set)))
 }
 
+func (c candidate) set() int  { return int(^uint32(c)) }
+func (c candidate) gain() int { return int(uint32(c >> 32)) }
+
+// candHeap is a hand-rolled max-heap of packed candidates (no
+// container/heap: the interface indirection costs more than the sift
+// loops on the query hot path).
 type candHeap []candidate
 
-func (h candHeap) Len() int { return len(h) }
-
-// Less orders by gain descending, breaking ties by smaller set id so the
-// algorithm is fully deterministic (it picks the same solution as the
-// textbook scan-all greedy that keeps the first maximum).
-func (h candHeap) Less(i, j int) bool {
-	if h[i].gain != h[j].gain {
-		return h[i].gain > h[j].gain
+func (h candHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h) && h[l] > h[best] {
+			best = l
+		}
+		if r < len(h) && h[r] > h[best] {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
 	}
-	return h[i].set < h[j].set
 }
-func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
-func (h *candHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// init establishes the heap property over arbitrary contents.
+func (h candHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// popTop removes the maximum (h[0]) and returns the shrunk heap.
+func (h candHeap) popTop() candHeap {
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	h.siftDown(0)
+	return h
 }
 
 // MaxCover picks at most k sets of g greedily, maximizing coverage. It is
@@ -90,38 +121,69 @@ func Budgeted(g *bipartite.Graph, cont func(picked, covered, gain int) bool) Res
 	return run(g, cont)
 }
 
+// BudgetedWith is Budgeted over an explicit coverage evaluator instead
+// of the one g.NewEvaluator picks. The equivalence property tests and
+// the query-plane benchmarks use it to compare the stamp and bitset
+// engines on identical instances; the Result is the same either way.
+func BudgetedWith(g *bipartite.Graph, cov bipartite.CoverageEvaluator, cont func(picked, covered, gain int) bool) Result {
+	return runWith(g, cov, cont)
+}
+
+// run picks the coverage evaluator for g (bitset-backed on dense
+// instances such as sketch snapshots, epoch-stamped otherwise) and runs
+// lazy greedy on it.
 func run(g *bipartite.Graph, cont func(picked, covered, gain int) bool) Result {
+	return runWith(g, g.NewEvaluator(), cont)
+}
+
+// runWith dispatches to a concrete-typed instantiation of the greedy
+// loop when the evaluator is one of the two known engines, so the
+// per-marginal method calls devirtualize and inline — on a snapshot
+// graph the bitset marginal is a handful of popcounts, and the dynamic
+// dispatch would cost as much as the work itself.
+func runWith(g *bipartite.Graph, cov bipartite.CoverageEvaluator, cont func(picked, covered, gain int) bool) Result {
+	switch c := cov.(type) {
+	case *bipartite.BitsetCoverer:
+		return runLoop(g, c, cont)
+	case *bipartite.Coverer:
+		return runLoop(g, c, cont)
+	default:
+		return runLoop(g, cov, cont)
+	}
+}
+
+func runLoop[E bipartite.CoverageEvaluator](g *bipartite.Graph, cov E, cont func(picked, covered, gain int) bool) Result {
 	n := g.NumSets()
-	cov := bipartite.NewCoverer(g)
 	h := make(candHeap, 0, n)
 	for s := 0; s < n; s++ {
 		if l := g.SetLen(s); l > 0 {
-			h = append(h, candidate{set: s, gain: l})
+			h = append(h, packCand(s, l))
 		}
 	}
-	heap.Init(&h)
+	h.init()
 
 	res := Result{}
-	for h.Len() > 0 {
+	for len(h) > 0 {
 		top := h[0]
+		set := top.set()
 		// Refresh the cached gain; if it is still at least the runner-up's
 		// cached gain it is the true maximum (submodularity).
-		fresh := cov.Marginal(top.set)
-		if fresh != top.gain {
+		fresh := cov.Marginal(set)
+		if fresh != top.gain() {
 			if fresh <= 0 {
-				heap.Pop(&h)
+				h = h.popTop()
 				continue
 			}
-			h[0].gain = fresh
-			heap.Fix(&h, 0)
+			h[0] = packCand(set, fresh)
+			h.siftDown(0)
 			continue
 		}
 		if !cont(len(res.Sets), cov.Covered(), fresh) {
 			break
 		}
-		heap.Pop(&h)
-		cov.Add(top.set)
-		res.Sets = append(res.Sets, top.set)
+		h = h.popTop()
+		cov.Add(set)
+		res.Sets = append(res.Sets, set)
 		res.Gains = append(res.Gains, fresh)
 	}
 	res.Covered = cov.Covered()

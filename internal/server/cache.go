@@ -1,0 +1,97 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// queryKey identifies a memoizable query outcome. The snapshot seq is
+// part of the key, so publishing a new snapshot invalidates every prior
+// entry naturally (stale seqs age out of the LRU). Parameters that do
+// not affect an algorithm's answer are normalized away (k for outliers
+// and greedy, lambda for kcover and greedy) so equivalent requests share
+// one entry.
+type queryKey struct {
+	seq    uint64
+	algo   Algo
+	k      int
+	lambda float64
+}
+
+func newQueryKey(seq uint64, q Query) queryKey {
+	key := queryKey{seq: seq, algo: q.Algo}
+	switch q.Algo {
+	case AlgoKCover:
+		key.k = q.K
+	case AlgoOutliers:
+		key.lambda = q.Lambda
+	}
+	return key
+}
+
+// queryCache is a small mutex-guarded LRU of QueryResult values. At
+// high QPS the same handful of (snapshot, query) pairs repeats, so a
+// few dozen entries make repeated queries snapshot-lookup cheap instead
+// of greedy-run expensive.
+type queryCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent; values are *cacheEntry
+	byK map[queryKey]*list.Element
+}
+
+type cacheEntry struct {
+	key queryKey
+	res QueryResult
+}
+
+func newQueryCache(capacity int) *queryCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &queryCache{cap: capacity, ll: list.New(), byK: make(map[queryKey]*list.Element)}
+}
+
+// get returns a copy of the cached result for key, if present. The Sets
+// slice is cloned so callers may mutate their result freely — cached
+// answers stay pristine.
+func (c *queryCache) get(key queryKey) (*QueryResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byK[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	res := el.Value.(*cacheEntry).res
+	res.Sets = append([]int(nil), res.Sets...)
+	return &res, true
+}
+
+// put stores res under key, evicting the least-recently-used entry at
+// capacity. The Sets slice is cloned into the entry, so the caller's
+// result — which Query hands out — stays private.
+func (c *queryCache) put(key queryKey, res *QueryResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	stored := *res
+	stored.Sets = append([]int(nil), res.Sets...)
+	if el, ok := c.byK[key]; ok {
+		el.Value.(*cacheEntry).res = stored
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byK[key] = c.ll.PushFront(&cacheEntry{key: key, res: stored})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byK, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of live entries.
+func (c *queryCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -11,12 +11,21 @@
 // periodically, on demand, or lazily by the first query — asks every
 // shard for a consistent clone of its state (a message in the same
 // mailbox as the batches, so it observes every batch sent before it),
-// merges the clones into one sketch, and publishes the result as an
-// immutable Snapshot behind an atomic pointer. Queries run greedy
-// algorithms against the current snapshot without stalling ingest; the
-// merge-composability of the sketch (internal/core/merge.go) makes the
-// snapshot identical to the sketch a single machine would have built
-// over every edge ingested before the merge.
+// merges the clones into one sketch (a parallel tree reduction,
+// core.MergeAll), and publishes the result as an immutable Snapshot
+// behind an atomic pointer. Queries run greedy algorithms against the
+// current snapshot without stalling ingest; the merge-composability of
+// the sketch (internal/core/merge.go) makes the snapshot identical to
+// the sketch a single machine would have built over every edge ingested
+// before the merge.
+//
+// The query plane is engineered for read-heavy traffic (DESIGN.md §7):
+// snapshots carry a precomputed bitset coverage index so greedy
+// marginals are word-level popcounts, a Refresh on an idle engine
+// (ingested-edge counter unchanged) reuses the published snapshot
+// instead of re-merging, concurrent first-snapshot builds collapse into
+// one merge behind refreshMu, and repeated queries against one snapshot
+// are memoized in a small LRU keyed by (snapshot seq, algo, k, lambda).
 package server
 
 import (
@@ -65,6 +74,13 @@ type Config struct {
 	// queries see recent edges without paying a merge themselves.
 	MergeEvery time.Duration
 
+	// QueryCache bounds the engine's memoized QueryResult entries, keyed
+	// by (snapshot seq, algo, k, lambda): repeated queries against an
+	// unchanged snapshot return without re-running greedy, and a new
+	// snapshot seq invalidates naturally. 0 selects the default (64
+	// entries); negative disables caching.
+	QueryCache int
+
 	// Restore, when non-nil, seeds the engine with a previously persisted
 	// sketch (see Engine.WriteSnapshot / core.ReadSketch). The restored
 	// sketch must have been produced by a service with the same Config.
@@ -83,6 +99,16 @@ func (c Config) queueDepth() int {
 		return 64
 	}
 	return c.QueueDepth
+}
+
+func (c Config) queryCache() int {
+	switch {
+	case c.QueryCache < 0:
+		return 0
+	case c.QueryCache == 0:
+		return 64
+	}
+	return c.QueryCache
 }
 
 // params derives the Algorithm 3 sketch parameters from the config.
@@ -162,6 +188,12 @@ type Snapshot struct {
 // Sketch returns the merged H≤n sketch. Callers must not mutate it.
 func (s *Snapshot) Sketch() *core.Sketch { return s.sketch }
 
+// Graph returns the snapshot sketch materialized as a bipartite graph
+// (elements renumbered; see core.Sketch.Graph), with the bitset
+// coverage index already built when profitable. Read-only: the graph is
+// shared with every query running against this snapshot.
+func (s *Snapshot) Graph() *bipartite.Graph { return s.graph }
+
 // Engine is the concurrent sharded ingest engine.
 type Engine struct {
 	cfg    Config
@@ -179,6 +211,13 @@ type Engine struct {
 	ingested atomic.Int64
 	batches  atomic.Int64
 	queries  atomic.Int64
+
+	cache     *queryCache // nil when disabled
+	cacheHits atomic.Int64
+	// refreshes counts coordinator merges that actually ran; refreshSkips
+	// counts Refresh calls satisfied by the idle short-circuit.
+	refreshes    atomic.Int64
+	refreshSkips atomic.Int64
 
 	// batchPool recycles the per-shard sub-batch buffers that Ingest
 	// routes edges into; shards return applied buffers here.
@@ -211,6 +250,7 @@ func New(cfg Config) (*Engine, error) {
 		// and element sampling are independent.
 		part:   distributed.NewPartitioner(cfg.shards(), cfg.Seed+0x5eed),
 		shards: make([]*shard, cfg.shards()),
+		cache:  newQueryCache(cfg.queryCache()),
 	}
 	for i := range e.shards {
 		sh := &shard{
@@ -318,13 +358,27 @@ func (e *Engine) collect(wantClone bool) ([]shardState, error) {
 	return out, nil
 }
 
-// Refresh runs a coordinator merge and publishes a new snapshot. The
-// returned snapshot reflects every edge whose Ingest call returned
-// before Refresh was called.
+// Refresh publishes a snapshot reflecting every edge whose Ingest call
+// returned before Refresh was called. When the ingested-edge counter
+// has not moved since the current snapshot was published, that snapshot
+// already reflects everything and is returned as-is — an idle Refresh
+// costs two atomic loads instead of a full clone-and-merge.
 func (e *Engine) Refresh() (*Snapshot, error) {
 	e.refreshMu.Lock()
 	defer e.refreshMu.Unlock()
+	return e.refreshLocked()
+}
+
+// refreshLocked is Refresh's body; the caller holds refreshMu.
+func (e *Engine) refreshLocked() (*Snapshot, error) {
 	ingested := e.ingested.Load()
+	if snap := e.snap.Load(); snap != nil && snap.IngestedEdges == ingested {
+		// Idle short-circuit. Any Ingest that returned before our counter
+		// read would have bumped it past the snapshot's value, so the
+		// published snapshot still satisfies the Refresh contract.
+		e.refreshSkips.Add(1)
+		return snap, nil
+	}
 	states, err := e.collect(true)
 	if err != nil {
 		return nil, err
@@ -333,11 +387,17 @@ func (e *Engine) Refresh() (*Snapshot, error) {
 	for i, st := range states {
 		clones[i] = st.clone
 	}
+	// Parallel tree reduction across the shard clones (core.MergeAll);
+	// the clones are owned here and discarded after the fold.
 	merged, err := core.MergeAll(e.params, clones...)
 	if err != nil {
 		return nil, err
 	}
 	g, ids := merged.Graph()
+	// Materialize the bitset coverage index now (when profitable for this
+	// graph) so no query pays the build: snapshots are immutable and the
+	// index is shared by every greedy run against them.
+	g.BuildCoverIndex()
 	snap := &Snapshot{
 		Seq:           e.seq.Add(1),
 		CreatedAt:     time.Now(),
@@ -347,16 +407,24 @@ func (e *Engine) Refresh() (*Snapshot, error) {
 		ids:           ids,
 	}
 	e.snap.Store(snap)
+	e.refreshes.Add(1)
 	return snap, nil
 }
 
 // Snapshot returns the current snapshot, building the first one on
-// demand. It never blocks on ingest beyond one coordinator merge.
+// demand. Concurrent first calls collapse into a single coordinator
+// merge behind refreshMu (the losers wait and reuse the winner's
+// snapshot) instead of each triggering an independent Refresh.
 func (e *Engine) Snapshot() (*Snapshot, error) {
 	if s := e.snap.Load(); s != nil {
 		return s, nil
 	}
-	return e.Refresh()
+	e.refreshMu.Lock()
+	defer e.refreshMu.Unlock()
+	if s := e.snap.Load(); s != nil { // built while we waited for the lock
+		return s, nil
+	}
+	return e.refreshLocked()
 }
 
 // Algo identifies a query algorithm.
@@ -406,7 +474,22 @@ type QueryResult struct {
 
 // Query executes q against the current (or freshly merged) snapshot.
 // Safe for concurrent use with Ingest: the snapshot is immutable.
+// Results for an unchanged snapshot are memoized (see Config.QueryCache);
+// every call returns a privately owned Sets slice either way.
 func (e *Engine) Query(q Query) (*QueryResult, error) {
+	switch q.Algo {
+	case AlgoKCover:
+		if q.K <= 0 {
+			return nil, fmt.Errorf("server: kcover query needs positive k")
+		}
+	case AlgoOutliers:
+		if !(q.Lambda > 0 && q.Lambda < 1) {
+			return nil, fmt.Errorf("server: outliers query needs lambda in (0,1), got %v", q.Lambda)
+		}
+	case AlgoGreedy:
+	default:
+		return nil, fmt.Errorf("server: unknown query algo %q", q.Algo)
+	}
 	var (
 		snap *Snapshot
 		err  error
@@ -420,25 +503,24 @@ func (e *Engine) Query(q Query) (*QueryResult, error) {
 		return nil, err
 	}
 	e.queries.Add(1)
+	key := newQueryKey(snap.Seq, q)
+	if e.cache != nil {
+		if res, ok := e.cache.get(key); ok {
+			e.cacheHits.Add(1)
+			return res, nil
+		}
+	}
 	var res greedy.Result
 	switch q.Algo {
 	case AlgoKCover:
-		if q.K <= 0 {
-			return nil, fmt.Errorf("server: kcover query needs positive k")
-		}
 		res = greedy.MaxCover(snap.graph, q.K)
 	case AlgoOutliers:
-		if !(q.Lambda > 0 && q.Lambda < 1) {
-			return nil, fmt.Errorf("server: outliers query needs lambda in (0,1), got %v", q.Lambda)
-		}
 		target := int(float64(snap.graph.CoveredElems()) * (1 - q.Lambda))
 		res = greedy.PartialCover(snap.graph, target)
 	case AlgoGreedy:
 		res = greedy.SetCover(snap.graph)
-	default:
-		return nil, fmt.Errorf("server: unknown query algo %q", q.Algo)
 	}
-	return &QueryResult{
+	out := &QueryResult{
 		Algo:              q.Algo,
 		Sets:              res.Sets,
 		SketchCoverage:    res.Covered,
@@ -447,7 +529,11 @@ func (e *Engine) Query(q Query) (*QueryResult, error) {
 		PStar:             snap.sketch.PStar(),
 		SnapshotSeq:       snap.Seq,
 		SnapshotEdges:     snap.IngestedEdges,
-	}, nil
+	}
+	if e.cache != nil {
+		e.cache.put(key, out)
+	}
+	return out, nil
 }
 
 // WriteSnapshot merges and persists the service state; the bytes restore
@@ -471,11 +557,19 @@ func (e *Engine) WriteSnapshot(w io.Writer) (*Snapshot, error) {
 
 // Stats reports engine-level accounting.
 type Stats struct {
-	Shards        int          `json:"shards"`
-	IngestedEdges int64        `json:"ingested_edges"`
-	Batches       int64        `json:"batches"`
-	Queries       int64        `json:"queries"`
-	ShardStats    []core.Stats `json:"shard_stats"`
+	Shards        int   `json:"shards"`
+	IngestedEdges int64 `json:"ingested_edges"`
+	Batches       int64 `json:"batches"`
+	Queries       int64 `json:"queries"`
+	// QueryCacheHits counts queries answered from the memoized result
+	// cache; QueryCacheEntries is its current occupancy (0 when disabled).
+	QueryCacheHits    int64 `json:"query_cache_hits"`
+	QueryCacheEntries int   `json:"query_cache_entries"`
+	// Refreshes counts coordinator merges that ran; RefreshSkips counts
+	// Refresh calls satisfied by the idle short-circuit.
+	Refreshes    int64        `json:"refreshes"`
+	RefreshSkips int64        `json:"refresh_skips"`
+	ShardStats   []core.Stats `json:"shard_stats"`
 	// Snapshot describes the current merged snapshot (zero Seq: none yet).
 	SnapshotSeq      uint64  `json:"snapshot_seq"`
 	SnapshotEdges    int64   `json:"snapshot_edges"`
@@ -492,10 +586,16 @@ func (e *Engine) Stats() (*Stats, error) {
 		return nil, err
 	}
 	st := &Stats{
-		Shards:        len(e.shards),
-		IngestedEdges: e.ingested.Load(),
-		Batches:       e.batches.Load(),
-		Queries:       e.queries.Load(),
+		Shards:         len(e.shards),
+		IngestedEdges:  e.ingested.Load(),
+		Batches:        e.batches.Load(),
+		Queries:        e.queries.Load(),
+		QueryCacheHits: e.cacheHits.Load(),
+		Refreshes:      e.refreshes.Load(),
+		RefreshSkips:   e.refreshSkips.Load(),
+	}
+	if e.cache != nil {
+		st.QueryCacheEntries = e.cache.len()
 	}
 	for _, s := range states {
 		st.ShardStats = append(st.ShardStats, s.stats)

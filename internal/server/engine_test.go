@@ -290,3 +290,277 @@ func TestEngineValidation(t *testing.T) {
 		t.Fatal("stats after close accepted")
 	}
 }
+
+// TestFirstSnapshotSingleflight pins the thundering-herd fix: concurrent
+// Snapshot() calls on an engine with no snapshot yet must collapse into
+// exactly one coordinator merge.
+func TestFirstSnapshotSingleflight(t *testing.T) {
+	inst := workload.Uniform(30, 1500, 0.08, 17)
+	e, err := New(testConfig(30, 1500, 4, 23, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ingestAll(t, e, inst.G, 200, 3)
+
+	const callers = 16
+	snaps := make([]*Snapshot, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := e.Snapshot()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			snaps[i] = s
+		}(i)
+	}
+	wg.Wait()
+	for i, s := range snaps {
+		if s == nil || s.Seq != 1 {
+			t.Fatalf("caller %d got snapshot %+v, want the single Seq=1 merge", i, s)
+		}
+		if s != snaps[0] {
+			t.Fatalf("caller %d got a different snapshot object", i)
+		}
+	}
+	st, err := e.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Refreshes != 1 {
+		t.Fatalf("%d coordinator merges ran for %d concurrent first snapshots", st.Refreshes, callers)
+	}
+}
+
+// TestIdleRefreshShortCircuits pins satellite 2: Refresh (and
+// Query{Refresh:true}) on an engine whose ingested-edge counter has not
+// moved reuses the published snapshot instead of re-merging, and the
+// snapshot Seq does not advance.
+func TestIdleRefreshShortCircuits(t *testing.T) {
+	inst := workload.Zipf(30, 2000, 400, 0.9, 0.7, 19)
+	e, err := New(testConfig(30, 2000, 4, 31, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ingestAll(t, e, inst.G, 300, 5)
+
+	first, err := e.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Seq != 1 {
+		t.Fatalf("first refresh got seq %d", first.Seq)
+	}
+	again, err := e.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatal("idle Refresh rebuilt the snapshot")
+	}
+	res, err := e.Query(Query{Algo: AlgoKCover, K: 4, Refresh: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SnapshotSeq != first.Seq {
+		t.Fatalf("idle Query{Refresh:true} advanced seq to %d", res.SnapshotSeq)
+	}
+	st, err := e.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Refreshes != 1 || st.RefreshSkips != 2 {
+		t.Fatalf("refreshes=%d skips=%d, want 1 merge and 2 short-circuits", st.Refreshes, st.RefreshSkips)
+	}
+
+	// New edges re-arm the merge.
+	if _, err := e.Ingest([]bipartite.Edge{{Set: 0, Elem: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Seq != first.Seq+1 {
+		t.Fatalf("dirty refresh got seq %d, want %d", after.Seq, first.Seq+1)
+	}
+}
+
+// TestQueryCache pins the memoized query plane: repeated queries on one
+// snapshot hit the cache and return identical answers, distinct
+// parameters and new snapshots miss.
+func TestQueryCache(t *testing.T) {
+	inst := workload.PlantedKCover(40, 2500, 5, 0.9, 25, 3)
+	e, err := New(testConfig(40, 2500, 5, 7, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ingestAll(t, e, inst.G, 400, 1)
+
+	q := Query{Algo: AlgoKCover, K: 5}
+	first, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Sets) != len(second.Sets) {
+		t.Fatalf("cached answer differs: %v vs %v", first.Sets, second.Sets)
+	}
+	for i := range first.Sets {
+		if first.Sets[i] != second.Sets[i] {
+			t.Fatalf("cached answer differs: %v vs %v", first.Sets, second.Sets)
+		}
+	}
+	st, _ := e.Stats()
+	if st.QueryCacheHits != 1 {
+		t.Fatalf("cache hits = %d after a repeated query, want 1", st.QueryCacheHits)
+	}
+
+	// Different k, different algo: misses.
+	if _, err := e.Query(Query{Algo: AlgoKCover, K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(Query{Algo: AlgoGreedy}); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = e.Stats()
+	if st.QueryCacheHits != 1 {
+		t.Fatalf("distinct queries hit the cache (hits=%d)", st.QueryCacheHits)
+	}
+	if st.QueryCacheEntries != 3 {
+		t.Fatalf("cache holds %d entries, want 3", st.QueryCacheEntries)
+	}
+
+	// A new snapshot seq invalidates: same query misses, then hits again.
+	if _, err := e.Ingest([]bipartite.Edge{{Set: 1, Elem: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = e.Stats()
+	if st.QueryCacheHits != 1 {
+		t.Fatalf("query against a fresh snapshot hit a stale entry (hits=%d)", st.QueryCacheHits)
+	}
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = e.Stats()
+	if st.QueryCacheHits != 2 {
+		t.Fatalf("repeat on the fresh snapshot missed (hits=%d)", st.QueryCacheHits)
+	}
+}
+
+// TestQueryCacheDisabled pins the opt-out: QueryCache < 0 turns
+// memoization off entirely.
+func TestQueryCacheDisabled(t *testing.T) {
+	inst := workload.Uniform(20, 800, 0.1, 5)
+	cfg := testConfig(20, 800, 3, 9, 2)
+	cfg.QueryCache = -1
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ingestAll(t, e, inst.G, 200, 2)
+	q := Query{Algo: AlgoKCover, K: 3}
+	for i := 0; i < 3; i++ {
+		if _, err := e.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := e.Stats()
+	if st.QueryCacheHits != 0 || st.QueryCacheEntries != 0 {
+		t.Fatalf("disabled cache recorded hits=%d entries=%d", st.QueryCacheHits, st.QueryCacheEntries)
+	}
+}
+
+// TestQueryCacheLRUEviction bounds the cache: more distinct keys than
+// capacity must evict the least recently used, never grow unbounded.
+func TestQueryCacheLRUEviction(t *testing.T) {
+	inst := workload.Uniform(30, 800, 0.1, 8)
+	cfg := testConfig(30, 800, 3, 13, 2)
+	cfg.QueryCache = 4
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ingestAll(t, e, inst.G, 200, 2)
+	for k := 1; k <= 10; k++ {
+		if _, err := e.Query(Query{Algo: AlgoKCover, K: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := e.Stats()
+	if st.QueryCacheEntries != 4 {
+		t.Fatalf("cache grew to %d entries with capacity 4", st.QueryCacheEntries)
+	}
+	// k=10 is the most recent entry: must still hit. k=1 was evicted.
+	if _, err := e.Query(Query{Algo: AlgoKCover, K: 10}); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = e.Stats()
+	if st.QueryCacheHits != 1 {
+		t.Fatalf("most-recent entry evicted (hits=%d)", st.QueryCacheHits)
+	}
+	if _, err := e.Query(Query{Algo: AlgoKCover, K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = e.Stats()
+	if st.QueryCacheHits != 1 {
+		t.Fatalf("evicted entry hit (hits=%d)", st.QueryCacheHits)
+	}
+}
+
+// TestQueryResultIsPrivate pins the aliasing contract: mutating a
+// returned Sets slice must not corrupt the cached entry other callers
+// receive.
+func TestQueryResultIsPrivate(t *testing.T) {
+	inst := workload.Uniform(20, 800, 0.1, 21)
+	e, err := New(testConfig(20, 800, 3, 5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ingestAll(t, e, inst.G, 200, 2)
+
+	q := Query{Algo: AlgoKCover, K: 3}
+	first, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int(nil), first.Sets...)
+	for i := range first.Sets {
+		first.Sets[i] = -1 // caller scribbles on its result
+	}
+	second, err := e.Query(q) // cache hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range second.Sets {
+		if second.Sets[i] != want[i] {
+			t.Fatalf("cached answer corrupted by caller mutation: %v, want %v", second.Sets, want)
+		}
+	}
+	second.Sets[0] = -2
+	third, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Sets[0] != want[0] {
+		t.Fatalf("cache hit handed out a shared slice: %v, want %v", third.Sets, want)
+	}
+}

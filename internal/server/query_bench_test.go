@@ -1,0 +1,115 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// benchEngine builds an engine over the dense-degree workload, ingests
+// everything and publishes one snapshot — the steady state the query
+// benchmarks measure against.
+func benchEngine(b *testing.B, cache int) *Engine {
+	b.Helper()
+	const n, m = 200, 20000
+	inst := workload.LargeSets(n, m, 0.3, 1)
+	cfg := Config{
+		NumSets: n, NumElems: m, K: 10,
+		Eps: 0.3, Seed: 7, EdgeBudget: 40 * n,
+		Shards: 8, QueryCache: cache,
+	}
+	e, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := stream.Drain(stream.Shuffled(inst.G, 2))
+	for lo := 0; lo < len(edges); lo += 4096 {
+		hi := lo + 4096
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		if _, err := e.Ingest(edges[lo:hi]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := e.Refresh(); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkQueryKCoverCached is the high-QPS hot path: the same query
+// against an unchanged snapshot, answered from the memoized cache.
+func BenchmarkQueryKCoverCached(b *testing.B) {
+	e := benchEngine(b, 0) // default cache
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(Query{Algo: AlgoKCover, K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryKCoverUncached re-runs bitset lazy greedy per query
+// (cache disabled) — the cost of a cache miss on a fresh snapshot.
+func BenchmarkQueryKCoverUncached(b *testing.B) {
+	e := benchEngine(b, -1)
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(Query{Algo: AlgoKCover, K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryGreedyUncached prices the most expensive query algo
+// (full greedy set cover) per call.
+func BenchmarkQueryGreedyUncached(b *testing.B) {
+	e := benchEngine(b, -1)
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(Query{Algo: AlgoGreedy}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryRefreshIdle measures Refresh's idle short-circuit: no
+// new edges since the published snapshot, so no clone or merge runs.
+func BenchmarkQueryRefreshIdle(b *testing.B) {
+	e := benchEngine(b, 0)
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryRefreshDirty measures a full coordinator merge (clone
+// every shard, parallel tree reduce, materialize graph + cover index):
+// each iteration ingests one edge to re-arm the merge.
+func BenchmarkQueryRefreshDirty(b *testing.B) {
+	e := benchEngine(b, 0)
+	defer e.Close()
+	edge := stream.Drain(stream.Shuffled(workload.LargeSets(200, 20000, 0.3, 1).G, 3))[:1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Ingest(edge); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -74,6 +74,7 @@ func Experiments() map[string]Runner {
 		"dist-merge":        RunDistMerge,
 		"ext-weighted":      RunExtWeighted,
 		"ingest-throughput": RunIngestThroughput,
+		"query-throughput":  RunQueryThroughput,
 	}
 }
 

@@ -32,6 +32,10 @@ type ServiceOptions struct {
 	// MergeEvery, when positive, merges shard sketches into a fresh
 	// queryable snapshot on this period.
 	MergeEvery time.Duration
+	// QueryCache bounds the memoized query results kept per snapshot
+	// (repeated queries against an unchanged snapshot return without
+	// re-running greedy). 0 selects the default (64); negative disables.
+	QueryCache int
 }
 
 // Service is a live, concurrently-ingestible coverage-query service: the
@@ -86,6 +90,7 @@ func newService(numSets int, opt ServiceOptions, restore *core.Sketch) (*Service
 		Shards:      opt.Shards,
 		QueueDepth:  opt.BatchQueue,
 		MergeEvery:  opt.MergeEvery,
+		QueryCache:  opt.QueryCache,
 		Restore:     restore,
 	})
 	if err != nil {
@@ -223,6 +228,10 @@ type ServiceStats struct {
 	SketchElements int
 	// PStar is the snapshot's sampling probability.
 	PStar float64
+	// Queries counts queries served; QueryCacheHits counts those answered
+	// from the memoized result cache without re-running greedy.
+	Queries        int64
+	QueryCacheHits int64
 }
 
 // Stats returns a consistent accounting of the service.
@@ -238,6 +247,8 @@ func (s *Service) Stats() (*ServiceStats, error) {
 		SketchEdges:    st.SnapshotKept,
 		SketchElements: st.SnapshotElements,
 		PStar:          st.SnapshotPStar,
+		Queries:        st.Queries,
+		QueryCacheHits: st.QueryCacheHits,
 	}, nil
 }
 

@@ -194,3 +194,40 @@ func TestServiceValidation(t *testing.T) {
 		t.Fatal("ingest after close accepted")
 	}
 }
+
+// TestServiceQueryCacheStats pins the query-cache passthrough: repeated
+// identical queries against one snapshot register as cache hits in the
+// service stats, and answers stay identical.
+func TestServiceQueryCacheStats(t *testing.T) {
+	const n, m, k = 40, 2000, 4
+	inst := GenerateZipf(n, m, 500, 0.9, 0.7, 9)
+	svc, err := NewService(n, ServiceOptions{
+		Options: Options{Eps: 0.4, Seed: 11, NumElems: m, EdgeBudget: 50 * n},
+		K:       k, Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.IngestStream(inst.EdgeStream(3), 256); err != nil {
+		t.Fatal(err)
+	}
+	first, err := svc.KCover(k, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := svc.KCover(k, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.EstimatedCoverage != second.EstimatedCoverage || len(first.Sets) != len(second.Sets) {
+		t.Fatalf("cached answer differs: %+v vs %+v", first, second)
+	}
+	st, err := svc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 2 || st.QueryCacheHits != 1 {
+		t.Fatalf("stats queries=%d hits=%d, want 2 and 1", st.Queries, st.QueryCacheHits)
+	}
+}
