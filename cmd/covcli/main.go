@@ -12,9 +12,17 @@
 //	covcli -server http://127.0.0.1:8080 -file inst.txt -k 10 \
 //	       -eps 0.4 -seed 7 -budget 10000 -compare
 //
-// The -eps/-seed/-budget/-space-factor flags only matter with -compare:
-// they must repeat the server's configuration for the offline run to
-// build the same sketch.
+// The -eps/-seed/-budget/-space-factor flags matter with -compare (they
+// must repeat the server's configuration for the offline run to build
+// the same sketch) and with -create-ns (they configure the namespace).
+//
+// With -ns, covcli targets a namespace on a multi-tenant server (the
+// /v1/ns/{name}/… routes) instead of the default dataset; -create-ns
+// first creates the namespace from the instance dimensions and the
+// sketch flags:
+//
+//	covcli -server http://127.0.0.1:8080 -ns tenant-a -create-ns \
+//	       -file inst.txt -k 10 -eps 0.4 -seed 7 -budget 10000 -compare
 package main
 
 import (
@@ -42,10 +50,16 @@ func main() {
 		budget    = flag.Int("budget", 0, "server's edge budget override (for -compare)")
 		space     = flag.Float64("space-factor", 0, "server's space factor (for -compare)")
 		compare   = flag.Bool("compare", false, "run the offline algorithm locally and verify the answers match")
+		ns        = flag.String("ns", "", "target namespace (empty = the server's default dataset)")
+		createNS  = flag.Bool("create-ns", false, "create -ns on the server first, from the instance dimensions and sketch flags")
 	)
 	flag.Parse()
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "covcli: -file is required")
+		os.Exit(2)
+	}
+	if *createNS && *ns == "" {
+		fmt.Fprintln(os.Stderr, "covcli: -create-ns requires -ns")
 		os.Exit(2)
 	}
 	f, err := os.Open(*file)
@@ -61,6 +75,33 @@ func main() {
 		*file, inst.NumSets(), inst.NumElems(), inst.NumEdges(), *batch)
 
 	client := &http.Client{Timeout: 60 * time.Second}
+	// All dataset routes hang off this prefix: the legacy default-dataset
+	// surface, or a namespace-scoped one with -ns.
+	apiBase := *serverURL + "/v1"
+	if *ns != "" {
+		apiBase = *serverURL + "/v1/ns/" + *ns
+	}
+	if *createNS {
+		body, _ := json.Marshal(map[string]interface{}{
+			"name": *ns, "num_sets": inst.NumSets(), "num_elems": inst.NumElems(),
+			"k": *k, "eps": *eps, "seed": *seed,
+			"edge_budget": *budget, "space_factor": *space,
+		})
+		resp, err := client.Post(*serverURL+"/v1/ns", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fatal(err)
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusCreated:
+			fmt.Fprintf(os.Stderr, "covcli: created namespace %q\n", *ns)
+		case http.StatusConflict:
+			fmt.Fprintf(os.Stderr, "covcli: namespace %q already exists; replaying into it as-is\n", *ns)
+		default:
+			fatal(fmt.Errorf("POST /v1/ns: %s: %s", resp.Status, bytes.TrimSpace(msg)))
+		}
+	}
 	start := time.Now()
 	sent, batches := 0, 0
 	st := inst.EdgeStream(*seed)
@@ -70,14 +111,14 @@ func main() {
 			return nil
 		}
 		body, _ := json.Marshal(map[string]interface{}{"edges": pairs})
-		resp, err := client.Post(*serverURL+"/v1/edges", "application/json", bytes.NewReader(body))
+		resp, err := client.Post(apiBase+"/edges", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			msg, _ := io.ReadAll(resp.Body)
-			return fmt.Errorf("POST /v1/edges: %s: %s", resp.Status, bytes.TrimSpace(msg))
+			return fmt.Errorf("POST %s/edges: %s: %s", apiBase, resp.Status, bytes.TrimSpace(msg))
 		}
 		sent += len(pairs)
 		batches++
@@ -103,14 +144,14 @@ func main() {
 		sent, batches, time.Since(start).Round(time.Millisecond))
 
 	// Merge, then query.
-	resp, err := client.Post(*serverURL+"/v1/snapshot", "", nil)
+	resp, err := client.Post(apiBase+"/snapshot", "", nil)
 	if err != nil {
 		fatal(err)
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 
-	qURL := fmt.Sprintf("%s/v1/query?algo=kcover&k=%d", *serverURL, *k)
+	qURL := fmt.Sprintf("%s/query?algo=kcover&k=%d", apiBase, *k)
 	resp, err = client.Get(qURL)
 	if err != nil {
 		fatal(err)
@@ -124,7 +165,7 @@ func main() {
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		fatal(fmt.Errorf("GET /v1/query: %s: %s", resp.Status, bytes.TrimSpace(msg)))
+		fatal(fmt.Errorf("GET %s/query: %s: %s", apiBase, resp.Status, bytes.TrimSpace(msg)))
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&remote); err != nil {
 		fatal(err)

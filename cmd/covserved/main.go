@@ -1,31 +1,47 @@
-// Command covserved serves coverage queries over a live edge stream: a
-// sharded concurrent ingest engine (internal/server) behind an HTTP JSON
-// API. Edges arrive in batches; queries run the paper's algorithms on a
-// merged snapshot of the shard sketches without stalling ingest.
+// Command covserved serves coverage queries over live edge streams: a
+// multi-tenant directory of sharded concurrent ingest engines
+// (internal/server) behind an HTTP JSON API. Each namespace is an
+// isolated dataset with its own shard sketches, snapshots and query
+// cache; edges arrive in batches, and queries run the paper's
+// algorithms on a merged snapshot without stalling ingest.
 //
 // Usage:
 //
 //	covserved -n 1000 -k 10 -addr :8080
 //	covserved -n 1000 -k 10 -shards 8 -merge-every 2s -snapshot-file state.skch
+//	covserved -n 1000 -k 10 -ns production
 //
-// API:
+// The sketch flags (-n, -k, -eps, …) configure the bootstrap namespace,
+// named by -ns ("default" unless overridden). Further namespaces are
+// created and deleted at runtime through the /v1/ns API; see the README
+// for the full endpoint reference:
 //
-//	POST /v1/edges     {"edges": [[set, elem], ...]}   bulk ingest
-//	GET  /v1/query?algo=kcover&k=10[&refresh=1]        query a snapshot
-//	GET  /v1/query?algo=outliers&lambda=0.1
-//	GET  /v1/query?algo=greedy
-//	GET  /v1/stats                                     engine accounting
-//	POST /v1/snapshot                                  merge (+persist)
-//	GET  /v1/healthz                                   liveness
+//	POST   /v1/edges                bulk ingest (default namespace)
+//	GET    /v1/query?algo=kcover&k=10[&refresh=1]
+//	GET    /v1/stats                engine accounting
+//	POST   /v1/snapshot             merge (+persist all namespaces)
+//	GET    /v1/healthz              liveness
+//	GET    /v1/ns                   list namespaces
+//	POST   /v1/ns                   create a namespace
+//	GET    /v1/ns/{name}            namespace directory entry
+//	DELETE /v1/ns/{name}            delete a namespace
+//	POST   /v1/ns/{name}/edges      namespace-scoped ingest
+//	GET    /v1/ns/{name}/query      namespace-scoped query
+//	GET    /v1/ns/{name}/stats      namespace-scoped accounting
+//	POST   /v1/ns/{name}/snapshot   merge namespace (+persist all)
 //
-// With -snapshot-file, POST /v1/snapshot persists the merged sketch and
-// covserved restores from the file at startup when it exists, resuming
-// the service where the last snapshot left it. Use cmd/covcli to replay
-// an instance file against a running server and verify the answer
-// against the offline single-pass algorithm.
+// With -snapshot-file, POST …/snapshot persists every namespace into
+// one file (snapshot format v2) and covserved restores all of them at
+// startup when the file exists. Files written by pre-namespace versions
+// (single-sketch format v1) restore into the bootstrap namespace, so
+// old deployments upgrade in place. Use cmd/covcli to replay an
+// instance file against a running server — optionally into a specific
+// namespace via its -ns flag — and verify the answer against the
+// offline single-pass algorithm.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"net/http"
@@ -49,13 +65,18 @@ func main() {
 		shards     = flag.Int("shards", 4, "ingest worker shards")
 		queue      = flag.Int("queue", 64, "per-shard queue depth, in batches")
 		mergeEvery = flag.Duration("merge-every", 0, "periodic snapshot merge (0 = on demand only)")
-		snapFile   = flag.String("snapshot-file", "", "persist/restore the merged sketch here")
+		nsName     = flag.String("ns", server.DefaultNamespace, "bootstrap namespace the sketch flags configure (and the unprefixed routes serve)")
+		snapFile   = flag.String("snapshot-file", "", "persist/restore all namespaces here (v2; v1 files restore into -ns)")
 		maxBatch   = flag.Int("max-batch", 1<<20, "largest accepted ingest batch, in edges")
 		maxBody    = flag.Int64("max-body-bytes", 0, "largest accepted request body (0 = derive from -max-batch)")
 	)
 	flag.Parse()
 	if *n <= 0 {
 		fmt.Fprintln(os.Stderr, "covserved: -n (number of sets) is required")
+		os.Exit(2)
+	}
+	if err := server.ValidateNamespaceName(*nsName); err != nil {
+		fmt.Fprintf(os.Stderr, "covserved: -ns: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -71,33 +92,40 @@ func main() {
 		QueueDepth:  *queue,
 		MergeEvery:  *mergeEvery,
 	}
+
+	multi := server.NewMulti(*nsName)
+	defer multi.Close()
 	if *snapFile != "" {
-		if f, err := os.Open(*snapFile); err == nil {
-			sk, rerr := core.ReadSketch(f)
-			f.Close()
-			if rerr != nil {
-				fmt.Fprintf(os.Stderr, "covserved: restoring %s: %v\n", *snapFile, rerr)
+		if data, err := os.ReadFile(*snapFile); err == nil {
+			if err := restore(multi, data, &cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "covserved: restoring %s: %v\n", *snapFile, err)
 				os.Exit(1)
 			}
-			cfg.Restore = sk
-			fmt.Fprintf(os.Stderr, "covserved: restored %d kept edges from %s\n", sk.Edges(), *snapFile)
+			if cfg.Restore != nil {
+				fmt.Fprintf(os.Stderr, "covserved: restored v1 sketch (%d kept edges) from %s into namespace %s\n",
+					cfg.Restore.Edges(), *snapFile, *nsName)
+			} else {
+				fmt.Fprintf(os.Stderr, "covserved: restored %d namespace(s) from %s\n",
+					len(multi.List()), *snapFile)
+			}
+		}
+	}
+	// Bootstrap the flag-configured namespace unless the snapshot already
+	// brought it back (its persisted config then wins over the flags).
+	if _, ok := multi.Get(*nsName); !ok {
+		if _, err := multi.Create(*nsName, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "covserved: %v\n", err)
+			os.Exit(1)
 		}
 	}
 
-	eng, err := server.New(cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "covserved: %v\n", err)
-		os.Exit(1)
-	}
-	defer eng.Close()
-
-	handler := server.NewHTTPHandler(eng, server.HTTPOptions{
+	handler := server.NewMultiHandler(multi, server.HTTPOptions{
 		MaxBatchEdges: *maxBatch,
 		MaxBodyBytes:  *maxBody,
 		SnapshotPath:  *snapFile,
 	})
-	fmt.Fprintf(os.Stderr, "covserved: serving n=%d k=%d eps=%g shards=%d on %s\n",
-		*n, *k, *eps, *shards, *addr)
+	fmt.Fprintf(os.Stderr, "covserved: serving ns=%s n=%d k=%d eps=%g shards=%d on %s\n",
+		*nsName, *n, *k, *eps, *shards, *addr)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -107,4 +135,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "covserved: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// restore loads a snapshot file, sniffing the format: a v2 container
+// (MCOV2) recreates every persisted namespace; a pre-namespace v1
+// sketch file (SKCH1) seeds the bootstrap namespace's config so the
+// upgraded server resumes exactly where the single-dataset one left
+// off.
+func restore(multi *server.Multi, data []byte, cfg *server.Config) error {
+	if len(data) >= len(server.MultiSnapshotMagic) &&
+		string(data[:len(server.MultiSnapshotMagic)]) == server.MultiSnapshotMagic {
+		_, err := multi.RestoreAll(bytes.NewReader(data))
+		return err
+	}
+	sk, err := core.ReadSketch(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	cfg.Restore = sk
+	return nil
 }

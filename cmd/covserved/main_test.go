@@ -9,9 +9,97 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/bipartite"
 	"repro/internal/server"
 	"repro/streamcover"
 )
+
+// TestRestoreSniffsSnapshotFormats pins covserved's startup path: a v2
+// container restores every namespace, while a pre-namespace v1 sketch
+// file seeds the bootstrap namespace's Config so the upgraded server
+// resumes the old single-dataset state.
+func TestRestoreSniffsSnapshotFormats(t *testing.T) {
+	cfg := server.Config{NumSets: 20, K: 3, Eps: 0.4, Seed: 5, EdgeBudget: 800, Shards: 2}
+	edges := make([]bipartite.Edge, 0, 200)
+	for i := 0; i < 200; i++ {
+		edges = append(edges, bipartite.Edge{Set: uint32(i % 20), Elem: uint32(i % 97)})
+	}
+
+	// A v1 file, as a pre-namespace covserved would have written it.
+	src, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Ingest(edges); err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if _, err := src.WriteSnapshot(&v1); err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+
+	bootCfg := cfg
+	m1 := server.NewMulti("legacy")
+	defer m1.Close()
+	if err := restore(m1, v1.Bytes(), &bootCfg); err != nil {
+		t.Fatal(err)
+	}
+	// v1: nothing created yet — the sketch rides the bootstrap config.
+	if got := len(m1.List()); got != 0 {
+		t.Fatalf("v1 restore created %d namespaces, want 0", got)
+	}
+	if bootCfg.Restore == nil {
+		t.Fatal("v1 restore did not seed Config.Restore")
+	}
+	eng, err := m1.Create("legacy", bootCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.IngestedEdges(); got != int64(len(edges)) {
+		t.Fatalf("restored bootstrap namespace has %d edges, want %d", got, len(edges))
+	}
+
+	// A v2 container with two namespaces.
+	m2 := server.NewMulti("")
+	a, err := m2.Create("default", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Create("tenant-b", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Ingest(edges); err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := m2.WriteSnapshot(&v2); err != nil {
+		t.Fatal(err)
+	}
+	m2.Close()
+
+	freshCfg := cfg
+	m3 := server.NewMulti("")
+	defer m3.Close()
+	if err := restore(m3, v2.Bytes(), &freshCfg); err != nil {
+		t.Fatal(err)
+	}
+	if freshCfg.Restore != nil {
+		t.Fatal("v2 restore should not touch the bootstrap config")
+	}
+	infos := m3.List()
+	if len(infos) != 2 || infos[0].Name != "default" || infos[1].Name != "tenant-b" {
+		t.Fatalf("v2 restore namespaces: %+v", infos)
+	}
+	if infos[0].IngestedEdges != int64(len(edges)) {
+		t.Fatalf("v2 restored default has %d edges, want %d", infos[0].IngestedEdges, len(edges))
+	}
+
+	// Garbage is an error, not a silent fresh start.
+	if err := restore(server.NewMulti(""), []byte("garbage"), &cfg); err == nil {
+		t.Fatal("restore accepted garbage")
+	}
+}
 
 // TestEndToEndAgainstOfflineKCover is the acceptance test of the service
 // subsystem: covserved's handler on a loopback listener, a generated
@@ -31,21 +119,24 @@ func TestEndToEndAgainstOfflineKCover(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// covserved's engine + handler on a loopback listener, 4 shards.
-	eng, err := server.New(server.Config{
+	// covserved's namespace directory + multi-tenant handler on a
+	// loopback listener, exactly as main() assembles them; the test
+	// drives the legacy unprefixed routes, which alias the bootstrap
+	// namespace.
+	multi := server.NewMulti(server.DefaultNamespace)
+	defer multi.Close()
+	if _, err := multi.Create(server.DefaultNamespace, server.Config{
 		NumSets: n, NumElems: m, K: k,
 		Eps: opt.Eps, Seed: opt.Seed, EdgeBudget: opt.EdgeBudget,
 		Shards: 4, QueueDepth: 4,
-	})
-	if err != nil {
+	}); err != nil {
 		t.Fatal(err)
 	}
-	defer eng.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := &http.Server{Handler: server.NewHTTPHandler(eng, server.HTTPOptions{})}
+	srv := &http.Server{Handler: server.NewMultiHandler(multi, server.HTTPOptions{})}
 	go srv.Serve(ln)
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()

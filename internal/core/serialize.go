@@ -18,9 +18,12 @@ import (
 // replaying the kept edges and folding the stored bar reproduces the
 // sketch exactly (see merge.go for the argument).
 
-// sketchMagic heads every serialized sketch; the trailing digit is the
-// format version.
-const sketchMagic = "SKCH1"
+// SketchMagic heads every serialized sketch; the trailing digit is the
+// format version. Exported so containers that embed or sniff sketch
+// blobs (the service's multi-namespace snapshot v2, covserved's restore
+// path) can distinguish a bare v1 sketch file from their own framing
+// without attempting a full decode.
+const SketchMagic = "SKCH1"
 
 // Clone returns a deep copy of the sketch. The copy shares only the
 // (stateless, read-only) hash function with the original; mutating one
@@ -76,10 +79,10 @@ func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
 		n += int64(binary.Size(v))
 		return nil
 	}
-	if _, err := bw.WriteString(sketchMagic); err != nil {
+	if _, err := bw.WriteString(SketchMagic); err != nil {
 		return n, err
 	}
-	n += int64(len(sketchMagic))
+	n += int64(len(SketchMagic))
 	p := s.params
 	fields := []interface{}{
 		int64(p.NumSets), int64(p.NumElems), int64(p.K),
@@ -120,11 +123,11 @@ func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
 // they describe the stream, not the sketch).
 func ReadSketch(r io.Reader) (*Sketch, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(sketchMagic))
+	magic := make([]byte, len(SketchMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("core: reading sketch header: %w", err)
 	}
-	if string(magic) != sketchMagic {
+	if string(magic) != SketchMagic {
 		return nil, fmt.Errorf("core: bad sketch magic %q", magic)
 	}
 	get := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }

@@ -113,7 +113,7 @@ func TestReadSketchRejectsGarbage(t *testing.T) {
 		t.Fatal("bad magic accepted")
 	}
 	// Valid magic, truncated body.
-	if _, err := ReadSketch(strings.NewReader(sketchMagic)); err == nil {
+	if _, err := ReadSketch(strings.NewReader(SketchMagic)); err == nil {
 		t.Fatal("truncated sketch accepted")
 	}
 }

@@ -238,10 +238,15 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	restoredEdges := int64(0)
 	if cfg.Restore != nil {
 		if err := sketches[0].Merge(cfg.Restore); err != nil {
 			return nil, fmt.Errorf("server: restoring snapshot: %w", err)
 		}
+		restoredEdges = cfg.Restore.Stats().EdgesSeen
+		// The restore sketch was consumed by the merge; drop the pointer
+		// so the engine does not pin a full sketch copy for life.
+		cfg.Restore = nil
 	}
 	e := &Engine{
 		cfg:    cfg,
@@ -261,8 +266,8 @@ func New(cfg Config) (*Engine, error) {
 		e.shards[i] = sh
 		go sh.run(sketches[i])
 	}
-	if cfg.Restore != nil {
-		e.ingested.Store(cfg.Restore.Stats().EdgesSeen)
+	if restoredEdges > 0 {
+		e.ingested.Store(restoredEdges)
 	}
 	if cfg.MergeEvery > 0 {
 		e.stopTicker = make(chan struct{})
@@ -427,6 +432,21 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 	return e.refreshLocked()
 }
 
+// Config returns a copy of the configuration the engine was built with
+// (with the Restore sketch cleared — it is consumed at construction).
+// The namespace layer persists this alongside the merged sketch so a
+// snapshot-v2 restore can rebuild the engine identically.
+func (e *Engine) Config() Config {
+	cfg := e.cfg
+	cfg.Restore = nil
+	return cfg
+}
+
+// IngestedEdges reports the number of edges accepted so far. Unlike
+// Stats it is a single atomic load — no message rides the shard
+// mailboxes — so it is safe to call at directory-listing frequency.
+func (e *Engine) IngestedEdges() int64 { return e.ingested.Load() }
+
 // Algo identifies a query algorithm.
 type Algo string
 
@@ -444,6 +464,8 @@ const (
 
 // Query is a request against a snapshot.
 type Query struct {
+	// Algo selects the algorithm (default empty = AlgoKCover at the HTTP
+	// layer; the engine itself requires an explicit value).
 	Algo Algo
 	// K bounds the solution size (required for kcover).
 	K int
@@ -456,7 +478,9 @@ type Query struct {
 
 // QueryResult reports a query execution.
 type QueryResult struct {
-	Algo Algo  `json:"algo"`
+	// Algo echoes the executed algorithm.
+	Algo Algo `json:"algo"`
+	// Sets is the chosen solution, as set ids.
 	Sets []int `json:"sets"`
 	// SketchCoverage is the number of sampled elements Sets covers.
 	SketchCoverage int `json:"sketch_coverage"`
@@ -557,25 +581,38 @@ func (e *Engine) WriteSnapshot(w io.Writer) (*Snapshot, error) {
 
 // Stats reports engine-level accounting.
 type Stats struct {
-	Shards        int   `json:"shards"`
+	// Shards is the number of ingest workers (each owning one sketch).
+	Shards int `json:"shards"`
+	// IngestedEdges is the total number of edges accepted by Ingest.
 	IngestedEdges int64 `json:"ingested_edges"`
-	Batches       int64 `json:"batches"`
-	Queries       int64 `json:"queries"`
+	// Batches is the number of Ingest calls that delivered edges.
+	Batches int64 `json:"batches"`
+	// Queries is the number of queries served (cache hits included).
+	Queries int64 `json:"queries"`
 	// QueryCacheHits counts queries answered from the memoized result
-	// cache; QueryCacheEntries is its current occupancy (0 when disabled).
-	QueryCacheHits    int64 `json:"query_cache_hits"`
-	QueryCacheEntries int   `json:"query_cache_entries"`
-	// Refreshes counts coordinator merges that ran; RefreshSkips counts
-	// Refresh calls satisfied by the idle short-circuit.
-	Refreshes    int64        `json:"refreshes"`
-	RefreshSkips int64        `json:"refresh_skips"`
-	ShardStats   []core.Stats `json:"shard_stats"`
-	// Snapshot describes the current merged snapshot (zero Seq: none yet).
-	SnapshotSeq      uint64  `json:"snapshot_seq"`
-	SnapshotEdges    int64   `json:"snapshot_edges"`
-	SnapshotElements int     `json:"snapshot_elements"`
-	SnapshotKept     int     `json:"snapshot_kept_edges"`
-	SnapshotPStar    float64 `json:"snapshot_p_star"`
+	// cache without re-running greedy.
+	QueryCacheHits int64 `json:"query_cache_hits"`
+	// QueryCacheEntries is the cache's current occupancy (0 when the
+	// cache is disabled).
+	QueryCacheEntries int `json:"query_cache_entries"`
+	// Refreshes counts coordinator merges that actually ran.
+	Refreshes int64 `json:"refreshes"`
+	// RefreshSkips counts Refresh calls satisfied by the idle
+	// short-circuit (ingested-edge counter unchanged since the snapshot).
+	RefreshSkips int64 `json:"refresh_skips"`
+	// ShardStats holds each shard sketch's accounting, in shard order.
+	ShardStats []core.Stats `json:"shard_stats"`
+	// SnapshotSeq identifies the current merged snapshot (0: none yet).
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// SnapshotEdges is the ingested-edge count the snapshot reflects.
+	SnapshotEdges int64 `json:"snapshot_edges"`
+	// SnapshotElements is the number of sampled elements in the snapshot
+	// sketch.
+	SnapshotElements int `json:"snapshot_elements"`
+	// SnapshotKept is the number of edges the snapshot sketch holds.
+	SnapshotKept int `json:"snapshot_kept_edges"`
+	// SnapshotPStar is the snapshot sketch's sampling probability p*.
+	SnapshotPStar float64 `json:"snapshot_p_star"`
 }
 
 // Stats returns a consistent per-shard and snapshot accounting. It rides

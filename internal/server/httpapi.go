@@ -23,8 +23,10 @@ type HTTPOptions struct {
 	// headroom — enough for the largest allowed batch in the JSON wire
 	// format even with whitespace-heavy encoders).
 	MaxBodyBytes int64
-	// SnapshotPath, when non-empty, is where POST /v1/snapshot persists
-	// the merged sketch (written atomically via a temp file + rename).
+	// SnapshotPath, when non-empty, is where POST …/snapshot persists
+	// state (written atomically via a temp file + rename). A single-engine
+	// handler writes the v1 sketch format; a multi handler writes the v2
+	// container framing every namespace.
 	SnapshotPath string
 }
 
@@ -45,7 +47,18 @@ func (o HTTPOptions) maxBodyBytes() int64 {
 	return 32*int64(o.maxBatch()) + 4096
 }
 
-// NewHTTPHandler exposes an engine as the covserved JSON API:
+// api bundles the pieces the engine-scoped endpoints share between the
+// single-engine and the multi-tenant handler: the request limits and
+// the snapshot-persistence strategy (v1 sketch file vs v2 container).
+type api struct {
+	opt HTTPOptions
+	// persist implements POST …/snapshot for target e: refresh e and,
+	// when a SnapshotPath is configured, persist to disk. It returns e's
+	// fresh snapshot and the path written ("" when nothing persisted).
+	persist func(e *Engine) (*Snapshot, string, error)
+}
+
+// NewHTTPHandler exposes a single engine as the covserved JSON API:
 //
 //	POST /v1/edges     {"edges": [[set, elem], ...]}  → bulk ingest
 //	GET  /v1/query     ?algo=kcover&k=10 | ?algo=outliers&lambda=0.1 |
@@ -53,121 +66,140 @@ func (o HTTPOptions) maxBodyBytes() int64 {
 //	GET  /v1/stats     → engine + per-shard accounting
 //	POST /v1/snapshot  → coordinator merge; persists when configured
 //	GET  /v1/healthz   → liveness
+//
+// For a namespaced (multi-tenant) surface, see NewMultiHandler; this
+// handler serves exactly one dataset and persists v1 sketch files.
 func NewHTTPHandler(e *Engine, opt HTTPOptions) http.Handler {
+	a := &api{opt: opt}
+	a.persist = func(target *Engine) (*Snapshot, string, error) {
+		if opt.SnapshotPath == "" {
+			snap, err := target.Refresh()
+			return snap, "", err
+		}
+		snap, err := persistSnapshot(target, opt.SnapshotPath)
+		return snap, opt.SnapshotPath, err
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/edges", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			methodNotAllowed(w, http.MethodPost)
-			return
+	fixed := func(r *http.Request) (*Engine, error) { return e, nil }
+	a.engineRoutes(mux, "/v1", fixed)
+	registerHealthz(mux)
+	return mux
+}
+
+// NewMultiHandler exposes a namespace directory as the multi-tenant
+// covserved JSON API. The single-dataset routes of NewHTTPHandler stay
+// available unprefixed and resolve to the directory's default namespace
+// (404 until it is created), so pre-namespace clients keep working.
+// The namespaced surface:
+//
+//	GET    /v1/ns                   → list namespaces
+//	POST   /v1/ns                   {"name": …, "num_sets": …, "k": …, …}
+//	GET    /v1/ns/{name}            → one namespace's directory entry
+//	DELETE /v1/ns/{name}            → stop and remove the namespace
+//	POST   /v1/ns/{name}/edges      ┐
+//	GET    /v1/ns/{name}/query      │ per-namespace variants of the
+//	GET    /v1/ns/{name}/stats      │ single-dataset routes
+//	POST   /v1/ns/{name}/snapshot   ┘
+//
+// POST …/snapshot (any variant) persists the whole directory as one v2
+// container when HTTPOptions.SnapshotPath is set, so a single file
+// always holds every namespace.
+func NewMultiHandler(m *Multi, opt HTTPOptions) http.Handler {
+	a := &api{opt: opt}
+	a.persist = func(target *Engine) (*Snapshot, string, error) {
+		// Refresh the target first so the response describes a merge that
+		// reflects this request; the container write below re-merges every
+		// namespace (idle ones short-circuit).
+		snap, err := target.Refresh()
+		if err != nil || opt.SnapshotPath == "" {
+			return snap, "", err
 		}
-		// Bound the body before decoding: a misbehaving client cannot make
-		// the decoder buffer an unbounded payload.
-		r.Body = http.MaxBytesReader(w, r.Body, opt.maxBodyBytes())
-		var body ingestRequest
-		dec := json.NewDecoder(r.Body)
-		if err := dec.Decode(&body); err != nil {
-			var tooLarge *http.MaxBytesError
-			if errors.As(err, &tooLarge) {
-				httpError(w, http.StatusRequestEntityTooLarge,
-					"body exceeds limit of %d bytes", tooLarge.Limit)
-				return
-			}
-			httpError(w, http.StatusBadRequest, "bad ingest body: %v", err)
-			return
+		if err := persistMultiSnapshot(m, opt.SnapshotPath); err != nil {
+			return nil, "", err
 		}
-		// One JSON document per request: trailing tokens after the body
-		// are a malformed request, not silently ignorable garbage.
-		if _, err := dec.Token(); err != io.EOF {
-			httpError(w, http.StatusBadRequest, "trailing data after JSON body")
-			return
+		return snap, opt.SnapshotPath, nil
+	}
+	mux := http.NewServeMux()
+	a.engineRoutes(mux, "/v1", func(r *http.Request) (*Engine, error) {
+		e, ok := m.Default()
+		if !ok {
+			return nil, fmt.Errorf("%w: %q (default)", ErrNamespaceUnknown, m.DefaultName())
 		}
-		if len(body.Edges) > opt.maxBatch() {
-			httpError(w, http.StatusRequestEntityTooLarge,
-				"batch of %d edges exceeds limit %d", len(body.Edges), opt.maxBatch())
-			return
+		return e, nil
+	})
+	a.engineRoutes(mux, "/v1/ns/{name}", func(r *http.Request) (*Engine, error) {
+		name := r.PathValue("name")
+		e, ok := m.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNamespaceUnknown, name)
 		}
-		n, err := e.Ingest(body.edges())
-		if err != nil {
-			httpError(w, statusFor(err), "%v", err)
-			return
-		}
-		writeJSON(w, http.StatusOK, ingestResponse{Accepted: n, IngestedTotal: e.ingested.Load()})
+		return e, nil
 	})
 
-	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			methodNotAllowed(w, http.MethodGet)
-			return
+	mux.HandleFunc("/v1/ns", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, listNamespacesResponse{
+				Default:    m.DefaultName(),
+				Namespaces: m.List(),
+			})
+		case http.MethodPost:
+			a.handleCreateNamespace(m, w, r)
+		default:
+			methodNotAllowed(w, "GET, POST")
 		}
-		q := Query{Algo: Algo(r.URL.Query().Get("algo"))}
-		if q.Algo == "" {
-			q.Algo = AlgoKCover
-		}
-		if v := r.URL.Query().Get("k"); v != "" {
-			k, err := strconv.Atoi(v)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, "bad k: %v", err)
-				return
-			}
-			q.K = k
-		}
-		if v := r.URL.Query().Get("lambda"); v != "" {
-			l, err := strconv.ParseFloat(v, 64)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, "bad lambda: %v", err)
-				return
-			}
-			q.Lambda = l
-		}
-		if v := r.URL.Query().Get("refresh"); v == "1" || v == "true" {
-			q.Refresh = true
-		}
-		res, err := e.Query(q)
-		if err != nil {
-			httpError(w, statusFor(err), "%v", err)
-			return
-		}
-		writeJSON(w, http.StatusOK, res)
 	})
 
-	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			methodNotAllowed(w, http.MethodGet)
-			return
-		}
-		st, err := e.Stats()
-		if err != nil {
-			httpError(w, statusFor(err), "%v", err)
-			return
-		}
-		writeJSON(w, http.StatusOK, st)
-	})
-
-	mux.HandleFunc("/v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			methodNotAllowed(w, http.MethodPost)
-			return
-		}
-		resp := snapshotResponse{}
-		if opt.SnapshotPath != "" {
-			snap, err := persistSnapshot(e, opt.SnapshotPath)
-			if err != nil {
-				httpError(w, http.StatusInternalServerError, "%v", err)
+	mux.HandleFunc("/v1/ns/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		switch r.Method {
+		case http.MethodGet:
+			e, ok := m.Get(name)
+			if !ok {
+				httpError(w, http.StatusNotFound, "%v: %q", ErrNamespaceUnknown, name)
 				return
 			}
-			resp.fill(snap)
-			resp.Persisted = opt.SnapshotPath
-		} else {
-			snap, err := e.Refresh()
+			writeJSON(w, http.StatusOK, infoFor(name, e, name == m.DefaultName()))
+		case http.MethodDelete:
+			if err := m.Delete(name); err != nil {
+				httpError(w, statusFor(err), "%v", err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+		default:
+			methodNotAllowed(w, "GET, DELETE")
+		}
+	})
+
+	registerHealthz(mux)
+	return mux
+}
+
+// engineRoutes registers the four engine-scoped endpoints under prefix,
+// resolving the target engine per request (the resolver reads the
+// {name} path value on namespaced routes).
+func (a *api) engineRoutes(mux *http.ServeMux, prefix string, resolve func(*http.Request) (*Engine, error)) {
+	withEngine := func(method, allow string, h func(*Engine, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != method {
+				methodNotAllowed(w, allow)
+				return
+			}
+			e, err := resolve(r)
 			if err != nil {
 				httpError(w, statusFor(err), "%v", err)
 				return
 			}
-			resp.fill(snap)
+			h(e, w, r)
 		}
-		writeJSON(w, http.StatusOK, resp)
-	})
+	}
+	mux.HandleFunc(prefix+"/edges", withEngine(http.MethodPost, "POST", a.handleIngest))
+	mux.HandleFunc(prefix+"/query", withEngine(http.MethodGet, "GET", a.handleQuery))
+	mux.HandleFunc(prefix+"/stats", withEngine(http.MethodGet, "GET", a.handleStats))
+	mux.HandleFunc(prefix+"/snapshot", withEngine(http.MethodPost, "POST", a.handleSnapshot))
+}
 
+func registerHealthz(mux *http.ServeMux) {
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
 			methodNotAllowed(w, "GET, HEAD")
@@ -175,7 +207,128 @@ func NewHTTPHandler(e *Engine, opt HTTPOptions) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+}
+
+func (a *api) handleIngest(e *Engine, w http.ResponseWriter, r *http.Request) {
+	// Bound the body before decoding: a misbehaving client cannot make
+	// the decoder buffer an unbounded payload.
+	r.Body = http.MaxBytesReader(w, r.Body, a.opt.maxBodyBytes())
+	var body ingestRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&body); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"body exceeds limit of %d bytes", tooLarge.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad ingest body: %v", err)
+		return
+	}
+	// One JSON document per request: trailing tokens after the body
+	// are a malformed request, not silently ignorable garbage.
+	if _, err := dec.Token(); err != io.EOF {
+		httpError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return
+	}
+	if len(body.Edges) > a.opt.maxBatch() {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d edges exceeds limit %d", len(body.Edges), a.opt.maxBatch())
+		return
+	}
+	n, err := e.Ingest(body.edges())
+	if err != nil {
+		httpError(w, statusFor(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{Accepted: n, IngestedTotal: e.IngestedEdges()})
+}
+
+func (a *api) handleQuery(e *Engine, w http.ResponseWriter, r *http.Request) {
+	q := Query{Algo: Algo(r.URL.Query().Get("algo"))}
+	if q.Algo == "" {
+		q.Algo = AlgoKCover
+	}
+	if v := r.URL.Query().Get("k"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad k: %v", err)
+			return
+		}
+		q.K = k
+	}
+	if v := r.URL.Query().Get("lambda"); v != "" {
+		l, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad lambda: %v", err)
+			return
+		}
+		q.Lambda = l
+	}
+	if v := r.URL.Query().Get("refresh"); v == "1" || v == "true" {
+		q.Refresh = true
+	}
+	res, err := e.Query(q)
+	if err != nil {
+		httpError(w, statusFor(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (a *api) handleStats(e *Engine, w http.ResponseWriter, r *http.Request) {
+	st, err := e.Stats()
+	if err != nil {
+		httpError(w, statusFor(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (a *api) handleSnapshot(e *Engine, w http.ResponseWriter, r *http.Request) {
+	snap, persisted, err := a.persist(e)
+	if err != nil {
+		// Unlike the other endpoints, a snapshot failure that is not a
+		// recognized service-state error is an I/O problem (disk full,
+		// unwritable path) — the server's fault, not the request's.
+		code := statusFor(err)
+		if code == http.StatusBadRequest {
+			code = http.StatusInternalServerError
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	resp := snapshotResponse{}
+	resp.fill(snap)
+	resp.Persisted = persisted
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCreateNamespace implements POST /v1/ns.
+func (a *api) handleCreateNamespace(m *Multi, w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
+	var req createNamespaceRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"body exceeds limit of %d bytes", tooLarge.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad namespace body: %v", err)
+		return
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		httpError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return
+	}
+	e, err := m.Create(req.Name, req.config())
+	if err != nil {
+		httpError(w, statusFor(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoFor(req.Name, e, req.Name == m.DefaultName()))
 }
 
 // methodNotAllowed writes a 405 with the required Allow header (RFC 9110
@@ -185,31 +338,52 @@ func methodNotAllowed(w http.ResponseWriter, allowed string) {
 	httpError(w, http.StatusMethodNotAllowed, "%s required", allowed)
 }
 
-// persistSnapshot merges and writes the sketch atomically to path. The
-// temp file is private to this call, so concurrent snapshot requests
-// cannot interleave bytes; the rename publishes one complete sketch.
-func persistSnapshot(e *Engine, path string) (*Snapshot, error) {
+// atomicWrite streams write to a private temp file and renames it over
+// path, so concurrent writers cannot interleave bytes and readers only
+// ever observe a complete file.
+func atomicWrite(path string, write func(io.Writer) error) error {
 	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
-		return nil, err
+		return err
 	}
 	tmp := f.Name()
-	snap, err := e.WriteSnapshot(f)
+	err = write(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		os.Remove(tmp)
-		return nil, err
+		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// persistSnapshot merges and writes one engine's sketch (format v1)
+// atomically to path.
+func persistSnapshot(e *Engine, path string) (*Snapshot, error) {
+	var snap *Snapshot
+	err := atomicWrite(path, func(w io.Writer) error {
+		var werr error
+		snap, werr = e.WriteSnapshot(w)
+		return werr
+	})
+	if err != nil {
 		return nil, err
 	}
 	return snap, nil
 }
 
-// ingestRequest is the POST /v1/edges body: edges as [set, elem] pairs.
+// persistMultiSnapshot writes the whole namespace directory as one v2
+// container, atomically.
+func persistMultiSnapshot(m *Multi, path string) error {
+	return atomicWrite(path, m.WriteSnapshot)
+}
+
+// ingestRequest is the POST …/edges body: edges as [set, elem] pairs.
 type ingestRequest struct {
 	Edges [][2]uint32 `json:"edges"`
 }
@@ -225,6 +399,48 @@ func (r ingestRequest) edges() []bipartite.Edge {
 type ingestResponse struct {
 	Accepted      int   `json:"accepted"`
 	IngestedTotal int64 `json:"ingested_total"`
+}
+
+// createNamespaceRequest is the POST /v1/ns body. Name, NumSets and K
+// are required; the rest default as in Config.
+type createNamespaceRequest struct {
+	Name        string  `json:"name"`
+	NumSets     int     `json:"num_sets"`
+	K           int     `json:"k"`
+	Eps         float64 `json:"eps"`
+	Seed        uint64  `json:"seed"`
+	NumElems    int     `json:"num_elems"`
+	EdgeBudget  int     `json:"edge_budget"`
+	SpaceFactor float64 `json:"space_factor"`
+	Shards      int     `json:"shards"`
+	QueueDepth  int     `json:"queue_depth"`
+	// MergeEveryMS enables the periodic snapshot merge, in milliseconds.
+	MergeEveryMS int64 `json:"merge_every_ms"`
+	QueryCache   int   `json:"query_cache"`
+}
+
+func (r createNamespaceRequest) config() Config {
+	return Config{
+		NumSets:     r.NumSets,
+		K:           r.K,
+		Eps:         r.Eps,
+		Seed:        r.Seed,
+		NumElems:    r.NumElems,
+		EdgeBudget:  r.EdgeBudget,
+		SpaceFactor: r.SpaceFactor,
+		Shards:      r.Shards,
+		QueueDepth:  r.QueueDepth,
+		MergeEvery:  time.Duration(r.MergeEveryMS) * time.Millisecond,
+		QueryCache:  r.QueryCache,
+	}
+}
+
+// listNamespacesResponse is the GET /v1/ns body.
+type listNamespacesResponse struct {
+	// Default names the namespace the unprefixed routes alias.
+	Default string `json:"default"`
+	// Namespaces lists every namespace, sorted by name.
+	Namespaces []NamespaceInfo `json:"namespaces"`
 }
 
 type snapshotResponse struct {
@@ -246,11 +462,17 @@ func (r *snapshotResponse) fill(s *Snapshot) {
 	r.PStar = s.sketch.PStar()
 }
 
-// statusFor maps engine errors to HTTP codes: a closed engine is a
-// conflict with the server's state; everything else is a bad request.
+// statusFor maps service errors to HTTP codes: a closed engine or a
+// duplicate namespace conflict with the server's state, an unknown
+// namespace is absent, and everything else is a bad request.
 func statusFor(err error) int {
-	if errors.Is(err, ErrClosed) {
+	switch {
+	case errors.Is(err, ErrClosed):
 		return http.StatusConflict
+	case errors.Is(err, ErrNamespaceExists):
+		return http.StatusConflict
+	case errors.Is(err, ErrNamespaceUnknown):
+		return http.StatusNotFound
 	}
 	return http.StatusBadRequest
 }

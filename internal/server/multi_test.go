@@ -1,0 +1,316 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+func TestValidateNamespaceName(t *testing.T) {
+	for _, ok := range []string{"default", "tenant-a", "A.b_c-9", "x"} {
+		if err := ValidateNamespaceName(ok); err != nil {
+			t.Errorf("ValidateNamespaceName(%q) = %v, want nil", ok, err)
+		}
+	}
+	long := make([]byte, maxNamespaceName+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "a/b", "a b", "café", ".hidden", "..", string(long)} {
+		if err := ValidateNamespaceName(bad); err == nil {
+			t.Errorf("ValidateNamespaceName(%q) = nil, want error", bad)
+		}
+	}
+}
+
+func TestMultiLifecycle(t *testing.T) {
+	m := NewMulti("")
+	defer m.Close()
+	if m.DefaultName() != DefaultNamespace {
+		t.Fatalf("DefaultName() = %q, want %q", m.DefaultName(), DefaultNamespace)
+	}
+	if _, ok := m.Default(); ok {
+		t.Fatal("Default() ok on empty Multi")
+	}
+
+	if _, err := m.Create("bad name", testConfig(10, 100, 2, 1, 2)); err == nil {
+		t.Fatal("Create accepted an invalid name")
+	}
+	a, err := m.Create("a", testConfig(10, 100, 2, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("a", testConfig(10, 100, 2, 1, 2)); !errors.Is(err, ErrNamespaceExists) {
+		t.Fatalf("duplicate Create: err = %v, want ErrNamespaceExists", err)
+	}
+	if _, err := m.Create(DefaultNamespace, testConfig(20, 100, 3, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, ok := m.Get("a"); !ok || got != a {
+		t.Fatal("Get(a) did not return the created engine")
+	}
+	// The empty name aliases the default namespace.
+	def, ok := m.Get("")
+	if !ok {
+		t.Fatal("Get(\"\") not ok after default namespace created")
+	}
+	if d2, ok := m.Default(); !ok || d2 != def {
+		t.Fatal("Default() disagrees with Get(\"\")")
+	}
+
+	infos := m.List()
+	if len(infos) != 2 || infos[0].Name != "a" || infos[1].Name != DefaultNamespace {
+		t.Fatalf("List() = %+v, want [a default]", infos)
+	}
+	if infos[0].Default || !infos[1].Default {
+		t.Fatalf("List() default flags wrong: %+v", infos)
+	}
+	if infos[0].NumSets != 10 || infos[1].NumSets != 20 {
+		t.Fatalf("List() configs wrong: %+v", infos)
+	}
+
+	if err := m.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete("a"); !errors.Is(err, ErrNamespaceUnknown) {
+		t.Fatalf("second Delete: err = %v, want ErrNamespaceUnknown", err)
+	}
+	// The deleted namespace's engine is closed: operations fail.
+	if _, err := a.Stats(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("deleted engine Stats: err = %v, want ErrClosed", err)
+	}
+	// The sibling namespace is untouched.
+	if _, err := def.Stats(); err != nil {
+		t.Fatalf("sibling engine Stats after Delete: %v", err)
+	}
+
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("later", testConfig(10, 100, 2, 1, 2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Create after Close: err = %v, want ErrClosed", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal("Close not idempotent:", err)
+	}
+}
+
+// TestMultiNamespacesMatchStandaloneEngines pins tenant isolation: two
+// namespaces ingesting different datasets concurrently in one Multi
+// answer exactly like two standalone engines fed the same edges.
+func TestMultiNamespacesMatchStandaloneEngines(t *testing.T) {
+	instA := workload.PlantedKCover(30, 2000, 3, 0.9, 25, 9)
+	instB := workload.Zipf(45, 3000, 700, 0.8, 0.6, 4)
+	cfgA := testConfig(30, 2000, 3, 7, 3)
+	cfgB := testConfig(45, 3000, 4, 11, 2)
+
+	solo := make([]*QueryResult, 2)
+	soloA, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer soloA.Close()
+	ingestAll(t, soloA, instA.G, 256, 5)
+	if solo[0], err = soloA.Query(Query{Algo: AlgoKCover, K: 3, Refresh: true}); err != nil {
+		t.Fatal(err)
+	}
+	soloB, err := New(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer soloB.Close()
+	ingestAll(t, soloB, instB.G, 256, 5)
+	if solo[1], err = soloB.Query(Query{Algo: AlgoKCover, K: 4, Refresh: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMulti("")
+	defer m.Close()
+	nsA, err := m.Create("tenant-a", cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsB, err := m.Create("tenant-b", cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); ingestAll(t, nsA, instA.G, 256, 5) }()
+	go func() { defer wg.Done(); ingestAll(t, nsB, instB.G, 256, 5) }()
+	wg.Wait()
+
+	gotA, err := nsA.Query(Query{Algo: AlgoKCover, K: 3, Refresh: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := nsB.Query(Query{Algo: AlgoKCover, K: 4, Refresh: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pair := range []struct{ got, want *QueryResult }{{gotA, solo[0]}, {gotB, solo[1]}} {
+		if !reflect.DeepEqual(pair.got.Sets, pair.want.Sets) ||
+			pair.got.EstimatedCoverage != pair.want.EstimatedCoverage ||
+			pair.got.SketchCoverage != pair.want.SketchCoverage {
+			t.Fatalf("namespace %d: got %+v, standalone %+v", i, pair.got, pair.want)
+		}
+	}
+}
+
+// TestMultiConcurrentLifecycleAndIngest hammers create/delete/ingest
+// concurrently; run with -race this pins the directory locking.
+func TestMultiConcurrentLifecycleAndIngest(t *testing.T) {
+	inst := workload.PlantedKCover(20, 500, 2, 0.9, 13, 3)
+	edges := stream.Drain(stream.Shuffled(inst.G, 1))
+	m := NewMulti("")
+	defer m.Close()
+	if _, err := m.Create("steady", testConfig(20, 500, 2, 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				name := fmt.Sprintf("churn-%d", w)
+				if _, err := m.Create(name, testConfig(20, 500, 2, uint64(w), 1)); err != nil && !errors.Is(err, ErrNamespaceExists) {
+					t.Error(err)
+					return
+				}
+				if e, ok := m.Get(name); ok {
+					e.Ingest(edges[:50])
+				}
+				if err := m.Delete(name); err != nil && !errors.Is(err, ErrNamespaceUnknown) {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				e, ok := m.Get("steady")
+				if !ok {
+					t.Error("steady namespace vanished")
+					return
+				}
+				if _, err := e.Ingest(edges[:100]); err != nil {
+					t.Error(err)
+					return
+				}
+				m.List()
+			}
+		}()
+	}
+	wg.Wait()
+	e, _ := m.Get("steady")
+	if got := e.IngestedEdges(); got != 4*20*100 {
+		t.Fatalf("steady ingested %d, want %d", got, 4*20*100)
+	}
+}
+
+// TestMultiSnapshotRoundTrip pins the v2 container: write a two-tenant
+// directory, restore it, and require identical configs, accounting and
+// query answers.
+func TestMultiSnapshotRoundTrip(t *testing.T) {
+	instA := workload.PlantedKCover(30, 2000, 3, 0.9, 25, 9)
+	instB := workload.Zipf(45, 3000, 700, 0.8, 0.6, 4)
+	m := NewMulti("")
+	a, err := m.Create(DefaultNamespace, testConfig(30, 2000, 3, 7, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Create("tenant-b", testConfig(45, 3000, 4, 11, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, a, instA.G, 256, 5)
+	ingestAll(t, b, instB.G, 256, 5)
+	wantA, err := a.Query(Query{Algo: AlgoKCover, K: 3, Refresh: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := b.Query(Query{Algo: AlgoKCover, K: 4, Refresh: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String()[:len(MultiSnapshotMagic)]; got != MultiSnapshotMagic {
+		t.Fatalf("snapshot magic %q, want %q", got, MultiSnapshotMagic)
+	}
+	m.Close()
+
+	r := NewMulti("")
+	defer r.Close()
+	nrestored, err := r.RestoreAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrestored != 2 {
+		t.Fatalf("restored %d namespaces, want 2", nrestored)
+	}
+	infos := r.List()
+	if len(infos) != 2 || infos[0].Name != DefaultNamespace || infos[1].Name != "tenant-b" {
+		t.Fatalf("restored List() = %+v", infos)
+	}
+	if infos[1].NumSets != 45 || infos[1].K != 4 || infos[1].Seed != 11 || infos[1].Shards != 2 {
+		t.Fatalf("tenant-b config not preserved: %+v", infos[1])
+	}
+	ra, _ := r.Get(DefaultNamespace)
+	rb, _ := r.Get("tenant-b")
+	if got := ra.IngestedEdges(); got != a.IngestedEdges() {
+		t.Fatalf("restored default ingested %d, want %d", got, a.IngestedEdges())
+	}
+	gotA, err := ra.Query(Query{Algo: AlgoKCover, K: 3, Refresh: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := rb.Query(Query{Algo: AlgoKCover, K: 4, Refresh: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotA.Sets, wantA.Sets) || gotA.EstimatedCoverage != wantA.EstimatedCoverage {
+		t.Fatalf("restored default answers %+v, want %+v", gotA, wantA)
+	}
+	if !reflect.DeepEqual(gotB.Sets, wantB.Sets) || gotB.EstimatedCoverage != wantB.EstimatedCoverage {
+		t.Fatalf("restored tenant-b answers %+v, want %+v", gotB, wantB)
+	}
+
+	// Restoring over an existing name must fail, not overwrite.
+	if _, err := r.RestoreAll(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrNamespaceExists) {
+		t.Fatalf("RestoreAll over live namespaces: err = %v, want ErrNamespaceExists", err)
+	}
+}
+
+// TestRestoreAllRejectsV1 pins the error path for feeding a bare v1
+// sketch file to the v2 reader (covserved sniffs and routes formats;
+// the library must still fail cleanly).
+func TestRestoreAllRejectsV1(t *testing.T) {
+	e, err := New(testConfig(10, 100, 2, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var v1 bytes.Buffer
+	if _, err := e.WriteSnapshot(&v1); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMulti("")
+	defer m.Close()
+	if _, err := m.RestoreAll(bytes.NewReader(v1.Bytes())); err == nil {
+		t.Fatal("RestoreAll accepted a v1 sketch file")
+	}
+}

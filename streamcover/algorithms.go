@@ -169,12 +169,20 @@ type Sketch struct {
 // SketchParams sizes a standalone sketch; K is the largest family size
 // whose coverage will be queried with guarantee.
 type SketchParams struct {
-	NumSets     int
-	K           int
-	Eps         float64
-	Seed        uint64
-	NumElems    int
-	EdgeBudget  int
+	// NumSets is n, the number of sets edges may refer to.
+	NumSets int
+	// K is the largest family size queried with guarantee.
+	K int
+	// Eps is the accuracy parameter (as in Options.Eps).
+	Eps float64
+	// Seed drives hashing, making the sketch deterministic.
+	Seed uint64
+	// NumElems is m when known (tunes the default budget only).
+	NumElems int
+	// EdgeBudget caps the sketch at an explicit number of edges
+	// (0 = the paper's formula; see Options.EdgeBudget).
+	EdgeBudget int
+	// SpaceFactor scales the formula budget (see Options.SpaceFactor).
 	SpaceFactor float64
 }
 

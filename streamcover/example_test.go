@@ -1,0 +1,144 @@
+package streamcover_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/streamcover"
+)
+
+// A tiny deterministic instance shared by the examples: five sets
+// covering fifteen elements.
+func exampleEdges() []streamcover.Edge {
+	sets := [][]uint32{
+		{0, 1, 2, 3, 4},      // set 0: the west
+		{5, 6, 7, 8, 9},      // set 1: the center
+		{10, 11, 12, 13, 14}, // set 2: the east
+		{0, 5, 10},           // set 3: a thin corridor
+		{4, 9, 14, 13, 3},    // set 4: a southern arc
+	}
+	var edges []streamcover.Edge
+	for s, elems := range sets {
+		for _, e := range elems {
+			edges = append(edges, streamcover.Edge{Set: uint32(s), Elem: e})
+		}
+	}
+	return edges
+}
+
+// ExampleMaxCoverage solves k-cover in one pass over an edge stream.
+func ExampleMaxCoverage() {
+	st := &streamcover.SliceStream{Edges: exampleEdges()}
+	res, err := streamcover.MaxCoverage(st, 5, 2, streamcover.Options{Eps: 0.3, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sets=%v coverage=%.0f\n", res.Sets, res.EstimatedCoverage)
+	// Output:
+	// sets=[0 1] coverage=10
+}
+
+// ExampleNewService starts a live coverage service: ingest from any
+// number of goroutines, query at any time.
+func ExampleNewService() {
+	svc, err := streamcover.NewService(5, streamcover.ServiceOptions{
+		Options: streamcover.Options{Eps: 0.3, Seed: 7},
+		K:       2, // the solution size the sketch is provisioned for
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	if err := svc.Ingest(exampleEdges()); err != nil {
+		log.Fatal(err)
+	}
+	res, err := svc.KCover(2, true) // fresh=true: merge before answering
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sets=%v coverage=%.0f\n", res.Sets, res.EstimatedCoverage)
+	// Output:
+	// sets=[0 1] coverage=10
+}
+
+// ExampleService_KCover shows query freshness: a stale query answers
+// from the current snapshot, a fresh one merges first.
+func ExampleService_KCover() {
+	svc, err := streamcover.NewService(5, streamcover.ServiceOptions{
+		Options: streamcover.Options{Eps: 0.3, Seed: 7},
+		K:       2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	edges := exampleEdges()
+	if err := svc.Ingest(edges[:10]); err != nil { // sets 0 and 1 only
+		log.Fatal(err)
+	}
+	first, _ := svc.KCover(2, true)
+
+	if err := svc.Ingest(edges[10:]); err != nil { // the rest arrives
+		log.Fatal(err)
+	}
+	stale, _ := svc.KCover(2, false) // still the old snapshot
+	fresh, _ := svc.KCover(2, true)  // merges, sees everything
+
+	fmt.Printf("first: coverage=%.0f over %d edges\n", first.EstimatedCoverage, first.SnapshotEdges)
+	fmt.Printf("stale: coverage=%.0f over %d edges\n", stale.EstimatedCoverage, stale.SnapshotEdges)
+	fmt.Printf("fresh: coverage=%.0f over %d edges\n", fresh.EstimatedCoverage, fresh.SnapshotEdges)
+	// Output:
+	// first: coverage=10 over 10 edges
+	// stale: coverage=10 over 10 edges
+	// fresh: coverage=10 over 23 edges
+}
+
+// ExampleHub hosts several isolated datasets (namespaces) in one
+// process; each namespace is a full Service with its own sketches.
+func ExampleHub() {
+	hub := streamcover.NewHub()
+	defer hub.Close()
+
+	regions, err := hub.OpenNamespace("regions", 5, streamcover.ServiceOptions{
+		Options: streamcover.Options{Eps: 0.3, Seed: 7},
+		K:       2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	topics, err := hub.OpenNamespace("topics", 3, streamcover.ServiceOptions{
+		Options: streamcover.Options{Eps: 0.3, Seed: 9},
+		K:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two tenants ingest independently; neither sees the other's edges.
+	if err := regions.Ingest(exampleEdges()); err != nil {
+		log.Fatal(err)
+	}
+	if err := topics.Ingest([]streamcover.Edge{
+		{Set: 0, Elem: 0}, {Set: 1, Elem: 0}, {Set: 1, Elem: 1}, {Set: 2, Elem: 2},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	r, err := regions.KCover(2, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tp, err := topics.KCover(1, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("namespaces=%v\n", hub.Namespaces())
+	fmt.Printf("regions: sets=%v coverage=%.0f\n", r.Sets, r.EstimatedCoverage)
+	fmt.Printf("topics: sets=%v coverage=%.0f\n", tp.Sets, tp.EstimatedCoverage)
+	// Output:
+	// namespaces=[regions topics]
+	// regions: sets=[0 1] coverage=10
+	// topics: sets=[1] coverage=2
+}

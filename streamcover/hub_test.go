@@ -1,0 +1,292 @@
+package streamcover
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func drainEdges(t *testing.T, inst *Instance, seed uint64) []Edge {
+	t.Helper()
+	var out []Edge
+	st := inst.EdgeStream(seed)
+	for {
+		e, ok := st.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}
+
+func ingestInBatches(t *testing.T, s *Service, edges []Edge, batch int) {
+	t.Helper()
+	for i := 0; i < len(edges); i += batch {
+		j := i + batch
+		if j > len(edges) {
+			j = len(edges)
+		}
+		if err := s.Ingest(edges[i:j]); err != nil {
+			t.Error(err)
+			return
+		}
+	}
+}
+
+// TestHubNamespacesMatchStandaloneServices is the acceptance pin of the
+// namespace layer: two namespaces ingesting different datasets
+// concurrently in one Hub answer bit-identically to two standalone
+// Services fed the same edges with the same options.
+func TestHubNamespacesMatchStandaloneServices(t *testing.T) {
+	instA := GenerateZipf(60, 5000, 900, 0.9, 0.7, 17)
+	instB := GenerateUniform(40, 3000, 0.02, 23)
+	optA := ServiceOptions{Options: Options{Eps: 0.4, Seed: 7, NumElems: 5000, EdgeBudget: 3000}, K: 6, Shards: 3}
+	optB := ServiceOptions{Options: Options{Eps: 0.5, Seed: 11, NumElems: 3000, EdgeBudget: 2000}, K: 4, Shards: 2}
+	edgesA := drainEdges(t, instA, 5)
+	edgesB := drainEdges(t, instB, 6)
+
+	// Standalone reference Services.
+	want := make([]*ServiceQueryResult, 2)
+	for i, tc := range []struct {
+		n     int
+		opt   ServiceOptions
+		edges []Edge
+		k     int
+	}{
+		{instA.NumSets(), optA, edgesA, 6},
+		{instB.NumSets(), optB, edgesB, 4},
+	} {
+		svc, err := NewService(tc.n, tc.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ingestInBatches(t, svc, tc.edges, 512)
+		res, err := svc.KCover(tc.k, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+		svc.Close()
+	}
+
+	// The same two datasets as namespaces of one Hub, ingested
+	// concurrently from separate goroutines.
+	hub := NewHub()
+	defer hub.Close()
+	nsA, err := hub.OpenNamespace("tenant-a", instA.NumSets(), optA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsB, err := hub.OpenNamespace("tenant-b", instB.NumSets(), optB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); ingestInBatches(t, nsA, edgesA, 512) }()
+	go func() { defer wg.Done(); ingestInBatches(t, nsB, edgesB, 512) }()
+	wg.Wait()
+
+	gotA, err := nsA.KCover(6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := nsB.KCover(4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pair := range []struct{ got, want *ServiceQueryResult }{{gotA, want[0]}, {gotB, want[1]}} {
+		if !reflect.DeepEqual(pair.got.Sets, pair.want.Sets) ||
+			pair.got.EstimatedCoverage != pair.want.EstimatedCoverage ||
+			pair.got.SketchCoverage != pair.want.SketchCoverage {
+			t.Fatalf("namespace %d: hub answer %+v != standalone %+v", i, pair.got, pair.want)
+		}
+	}
+
+	if got := hub.Namespaces(); !reflect.DeepEqual(got, []string{"tenant-a", "tenant-b"}) {
+		t.Fatalf("Namespaces() = %v", got)
+	}
+	if _, ok := hub.Namespace("tenant-a"); !ok {
+		t.Fatal("Namespace(tenant-a) not found")
+	}
+	if _, ok := hub.Namespace("nope"); ok {
+		t.Fatal("Namespace(nope) found")
+	}
+}
+
+// TestHubSnapshotRoundTrip pins the v2 container through the public
+// API: snapshot a two-namespace hub, restore it, and require identical
+// answers and stats from the restored namespaces.
+func TestHubSnapshotRoundTrip(t *testing.T) {
+	inst := GenerateZipf(60, 5000, 900, 0.9, 0.7, 17)
+	opt := ServiceOptions{Options: Options{Eps: 0.4, Seed: 7, NumElems: 5000, EdgeBudget: 3000}, K: 6, Shards: 2}
+	edges := drainEdges(t, inst, 5)
+
+	hub := NewHub()
+	a, err := hub.OpenNamespace(DefaultNamespace, inst.NumSets(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optB := opt
+	optB.Seed = 13
+	b, err := hub.OpenNamespace("replica", inst.NumSets(), optB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestInBatches(t, a, edges, 512)
+	ingestInBatches(t, b, edges[:len(edges)/2], 512)
+	wantA, err := a.KCover(6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := b.KCover(6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := hub.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hub.Close()
+
+	restored, err := RestoreHub(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if got := restored.Namespaces(); !reflect.DeepEqual(got, []string{DefaultNamespace, "replica"}) {
+		t.Fatalf("restored Namespaces() = %v", got)
+	}
+	ra, _ := restored.Namespace(DefaultNamespace)
+	rb, _ := restored.Namespace("replica")
+	gotA, err := ra.KCover(6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := rb.KCover(6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotA.Sets, wantA.Sets) || gotA.EstimatedCoverage != wantA.EstimatedCoverage {
+		t.Fatalf("restored default: %+v want %+v", gotA, wantA)
+	}
+	if !reflect.DeepEqual(gotB.Sets, wantB.Sets) || gotB.EstimatedCoverage != wantB.EstimatedCoverage {
+		t.Fatalf("restored replica: %+v want %+v", gotB, wantB)
+	}
+	st, err := ra.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IngestedEdges != int64(len(edges)) {
+		t.Fatalf("restored default ingested %d want %d", st.IngestedEdges, len(edges))
+	}
+}
+
+// TestV1SnapshotRestoresIntoDefaultNamespace pins upgrade compatibility
+// with pre-namespace deployments: a snapshot written by a standalone
+// Service (the PR 3-era v1 sketch format) loads into a Hub namespace —
+// canonically "default" — and answers exactly like the writing service.
+func TestV1SnapshotRestoresIntoDefaultNamespace(t *testing.T) {
+	inst := GenerateZipf(60, 5000, 900, 0.9, 0.7, 17)
+	opt := ServiceOptions{Options: Options{Eps: 0.4, Seed: 7, NumElems: 5000, EdgeBudget: 3000}, K: 6, Shards: 3}
+	edges := drainEdges(t, inst, 5)
+
+	svc, err := NewService(inst.NumSets(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestInBatches(t, svc, edges, 512)
+	want, err := svc.KCover(6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if err := svc.WriteSnapshot(&v1); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+
+	hub := NewHub()
+	defer hub.Close()
+	restored, err := hub.RestoreNamespace(DefaultNamespace, bytes.NewReader(v1.Bytes()), inst.NumSets(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.KCover(6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Sets, want.Sets) ||
+		got.EstimatedCoverage != want.EstimatedCoverage ||
+		got.SketchCoverage != want.SketchCoverage {
+		t.Fatalf("v1 restore into default namespace: %+v want %+v", got, want)
+	}
+	st, err := restored.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IngestedEdges != int64(len(edges)) {
+		t.Fatalf("restored ingested %d want %d", st.IngestedEdges, len(edges))
+	}
+
+	// RestoreHub must reject the v1 format loudly (it is a different
+	// file shape, not a one-namespace container).
+	if _, err := RestoreHub(bytes.NewReader(v1.Bytes())); err == nil {
+		t.Fatal("RestoreHub accepted a v1 single-service snapshot")
+	}
+
+	// And the restored hub round-trips to v2 from here on.
+	var v2 bytes.Buffer
+	if err := hub.WriteSnapshot(&v2); err != nil {
+		t.Fatal(err)
+	}
+	again, err := RestoreHub(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	ra, ok := again.Namespace(DefaultNamespace)
+	if !ok {
+		t.Fatal("default namespace missing after v1→v2 upgrade round-trip")
+	}
+	got2, err := ra.KCover(6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2.Sets, want.Sets) || got2.EstimatedCoverage != want.EstimatedCoverage {
+		t.Fatalf("v1→v2 upgrade round-trip: %+v want %+v", got2, want)
+	}
+}
+
+// TestHubValidation covers the error paths of the namespace lifecycle.
+func TestHubValidation(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	opt := ServiceOptions{Options: Options{Eps: 0.5, Seed: 1}, K: 2}
+	if _, err := hub.OpenNamespace("ok", 0, opt); err == nil {
+		t.Fatal("OpenNamespace accepted numSets=0")
+	}
+	if _, err := hub.OpenNamespace("ok", 10, ServiceOptions{}); err == nil {
+		t.Fatal("OpenNamespace accepted K=0")
+	}
+	if _, err := hub.OpenNamespace("bad name", 10, opt); err == nil {
+		t.Fatal("OpenNamespace accepted an invalid name")
+	}
+	if _, err := hub.OpenNamespace("ok", 10, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.OpenNamespace("ok", 10, opt); err == nil {
+		t.Fatal("OpenNamespace accepted a duplicate name")
+	}
+	if err := hub.DeleteNamespace("nope"); err == nil {
+		t.Fatal("DeleteNamespace(nope) succeeded")
+	}
+	if err := hub.DeleteNamespace("ok"); err != nil {
+		t.Fatal(err)
+	}
+	if got := hub.Namespaces(); len(got) != 0 {
+		t.Fatalf("Namespaces() = %v after delete", got)
+	}
+}

@@ -73,26 +73,12 @@ func RestoreService(r io.Reader, numSets int, opt ServiceOptions) (*Service, err
 }
 
 func newService(numSets int, opt ServiceOptions, restore *core.Sketch) (*Service, error) {
-	if numSets <= 0 {
-		return nil, fmt.Errorf("streamcover: NewService needs positive numSets")
+	cfg, err := serviceConfig(numSets, opt) // shared with the Hub namespaces
+	if err != nil {
+		return nil, err
 	}
-	if opt.K <= 0 {
-		return nil, fmt.Errorf("streamcover: ServiceOptions.K must be positive")
-	}
-	eng, err := server.New(server.Config{
-		NumSets:     numSets,
-		K:           opt.K,
-		Eps:         opt.Eps,
-		Seed:        opt.Seed,
-		NumElems:    opt.NumElems,
-		EdgeBudget:  opt.EdgeBudget,
-		SpaceFactor: opt.SpaceFactor,
-		Shards:      opt.Shards,
-		QueueDepth:  opt.BatchQueue,
-		MergeEvery:  opt.MergeEvery,
-		QueryCache:  opt.QueryCache,
-		Restore:     restore,
-	})
+	cfg.Restore = restore
+	eng, err := server.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -223,14 +209,17 @@ type ServiceStats struct {
 	// SnapshotEdges is the ingested-edge count of the current snapshot
 	// (0 when no merge has happened yet).
 	SnapshotEdges int64
-	// SketchEdges / SketchElements size the current merged sketch.
-	SketchEdges    int
+	// SketchEdges is the number of edges the current merged sketch holds.
+	SketchEdges int
+	// SketchElements is the number of sampled elements the current merged
+	// sketch holds.
 	SketchElements int
 	// PStar is the snapshot's sampling probability.
 	PStar float64
-	// Queries counts queries served; QueryCacheHits counts those answered
-	// from the memoized result cache without re-running greedy.
-	Queries        int64
+	// Queries counts queries served (cache hits included).
+	Queries int64
+	// QueryCacheHits counts queries answered from the memoized result
+	// cache without re-running greedy.
 	QueryCacheHits int64
 }
 

@@ -37,13 +37,16 @@ func newPeekReader(r io.Reader) *bufio.Reader { return bufio.NewReader(r) }
 // Edge is one (set, element) membership pair — the streaming unit of the
 // edge-arrival model.
 type Edge struct {
-	Set  uint32
+	// Set is the set id, in [0, n).
+	Set uint32
+	// Elem is the element id, in [0, m).
 	Elem uint32
 }
 
 // Stream delivers edges one at a time; Next reports ok=false after the
 // last edge. Implementations may generate edges lazily (e.g. from disk).
 type Stream interface {
+	// Next returns the next edge, or ok=false when the stream is drained.
 	Next() (e Edge, ok bool)
 }
 
@@ -52,11 +55,14 @@ type Stream interface {
 // edge multiset (order may vary).
 type ResettableStream interface {
 	Stream
+	// Reset rewinds the stream so the next Next call replays it from the
+	// start.
 	Reset()
 }
 
 // SliceStream adapts an in-memory edge slice to ResettableStream.
 type SliceStream struct {
+	// Edges is the backing slice, delivered in order.
 	Edges []Edge
 	pos   int
 }
