@@ -23,6 +23,16 @@
 //
 //	covcli -server http://127.0.0.1:8080 -ns tenant-a -create-ns \
 //	       -file inst.txt -k 10 -eps 0.4 -seed 7 -budget 10000 -compare
+//
+// With -weights, covcli exercises the weighted-coverage workload: the
+// namespace is created with an element-weight table derived from the
+// named profile, the query runs the weighted kcover route, and
+// -compare verifies the server against the one-shot
+// streamcover.MaxWeightedCoverage with the same weights:
+//
+//	covcli -server http://127.0.0.1:8080 -ns heavy -create-ns \
+//	       -file inst.txt -k 10 -eps 0.4 -seed 7 -budget 10000 \
+//	       -weights mod:16 -compare
 package main
 
 import (
@@ -31,13 +41,41 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/algorithms"
+	"repro/internal/core"
 	"repro/streamcover"
 )
+
+// parseWeights builds the element-weight table of a named profile:
+// "mod:<p>" gives weight(e) = e%p + 1 (p distinct small weights) and
+// "geo:<c>" gives weight(e) = 2^(e%c) (c geometric weight classes —
+// one sketch per class server-side).
+func parseWeights(spec string, numElems int) ([]float64, error) {
+	kind, arg, ok := strings.Cut(spec, ":")
+	if !ok || (kind != "mod" && kind != "geo") {
+		return nil, fmt.Errorf("weight profile %q: want mod:<p> or geo:<c>", spec)
+	}
+	p, err := strconv.Atoi(arg)
+	if err != nil || p < 1 {
+		return nil, fmt.Errorf("weight profile %q: bad modulus %q", spec, arg)
+	}
+	table := make([]float64, numElems)
+	for e := range table {
+		if kind == "mod" {
+			table[e] = float64(e%p + 1)
+		} else {
+			table[e] = math.Pow(2, float64(e%p))
+		}
+	}
+	return table, nil
+}
 
 func main() {
 	var (
@@ -52,6 +90,7 @@ func main() {
 		compare   = flag.Bool("compare", false, "run the offline algorithm locally and verify the answers match")
 		ns        = flag.String("ns", "", "target namespace (empty = the server's default dataset)")
 		createNS  = flag.Bool("create-ns", false, "create -ns on the server first, from the instance dimensions and sketch flags")
+		weightsFl = flag.String("weights", "", `weighted-coverage profile ("mod:<p>" or "geo:<c>"); requires -create-ns, queries the weighted kcover route`)
 	)
 	flag.Parse()
 	if *file == "" {
@@ -62,6 +101,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "covcli: -create-ns requires -ns")
 		os.Exit(2)
 	}
+	if *weightsFl != "" && !*createNS {
+		fmt.Fprintln(os.Stderr, "covcli: -weights requires -create-ns (weights are namespace configuration)")
+		os.Exit(2)
+	}
 	f, err := os.Open(*file)
 	if err != nil {
 		fatal(err)
@@ -70,6 +113,12 @@ func main() {
 	f.Close()
 	if err != nil {
 		fatal(err)
+	}
+	var weightTable []float64
+	if *weightsFl != "" {
+		if weightTable, err = parseWeights(*weightsFl, inst.NumElems()); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "covcli: replaying %s: n=%d m=%d edges=%d batch=%d\n",
 		*file, inst.NumSets(), inst.NumElems(), inst.NumEdges(), *batch)
@@ -82,11 +131,15 @@ func main() {
 		apiBase = *serverURL + "/v1/ns/" + *ns
 	}
 	if *createNS {
-		body, _ := json.Marshal(map[string]interface{}{
+		req := map[string]interface{}{
 			"name": *ns, "num_sets": inst.NumSets(), "num_elems": inst.NumElems(),
 			"k": *k, "eps": *eps, "seed": *seed,
 			"edge_budget": *budget, "space_factor": *space,
-		})
+		}
+		if weightTable != nil {
+			req["weights"] = map[string]interface{}{"table": weightTable}
+		}
+		body, _ := json.Marshal(req)
 		resp, err := client.Post(*serverURL+"/v1/ns", "application/json", bytes.NewReader(body))
 		if err != nil {
 			fatal(err)
@@ -151,7 +204,13 @@ func main() {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 
-	qURL := fmt.Sprintf("%s/query?algo=kcover&k=%d", apiBase, *k)
+	algo := "kcover"
+	if weightTable != nil {
+		// wkcover is kcover's weighted alias; using it asserts the server
+		// really created a weighted namespace (an unweighted one rejects it).
+		algo = "wkcover"
+	}
+	qURL := fmt.Sprintf("%s/query?algo=%s&k=%d", apiBase, algo, *k)
 	resp, err = client.Get(qURL)
 	if err != nil {
 		fatal(err)
@@ -161,6 +220,7 @@ func main() {
 		EstimatedCoverage float64 `json:"estimated_coverage"`
 		SketchCoverage    int     `json:"sketch_coverage"`
 		PStar             float64 `json:"p_star"`
+		WeightClasses     int     `json:"weight_classes"`
 	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(resp.Body)
@@ -171,8 +231,13 @@ func main() {
 		fatal(err)
 	}
 	resp.Body.Close()
-	fmt.Printf("server kcover k=%d: sets=%v estimated_coverage=%.1f p*=%.4g\n",
-		*k, remote.Sets, remote.EstimatedCoverage, remote.PStar)
+	if weightTable != nil {
+		fmt.Printf("server wkcover k=%d: sets=%v estimated_weight=%.1f classes=%d\n",
+			*k, remote.Sets, remote.EstimatedCoverage, remote.WeightClasses)
+	} else {
+		fmt.Printf("server kcover k=%d: sets=%v estimated_coverage=%.1f p*=%.4g\n",
+			*k, remote.Sets, remote.EstimatedCoverage, remote.PStar)
+	}
 
 	if !*compare {
 		return
@@ -181,28 +246,52 @@ func main() {
 		Eps: *eps, Seed: *seed, NumElems: inst.NumElems(),
 		EdgeBudget: *budget, SpaceFactor: *space,
 	}
-	offline, err := streamcover.MaxCoverage(inst.EdgeStream(*seed+1), inst.NumSets(), *k, opt)
-	if err != nil {
-		fatal(err)
+	var (
+		offlineSets []int
+		offlineEst  float64
+		capBound    int
+	)
+	if weightTable != nil {
+		w := streamcover.Weights{Table: weightTable}
+		offline, err := streamcover.MaxWeightedCoverage(inst.EdgeStream(*seed+1), inst.NumSets(), *k, w.WeightOf, opt)
+		if err != nil {
+			fatal(err)
+		}
+		offlineSets, offlineEst = offline.Sets, offline.EstimatedCoverage
+		fmt.Printf("offline weighted kcover k=%d: sets=%v estimated_weight=%.1f classes=%d\n",
+			*k, offline.Sets, offline.EstimatedCoverage, offline.WeightClasses)
+		covered, err := inst.WeightedCoverage(remote.Sets, weightTable)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exact weighted coverage of server solution: %.1f\n", covered)
+		// The per-class sketches run at accuracy ε/12 (see internal/weighted).
+		capBound = (core.Params{NumSets: inst.NumSets(), K: *k, Eps: *eps / 12}).EffectiveDegreeCap()
+	} else {
+		offline, err := streamcover.MaxCoverage(inst.EdgeStream(*seed+1), inst.NumSets(), *k, opt)
+		if err != nil {
+			fatal(err)
+		}
+		offlineSets, offlineEst = offline.Sets, offline.EstimatedCoverage
+		fmt.Printf("offline kcover k=%d: sets=%v estimated_coverage=%.1f\n",
+			*k, offline.Sets, offline.EstimatedCoverage)
+		exact := inst.Coverage(remote.Sets)
+		fmt.Printf("exact coverage of server solution: %d of %d covered elements\n",
+			exact, inst.CoveredElems())
+		capBound = algorithms.KCoverParams(inst.NumSets(), *k, algorithms.Options{
+			Eps: *eps, Seed: *seed, NumElems: inst.NumElems(),
+			EdgeBudget: *budget, SpaceFactor: *space,
+		}).EffectiveDegreeCap()
 	}
-	fmt.Printf("offline kcover k=%d: sets=%v estimated_coverage=%.1f\n",
-		*k, offline.Sets, offline.EstimatedCoverage)
-	exact := inst.Coverage(remote.Sets)
-	fmt.Printf("exact coverage of server solution: %d of %d covered elements\n",
-		exact, inst.CoveredElems())
-	if remote.EstimatedCoverage != offline.EstimatedCoverage || !sameSets(remote.Sets, offline.Sets) {
+	if remote.EstimatedCoverage != offlineEst || !sameSets(remote.Sets, offlineSets) {
 		// Exact equality between the sharded and single-pass sketches is
 		// only guaranteed while the per-element degree cap never binds:
 		// when it does, Definition 2.1 allows each side to keep a
 		// different D-subset of a high-degree element's edges, and the
 		// greedy solutions may legitimately diverge.
-		p := algorithms.KCoverParams(inst.NumSets(), *k, algorithms.Options{
-			Eps: *eps, Seed: *seed, NumElems: inst.NumElems(),
-			EdgeBudget: *budget, SpaceFactor: *space,
-		})
-		if cap := p.EffectiveDegreeCap(); cap < inst.NumSets() {
+		if capBound < inst.NumSets() {
 			fmt.Fprintf(os.Stderr, "covcli: answers differ, but the degree cap (D=%d < n=%d) can bind at these parameters, "+
-				"so the sharded and offline sketches may legitimately keep different edge subsets\n", cap, inst.NumSets())
+				"so the sharded and offline sketches may legitimately keep different edge subsets\n", capBound, inst.NumSets())
 			return
 		}
 		fmt.Fprintln(os.Stderr, "covcli: MISMATCH between server and offline answers")

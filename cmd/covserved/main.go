@@ -13,8 +13,12 @@
 //
 // The sketch flags (-n, -k, -eps, …) configure the bootstrap namespace,
 // named by -ns ("default" unless overridden). Further namespaces are
-// created and deleted at runtime through the /v1/ns API; see the README
-// for the full endpoint reference:
+// created and deleted at runtime through the /v1/ns API — including
+// weighted-coverage namespaces: POST /v1/ns with a "weights" object
+// ({"table": [w0, w1, …], "default": w}) creates a dataset whose
+// kcover queries maximize total covered weight; snapshots persist the
+// weight table, so weighted namespaces survive restarts like any
+// other. See the README for the full endpoint reference:
 //
 //	POST   /v1/edges                bulk ingest (default namespace)
 //	GET    /v1/query?algo=kcover&k=10[&refresh=1]
@@ -91,6 +95,13 @@ func main() {
 		Shards:      *shards,
 		QueueDepth:  *queue,
 		MergeEvery:  *mergeEvery,
+		// A failed background merge is otherwise invisible (no request
+		// carries its error); the engine counts every failure in
+		// stats.refresh_errors and hands the first one here, logged once so
+		// a flapping disk or a shutdown race cannot flood the log.
+		OnRefreshError: func(err error) {
+			fmt.Fprintf(os.Stderr, "covserved: background merge failed (first occurrence; see stats refresh_errors): %v\n", err)
+		},
 	}
 
 	multi := server.NewMulti(*nsName)

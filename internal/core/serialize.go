@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"repro/internal/bipartite"
 )
@@ -97,7 +98,17 @@ func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 	}
-	for _, si := range s.heap {
+	// Canonical element order: the heap's layout depends on insertion
+	// history (a merged sketch and a streamed sketch with identical
+	// content interleave differently), so persist elements in ascending
+	// (hash, elem) priority — the same order Graph materializes — and
+	// equal sketches serialize to equal bytes however they were built.
+	kept := append([]int32(nil), s.heap...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := &s.slots[kept[i]], &s.slots[kept[j]]
+		return priorityLess(a.hash, a.elem, b.hash, b.elem)
+	})
+	for _, si := range kept {
 		sl := &s.slots[si]
 		// Canonical bytes: the hot ingest path keeps set lists in arrival
 		// order; persist them sorted so equal sketches serialize equally.

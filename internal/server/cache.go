@@ -7,21 +7,27 @@ import (
 
 // queryKey identifies a memoizable query outcome. The snapshot seq is
 // part of the key, so publishing a new snapshot invalidates every prior
-// entry naturally (stale seqs age out of the LRU). Parameters that do
-// not affect an algorithm's answer are normalized away (k for outliers
-// and greedy, lambda for kcover and greedy) so equivalent requests share
-// one entry.
+// entry naturally (stale seqs age out of the LRU). The weight signature
+// — a fingerprint of the engine's weight table, 0 for unweighted — is
+// part of the key too, so a weighted result can never be mistaken for
+// an unweighted one (or for a result under different weights) should
+// cache entries ever travel between engines. Parameters that do not
+// affect an algorithm's answer are normalized away (k for outliers and
+// greedy, lambda for kcover and greedy; wkcover is kcover's weighted
+// alias) so equivalent requests share one entry.
 type queryKey struct {
 	seq    uint64
+	wsig   uint64
 	algo   Algo
 	k      int
 	lambda float64
 }
 
-func newQueryKey(seq uint64, q Query) queryKey {
-	key := queryKey{seq: seq, algo: q.Algo}
+func newQueryKey(seq, wsig uint64, q Query) queryKey {
+	key := queryKey{seq: seq, wsig: wsig, algo: q.Algo}
 	switch q.Algo {
-	case AlgoKCover:
+	case AlgoKCover, AlgoWeightedKCover:
+		key.algo = AlgoKCover // wkcover answers are kcover answers on a weighted engine
 		key.k = q.K
 	case AlgoOutliers:
 		key.lambda = q.Lambda

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distributed"
 	"repro/internal/greedy"
+	"repro/internal/weighted"
 )
 
 // Config sizes the engine. NumSets, K and (implicitly) Eps mirror
@@ -81,10 +83,29 @@ type Config struct {
 	// entries); negative disables caching.
 	QueryCache int
 
+	// Weights, when non-nil, switches the engine into weighted-coverage
+	// mode: every shard owns a bank of per-weight-class sketches
+	// (internal/weighted) instead of a single H≤n sketch, snapshots
+	// publish the scaled union of the merged class bank, and kcover
+	// queries run the weighted greedy on it. Outliers and full-greedy
+	// queries are not defined for weighted instances and are rejected.
+	Weights *WeightConfig
+
+	// OnRefreshError, when non-nil, is invoked with the first error of
+	// the periodic merge loop (Config.MergeEvery) — at most once per
+	// engine, so a supervisor can log the failure without being flooded.
+	// Every background failure is also counted in Stats.RefreshErrors.
+	OnRefreshError func(error)
+
 	// Restore, when non-nil, seeds the engine with a previously persisted
 	// sketch (see Engine.WriteSnapshot / core.ReadSketch). The restored
 	// sketch must have been produced by a service with the same Config.
+	// Weighted engines restore through RestoreWeighted instead.
 	Restore *core.Sketch
+	// RestoreWeighted, when non-nil, seeds a weighted engine with a
+	// previously persisted class bank (see weighted.ReadBank); requires
+	// Weights. NewFromSnapshot fills the right field from raw bytes.
+	RestoreWeighted *weighted.Bank
 }
 
 func (c Config) shards() int {
@@ -122,6 +143,20 @@ func (c Config) params() core.Params {
 	})
 }
 
+// weightedOptions derives the class-bank options from the config — the
+// same mapping streamcover.MaxWeightedCoverage applies to its Options,
+// so a weighted engine and the one-shot run build identical per-class
+// sketches.
+func (c Config) weightedOptions() weighted.Options {
+	return weighted.Options{
+		Eps:         c.Eps,
+		Seed:        c.Seed,
+		NumElems:    c.NumElems,
+		EdgeBudget:  c.EdgeBudget,
+		SpaceFactor: c.SpaceFactor,
+	}
+}
+
 // ErrClosed is returned by every engine operation after Close.
 var ErrClosed = errors.New("server: engine closed")
 
@@ -138,7 +173,8 @@ type shardMsg struct {
 }
 
 type shardState struct {
-	clone *core.Sketch
+	clone *core.Sketch   // unweighted engines: deep copy of the shard sketch
+	bank  *weighted.Bank // weighted engines: deep copy of the shard class bank
 	stats core.Stats
 }
 
@@ -148,21 +184,35 @@ type shard struct {
 	pool *sync.Pool // shared with the engine; receives applied batches
 }
 
-// run is a shard's ingest loop; sk is owned exclusively by this goroutine.
-func (sh *shard) run(sk *core.Sketch) {
+// run is a shard's ingest loop; exactly one of sk and bank is non-nil
+// (the engine's mode) and is owned exclusively by this goroutine.
+func (sh *shard) run(sk *core.Sketch, bank *weighted.Bank) {
 	defer close(sh.done)
 	for msg := range sh.mail {
 		if msg.reply != nil {
-			st := shardState{stats: sk.Stats()}
-			if msg.wantClone {
-				st.clone = sk.Clone()
+			var st shardState
+			if bank != nil {
+				st.stats = bank.Stats()
+				if msg.wantClone {
+					st.bank = bank.Clone()
+				}
+			} else {
+				st.stats = sk.Stats()
+				if msg.wantClone {
+					st.clone = sk.Clone()
+				}
 			}
 			msg.reply <- st
 			continue
 		}
 		// Batched ingest: one deferred-shrink pass over the whole batch
-		// (core.Sketch.AddEdges) instead of per-edge updates.
-		sk.AddEdges(*msg.batch)
+		// (core.Sketch.AddEdges) instead of per-edge updates; the bank
+		// routes each edge to its weight-class sketch.
+		if bank != nil {
+			bank.AddEdges(*msg.batch)
+		} else {
+			sk.AddEdges(*msg.batch)
+		}
 		sh.pool.Put(msg.batch)
 	}
 }
@@ -175,18 +225,59 @@ type Snapshot struct {
 	Seq uint64
 	// CreatedAt is the merge time.
 	CreatedAt time.Time
-	// IngestedEdges is the number of edges the engine had accepted when
-	// the merge was requested (edges still queued in shard mailboxes at
-	// that moment are included by the mailbox ordering guarantee).
+	// IngestedEdges is the number of edges the merged state actually
+	// reflects: the sum of edges the shards had applied when the
+	// coordinator collected their clones, plus any restored edges. It is
+	// captured from the same mailbox replies as the clones themselves,
+	// so it can never disagree with the merged sketch — every Ingest
+	// call that returned before the merge was requested is included (the
+	// mailbox ordering guarantee), and nothing the sketch missed is
+	// counted.
 	IngestedEdges int64
 
-	sketch *core.Sketch
-	graph  *bipartite.Graph
-	ids    []uint32 // sketch element id -> original element id
+	sketch  *core.Sketch     // unweighted: merged H≤n sketch
+	bank    *weighted.Bank   // weighted: merged class bank
+	weights []float64        // weighted: scaled union element weights
+	graph   *bipartite.Graph // materialized (union) graph queries run on
+	ids     []uint32         // graph element id -> original element id
 }
 
-// Sketch returns the merged H≤n sketch. Callers must not mutate it.
+// Sketch returns the merged H≤n sketch (nil on a weighted engine, whose
+// merged state is a class bank — see Bank). Callers must not mutate it.
 func (s *Snapshot) Sketch() *core.Sketch { return s.sketch }
+
+// Bank returns the merged weight-class bank (nil on an unweighted
+// engine). Callers must not mutate it.
+func (s *Snapshot) Bank() *weighted.Bank { return s.bank }
+
+// Weighted reports whether the snapshot came from a weighted engine.
+func (s *Snapshot) Weighted() bool { return s.bank != nil }
+
+// elements is the sampled-element count of the merged state.
+func (s *Snapshot) elements() int {
+	if s.bank != nil {
+		return s.bank.Elements()
+	}
+	return s.sketch.Elements()
+}
+
+// keptEdges is the resident edge count of the merged state.
+func (s *Snapshot) keptEdges() int {
+	if s.bank != nil {
+		return s.bank.Edges()
+	}
+	return s.sketch.Edges()
+}
+
+// pStar is the sampling probability of the merged state; a weighted
+// snapshot reports its smallest class probability (each class is an
+// independent subsample, so there is no single p*).
+func (s *Snapshot) pStar() float64 {
+	if s.bank != nil {
+		return s.bank.Stats().PStar
+	}
+	return s.sketch.PStar()
+}
 
 // Graph returns the snapshot sketch materialized as a bipartite graph
 // (elements renumbered; see core.Sketch.Graph), with the bitset
@@ -200,6 +291,16 @@ type Engine struct {
 	params core.Params
 	part   distributed.Partitioner
 	shards []*shard
+
+	// weightFn / weightSig are set in weighted mode: the element-weight
+	// oracle shared by every shard bank, and the weight-table fingerprint
+	// folded into query-cache keys.
+	weightFn  func(uint32) float64
+	weightSig uint64
+	// restored is the ingested-edge total carried in by Config.Restore /
+	// RestoreWeighted; shard stream counters never see those edges (they
+	// arrive via the merge path), so snapshot accounting adds it back.
+	restored int64
 
 	ingestMu sync.RWMutex // guards shards' mailboxes against Close
 	closed   bool
@@ -218,6 +319,10 @@ type Engine struct {
 	// counts Refresh calls satisfied by the idle short-circuit.
 	refreshes    atomic.Int64
 	refreshSkips atomic.Int64
+	// refreshErrors counts background (merge-ticker) refreshes that
+	// failed; refreshErrOnce gates the Config.OnRefreshError callback.
+	refreshErrors  atomic.Int64
+	refreshErrOnce sync.Once
 
 	// batchPool recycles the per-shard sub-batch buffers that Ingest
 	// routes edges into; shards return applied buffers here.
@@ -233,29 +338,67 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.NumSets <= 0 || cfg.K <= 0 {
 		return nil, fmt.Errorf("server: Config needs positive NumSets and K")
 	}
-	params := cfg.params()
-	sketches, err := distributed.NewSketches(params, cfg.shards())
-	if err != nil {
+	if err := cfg.Weights.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Weights == nil && cfg.RestoreWeighted != nil {
+		return nil, fmt.Errorf("server: RestoreWeighted requires Weights")
+	}
+	if cfg.Weights != nil && cfg.Restore != nil {
+		return nil, fmt.Errorf("server: a weighted engine restores through RestoreWeighted, not Restore")
+	}
+	// Private copy: the engine outlives the caller's table.
+	cfg.Weights = cfg.Weights.clone()
+	params := cfg.params()
+	var (
+		sketches []*core.Sketch
+		banks    []*weighted.Bank
+		err      error
+	)
 	restoredEdges := int64(0)
-	if cfg.Restore != nil {
-		if err := sketches[0].Merge(cfg.Restore); err != nil {
-			return nil, fmt.Errorf("server: restoring snapshot: %w", err)
+	if cfg.Weights != nil {
+		fn := cfg.Weights.Fn()
+		banks = make([]*weighted.Bank, cfg.shards())
+		for i := range banks {
+			if banks[i], err = weighted.NewBank(cfg.NumSets, cfg.K, cfg.weightedOptions(), fn); err != nil {
+				return nil, err
+			}
 		}
-		restoredEdges = cfg.Restore.Stats().EdgesSeen
-		// The restore sketch was consumed by the merge; drop the pointer
-		// so the engine does not pin a full sketch copy for life.
-		cfg.Restore = nil
+		if cfg.RestoreWeighted != nil {
+			if err := banks[0].Merge(cfg.RestoreWeighted); err != nil {
+				return nil, fmt.Errorf("server: restoring weighted snapshot: %w", err)
+			}
+			restoredEdges = cfg.RestoreWeighted.EdgesSeen()
+			cfg.RestoreWeighted = nil
+		}
+	} else {
+		sketches, err = distributed.NewSketches(params, cfg.shards())
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Restore != nil {
+			if err := sketches[0].Merge(cfg.Restore); err != nil {
+				return nil, fmt.Errorf("server: restoring snapshot: %w", err)
+			}
+			restoredEdges = cfg.Restore.Stats().EdgesSeen
+			// The restore sketch was consumed by the merge; drop the pointer
+			// so the engine does not pin a full sketch copy for life.
+			cfg.Restore = nil
+		}
 	}
 	e := &Engine{
 		cfg:    cfg,
 		params: params,
 		// Offset the partition seed from the sketch seed so edge routing
 		// and element sampling are independent.
-		part:   distributed.NewPartitioner(cfg.shards(), cfg.Seed+0x5eed),
-		shards: make([]*shard, cfg.shards()),
-		cache:  newQueryCache(cfg.queryCache()),
+		part:     distributed.NewPartitioner(cfg.shards(), cfg.Seed+0x5eed),
+		shards:   make([]*shard, cfg.shards()),
+		cache:    newQueryCache(cfg.queryCache()),
+		restored: restoredEdges,
+	}
+	if cfg.Weights != nil {
+		e.weightFn = cfg.Weights.Fn()
+		e.weightSig = cfg.Weights.signature()
 	}
 	for i := range e.shards {
 		sh := &shard{
@@ -264,7 +407,11 @@ func New(cfg Config) (*Engine, error) {
 			pool: &e.batchPool,
 		}
 		e.shards[i] = sh
-		go sh.run(sketches[i])
+		if banks != nil {
+			go sh.run(nil, banks[i])
+		} else {
+			go sh.run(sketches[i], nil)
+		}
 	}
 	if restoredEdges > 0 {
 		e.ingested.Store(restoredEdges)
@@ -277,6 +424,11 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// Weighted reports whether the engine runs the weighted query plane —
+// a single pointer check, unlike Config(), which deep-copies the
+// weight table and is therefore not for hot read paths.
+func (e *Engine) Weighted() bool { return e.weightFn != nil }
+
 func (e *Engine) mergeLoop(every time.Duration) {
 	defer close(e.tickerDone)
 	t := time.NewTicker(every)
@@ -284,7 +436,15 @@ func (e *Engine) mergeLoop(every time.Duration) {
 	for {
 		select {
 		case <-t.C:
-			e.Refresh() // errors only after Close; the loop exits then anyway
+			if _, err := e.Refresh(); err != nil {
+				// A failed background merge is invisible to any caller —
+				// count it (Stats.RefreshErrors) and surface the first one
+				// to the supervisor instead of dropping it on the floor.
+				e.refreshErrors.Add(1)
+				if cb := e.cfg.OnRefreshError; cb != nil {
+					e.refreshErrOnce.Do(func() { cb(err) })
+				}
+			}
 		case <-e.stopTicker:
 			return
 		}
@@ -331,13 +491,17 @@ func (e *Engine) Ingest(edges []bipartite.Edge) (int, error) {
 		}
 		*buckets[w] = append(*buckets[w], ed)
 	}
+	// Count before enqueueing: the accepted-edge counter must never lag a
+	// batch that a concurrent Refresh can already observe through the
+	// shard mailboxes, so the idle short-circuit's "counter unchanged ⇒
+	// snapshot complete" reasoning stays sound.
+	e.ingested.Add(int64(len(edges)))
+	e.batches.Add(1)
 	for w, b := range buckets {
 		if b != nil {
 			e.shards[w].mail <- shardMsg{batch: b}
 		}
 	}
-	e.ingested.Add(int64(len(edges)))
-	e.batches.Add(1)
 	return len(edges), nil
 }
 
@@ -378,9 +542,11 @@ func (e *Engine) Refresh() (*Snapshot, error) {
 func (e *Engine) refreshLocked() (*Snapshot, error) {
 	ingested := e.ingested.Load()
 	if snap := e.snap.Load(); snap != nil && snap.IngestedEdges == ingested {
-		// Idle short-circuit. Any Ingest that returned before our counter
-		// read would have bumped it past the snapshot's value, so the
-		// published snapshot still satisfies the Refresh contract.
+		// Idle short-circuit. Ingest bumps the accepted-edge counter
+		// before it enqueues, so "counter unchanged since the snapshot's
+		// applied total" means no batch has entered a mailbox since that
+		// merge — the published snapshot still satisfies the Refresh
+		// contract.
 		e.refreshSkips.Add(1)
 		return snap, nil
 	}
@@ -388,17 +554,59 @@ func (e *Engine) refreshLocked() (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	clones := make([]*core.Sketch, len(states))
-	for i, st := range states {
-		clones[i] = st.clone
+	// Capture the ingested-edge total from the same replies as the
+	// clones: the count and the merged state describe the exact same cut
+	// of the mailboxes, so the snapshot's accounting can neither lag a
+	// batch the merge contains nor claim one it missed. (The counter
+	// read above is only the idle check — a batch accepted between it
+	// and collect() is legitimately included here.)
+	applied := e.restored
+	for _, st := range states {
+		applied += st.stats.EdgesSeen
 	}
-	// Parallel tree reduction across the shard clones (core.MergeAll);
-	// the clones are owned here and discarded after the fold.
-	merged, err := core.MergeAll(e.params, clones...)
-	if err != nil {
-		return nil, err
+	var (
+		merged *core.Sketch
+		bank   *weighted.Bank
+		wts    []float64
+		g      *bipartite.Graph
+		ids    []uint32
+	)
+	if e.Weighted() {
+		banks := make([]*weighted.Bank, len(states))
+		for i, st := range states {
+			banks[i] = st.bank
+		}
+		bank, err = weighted.MergeBanks(e.cfg.NumSets, e.cfg.K, e.cfg.weightedOptions(), e.weightFn, banks...)
+		if err != nil {
+			return nil, err
+		}
+		// Restored edges already ride `applied`; the merged bank's own
+		// counter (summed shard counters) would double-count nothing, but
+		// pin it to the captured total so every consumer agrees.
+		bank.SetEdgesSeen(applied)
+		in, orig, err := bank.Assemble()
+		if err != nil {
+			return nil, err
+		}
+		g, wts, ids = in.G, in.W, orig
+	} else {
+		clones := make([]*core.Sketch, len(states))
+		for i, st := range states {
+			clones[i] = st.clone
+		}
+		// Parallel tree reduction across the shard clones (core.MergeAll);
+		// the clones are owned here and discarded after the fold.
+		merged, err = core.MergeAll(e.params, clones...)
+		if err != nil {
+			return nil, err
+		}
+		// A merged sketch only counts the kept edges it replayed; pin the
+		// captured applied total so the snapshot's sketch reports the true
+		// consumed count and WriteSnapshot can persist it without a fix-up
+		// clone.
+		merged.SetEdgesSeen(applied)
+		g, ids = merged.Graph()
 	}
-	g, ids := merged.Graph()
 	// Materialize the bitset coverage index now (when profitable for this
 	// graph) so no query pays the build: snapshots are immutable and the
 	// index is shared by every greedy run against them.
@@ -406,8 +614,10 @@ func (e *Engine) refreshLocked() (*Snapshot, error) {
 	snap := &Snapshot{
 		Seq:           e.seq.Add(1),
 		CreatedAt:     time.Now(),
-		IngestedEdges: ingested,
+		IngestedEdges: applied,
 		sketch:        merged,
+		bank:          bank,
+		weights:       wts,
 		graph:         g,
 		ids:           ids,
 	}
@@ -433,14 +643,21 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 }
 
 // Config returns a copy of the configuration the engine was built with
-// (with the Restore sketch cleared — it is consumed at construction).
+// (with the Restore state cleared — it is consumed at construction).
 // The namespace layer persists this alongside the merged sketch so a
 // snapshot-v2 restore can rebuild the engine identically.
 func (e *Engine) Config() Config {
 	cfg := e.cfg
 	cfg.Restore = nil
+	cfg.RestoreWeighted = nil
+	cfg.Weights = cfg.Weights.clone()
 	return cfg
 }
+
+// RefreshErrors reports the number of background (merge-ticker)
+// refreshes that failed. A single atomic load — unlike Stats it stays
+// readable after Close, when the failures typically happen.
+func (e *Engine) RefreshErrors() int64 { return e.refreshErrors.Load() }
 
 // IngestedEdges reports the number of edges accepted so far. Unlike
 // Stats it is a single atomic load — no message rides the shard
@@ -460,6 +677,12 @@ const (
 	AlgoOutliers Algo = "outliers"
 	// AlgoGreedy runs the full greedy set cover over the snapshot sketch.
 	AlgoGreedy Algo = "greedy"
+	// AlgoWeightedKCover runs the weighted greedy (1−1/e for weighted
+	// coverage) over the snapshot's scaled class-bank union. Only valid
+	// on a weighted engine, where plain AlgoKCover is an alias for it —
+	// the explicit name lets clients assert they are talking to a
+	// weighted namespace.
+	AlgoWeightedKCover Algo = "wkcover"
 )
 
 // Query is a request against a snapshot.
@@ -488,8 +711,16 @@ type QueryResult struct {
 	// the true coverage.
 	EstimatedCoverage float64 `json:"estimated_coverage"`
 	// SampledElements and PStar describe the snapshot the query ran on.
+	// An empty (never-ingested) snapshot reports SampledElements 0 and
+	// EstimatedCoverage 0 — never NaN/Inf, which JSON could not encode.
 	SampledElements int     `json:"sampled_elements"`
 	PStar           float64 `json:"p_star"`
+	// Weighted marks results from the weighted query plane; there
+	// EstimatedCoverage is the class-scaled total covered weight (not
+	// SketchCoverage / p*) and WeightClasses counts the non-empty weight
+	// classes in the snapshot bank.
+	Weighted      bool `json:"weighted,omitempty"`
+	WeightClasses int  `json:"weight_classes,omitempty"`
 	// SnapshotSeq and SnapshotEdges identify the snapshot; a query issued
 	// during ingestion reports the merge it was served from.
 	SnapshotSeq   uint64 `json:"snapshot_seq"`
@@ -506,6 +737,13 @@ func (e *Engine) Query(q Query) (*QueryResult, error) {
 		if q.K <= 0 {
 			return nil, fmt.Errorf("server: kcover query needs positive k")
 		}
+	case AlgoWeightedKCover:
+		if !e.Weighted() {
+			return nil, fmt.Errorf("server: wkcover requires a weighted engine (configure Weights)")
+		}
+		if q.K <= 0 {
+			return nil, fmt.Errorf("server: wkcover query needs positive k")
+		}
 	case AlgoOutliers:
 		if !(q.Lambda > 0 && q.Lambda < 1) {
 			return nil, fmt.Errorf("server: outliers query needs lambda in (0,1), got %v", q.Lambda)
@@ -513,6 +751,9 @@ func (e *Engine) Query(q Query) (*QueryResult, error) {
 	case AlgoGreedy:
 	default:
 		return nil, fmt.Errorf("server: unknown query algo %q", q.Algo)
+	}
+	if e.Weighted() && (q.Algo == AlgoOutliers || q.Algo == AlgoGreedy) {
+		return nil, fmt.Errorf("server: algo %q is not defined on a weighted engine (weighted coverage serves kcover)", q.Algo)
 	}
 	var (
 		snap *Snapshot
@@ -527,32 +768,58 @@ func (e *Engine) Query(q Query) (*QueryResult, error) {
 		return nil, err
 	}
 	e.queries.Add(1)
-	key := newQueryKey(snap.Seq, q)
+	key := newQueryKey(snap.Seq, e.weightSig, q)
 	if e.cache != nil {
 		if res, ok := e.cache.get(key); ok {
 			e.cacheHits.Add(1)
+			// kcover/wkcover share an entry on a weighted engine; echo the
+			// algo actually requested (get hands back a private copy).
+			res.Algo = q.Algo
 			return res, nil
 		}
 	}
-	var res greedy.Result
-	switch q.Algo {
-	case AlgoKCover:
-		res = greedy.MaxCover(snap.graph, q.K)
-	case AlgoOutliers:
-		target := int(float64(snap.graph.CoveredElems()) * (1 - q.Lambda))
-		res = greedy.PartialCover(snap.graph, target)
-	case AlgoGreedy:
-		res = greedy.SetCover(snap.graph)
-	}
-	out := &QueryResult{
-		Algo:              q.Algo,
-		Sets:              res.Sets,
-		SketchCoverage:    res.Covered,
-		EstimatedCoverage: float64(res.Covered) / snap.sketch.PStar(),
-		SampledElements:   snap.sketch.Elements(),
-		PStar:             snap.sketch.PStar(),
-		SnapshotSeq:       snap.Seq,
-		SnapshotEdges:     snap.IngestedEdges,
+	var out *QueryResult
+	if e.Weighted() {
+		res := weighted.MaxCover(weighted.Instance{G: snap.graph, W: snap.weights}, q.K)
+		out = &QueryResult{
+			Algo:              q.Algo,
+			Sets:              res.Sets,
+			SketchCoverage:    res.CoveredElems,
+			EstimatedCoverage: res.Covered, // the weighted greedy scales per class already
+			SampledElements:   snap.graph.NumElems(),
+			PStar:             snap.pStar(),
+			Weighted:          true,
+			WeightClasses:     snap.bank.Classes(),
+			SnapshotSeq:       snap.Seq,
+			SnapshotEdges:     snap.IngestedEdges,
+		}
+	} else {
+		var res greedy.Result
+		switch q.Algo {
+		case AlgoKCover:
+			res = greedy.MaxCover(snap.graph, q.K)
+		case AlgoOutliers:
+			// Ceiling, not truncation: a truncated target can leave the
+			// covered fraction strictly below 1−λ (e.g. λ=0.001 over 999
+			// elements truncates 998.001 to 998, i.e. 998/999 < 0.999). The
+			// (1−1e-12) relative tolerance keeps float noise from rounding an
+			// exactly-integral product up (10·0.3 evaluates above 3.0, which
+			// a bare Ceil would turn into a target of 4).
+			target := int(math.Ceil(float64(snap.graph.CoveredElems()) * (1 - q.Lambda) * (1 - 1e-12)))
+			res = greedy.PartialCover(snap.graph, target)
+		case AlgoGreedy:
+			res = greedy.SetCover(snap.graph)
+		}
+		out = &QueryResult{
+			Algo:              q.Algo,
+			Sets:              res.Sets,
+			SketchCoverage:    res.Covered,
+			EstimatedCoverage: safeEstimate(res.Covered, snap.sketch.PStar()),
+			SampledElements:   snap.sketch.Elements(),
+			PStar:             snap.sketch.PStar(),
+			SnapshotSeq:       snap.Seq,
+			SnapshotEdges:     snap.IngestedEdges,
+		}
 	}
 	if e.cache != nil {
 		e.cache.put(key, out)
@@ -560,23 +827,78 @@ func (e *Engine) Query(q Query) (*QueryResult, error) {
 	return out, nil
 }
 
-// WriteSnapshot merges and persists the service state; the bytes restore
-// through core.ReadSketch into Config.Restore. The persisted sketch
-// carries the engine's true ingested-edge total (a merged sketch only
-// counts the kept edges it replayed), so accounting survives restore.
+// safeEstimate is the Lemma 2.2 estimate covered / p*, defined for the
+// degenerate snapshots a long-running service can serve: an empty
+// (never-ingested) snapshot covers nothing and estimates 0, and a
+// sketch whose eviction bar collapsed to priority zero (p* = 0 — it
+// retains no measurable sample) also estimates 0 instead of NaN/Inf,
+// which would poison the JSON encoder downstream.
+func safeEstimate(covered int, pStar float64) float64 {
+	if covered <= 0 || pStar <= 0 {
+		return 0
+	}
+	return float64(covered) / pStar
+}
+
+// WriteSnapshot merges and persists the service state: an unweighted
+// engine writes its merged sketch (v1 format, restorable through
+// core.ReadSketch into Config.Restore), a weighted engine writes its
+// merged class bank (weighted.BankMagic framing, restorable through
+// weighted.ReadBank into Config.RestoreWeighted). NewFromSnapshot
+// decodes either from the config. The persisted state carries the
+// engine's true ingested-edge total (a merged sketch only counts the
+// kept edges it replayed), so accounting survives restore.
 func (e *Engine) WriteSnapshot(w io.Writer) (*Snapshot, error) {
 	snap, err := e.Refresh()
 	if err != nil {
 		return nil, err
 	}
-	// Clone before fixing up the counter: the published snapshot sketch is
-	// shared with concurrent queries and must stay immutable.
-	sk := snap.sketch.Clone()
-	sk.SetEdgesSeen(snap.IngestedEdges)
-	if _, err := sk.WriteTo(w); err != nil {
+	// No clone needed in either mode: refreshLocked already pinned the
+	// merged state's consumed-edge counter to the snapshot's applied
+	// total, and WriteTo only reads (its lazy set-list normalization ran
+	// when the snapshot's graph was materialized), so serializing the
+	// published state races with nothing.
+	if snap.bank != nil {
+		if _, err := snap.bank.WriteTo(w); err != nil {
+			return nil, err
+		}
+		return snap, nil
+	}
+	if _, err := snap.sketch.WriteTo(w); err != nil {
 		return nil, err
 	}
 	return snap, nil
+}
+
+// ReadRestore decodes a snapshot previously written by WriteSnapshot
+// and returns cfg with the matching restore field filled: weighted
+// configs (Weights set) decode a class bank, unweighted configs a v1
+// sketch. The config must repeat the writing engine's parameters.
+func ReadRestore(cfg Config, r io.Reader) (Config, error) {
+	if cfg.Weights != nil {
+		bk, err := weighted.ReadBank(r, cfg.NumSets, cfg.K, cfg.weightedOptions(), cfg.Weights.Fn())
+		if err != nil {
+			return cfg, fmt.Errorf("server: restoring weighted snapshot: %w", err)
+		}
+		cfg.RestoreWeighted = bk
+		return cfg, nil
+	}
+	sk, err := core.ReadSketch(r)
+	if err != nil {
+		return cfg, fmt.Errorf("server: restoring snapshot: %w", err)
+	}
+	cfg.Restore = sk
+	return cfg, nil
+}
+
+// NewFromSnapshot starts an engine seeded from persisted WriteSnapshot
+// bytes — ReadRestore followed by New.
+func NewFromSnapshot(r io.Reader, cfg Config) (*Engine, error) {
+	cfg, err := ReadRestore(cfg, r)
+	if err != nil {
+		return nil, err
+	}
+	return New(cfg)
 }
 
 // Stats reports engine-level accounting.
@@ -600,6 +922,14 @@ type Stats struct {
 	// RefreshSkips counts Refresh calls satisfied by the idle
 	// short-circuit (ingested-edge counter unchanged since the snapshot).
 	RefreshSkips int64 `json:"refresh_skips"`
+	// RefreshErrors counts background (merge-ticker) refreshes that
+	// failed; the first failure also reaches Config.OnRefreshError.
+	RefreshErrors int64 `json:"refresh_errors"`
+	// Weighted reports whether the engine runs the weighted query plane;
+	// WeightClasses counts the non-empty weight classes in the current
+	// snapshot's class bank (weighted engines only).
+	Weighted      bool `json:"weighted,omitempty"`
+	WeightClasses int  `json:"weight_classes,omitempty"`
 	// ShardStats holds each shard sketch's accounting, in shard order.
 	ShardStats []core.Stats `json:"shard_stats"`
 	// SnapshotSeq identifies the current merged snapshot (0: none yet).
@@ -630,6 +960,8 @@ func (e *Engine) Stats() (*Stats, error) {
 		QueryCacheHits: e.cacheHits.Load(),
 		Refreshes:      e.refreshes.Load(),
 		RefreshSkips:   e.refreshSkips.Load(),
+		RefreshErrors:  e.refreshErrors.Load(),
+		Weighted:       e.Weighted(),
 	}
 	if e.cache != nil {
 		st.QueryCacheEntries = e.cache.len()
@@ -640,9 +972,12 @@ func (e *Engine) Stats() (*Stats, error) {
 	if snap := e.snap.Load(); snap != nil {
 		st.SnapshotSeq = snap.Seq
 		st.SnapshotEdges = snap.IngestedEdges
-		st.SnapshotElements = snap.sketch.Elements()
-		st.SnapshotKept = snap.sketch.Edges()
-		st.SnapshotPStar = snap.sketch.PStar()
+		st.SnapshotElements = snap.elements()
+		st.SnapshotKept = snap.keptEdges()
+		st.SnapshotPStar = snap.pStar()
+		if snap.bank != nil {
+			st.WeightClasses = snap.bank.Classes()
+		}
 	}
 	return st, nil
 }

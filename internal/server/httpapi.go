@@ -62,7 +62,10 @@ type api struct {
 //
 //	POST /v1/edges     {"edges": [[set, elem], ...]}  → bulk ingest
 //	GET  /v1/query     ?algo=kcover&k=10 | ?algo=outliers&lambda=0.1 |
-//	                   ?algo=greedy — optional &refresh=1 merges first
+//	                   ?algo=greedy — optional &refresh=1 merges first.
+//	                   Weighted datasets serve kcover (alias wkcover)
+//	                   through the weighted query plane and reject
+//	                   outliers/greedy.
 //	GET  /v1/stats     → engine + per-shard accounting
 //	POST /v1/snapshot  → coordinator merge; persists when configured
 //	GET  /v1/healthz   → liveness
@@ -306,7 +309,9 @@ func (a *api) handleSnapshot(e *Engine, w http.ResponseWriter, r *http.Request) 
 
 // handleCreateNamespace implements POST /v1/ns.
 func (a *api) handleCreateNamespace(m *Multi, w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
+	// Larger than the other control bodies: a weighted namespace carries
+	// its element-weight table inline (~20 JSON bytes per element).
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<24)
 	var req createNamespaceRequest
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(&req); err != nil {
@@ -402,7 +407,9 @@ type ingestResponse struct {
 }
 
 // createNamespaceRequest is the POST /v1/ns body. Name, NumSets and K
-// are required; the rest default as in Config.
+// are required; the rest default as in Config. A weights object makes
+// the namespace a weighted-coverage dataset (element weights are
+// namespace configuration; kcover queries then run the weighted plane).
 type createNamespaceRequest struct {
 	Name        string  `json:"name"`
 	NumSets     int     `json:"num_sets"`
@@ -415,8 +422,33 @@ type createNamespaceRequest struct {
 	Shards      int     `json:"shards"`
 	QueueDepth  int     `json:"queue_depth"`
 	// MergeEveryMS enables the periodic snapshot merge, in milliseconds.
-	MergeEveryMS int64 `json:"merge_every_ms"`
-	QueryCache   int   `json:"query_cache"`
+	MergeEveryMS int64         `json:"merge_every_ms"`
+	QueryCache   int           `json:"query_cache"`
+	Weights      *weightsFrame `json:"weights,omitempty"`
+}
+
+// weightsFrame is the wire/persisted form of a WeightConfig, shared by
+// the POST /v1/ns body and the snapshot-v2 config frame.
+type weightsFrame struct {
+	// Table[e] is element e's weight (finite, non-negative).
+	Table []float64 `json:"table"`
+	// Default is the weight of elements at or beyond the table (0 =
+	// ignore them).
+	Default float64 `json:"default,omitempty"`
+}
+
+func weightsFromConfig(w *WeightConfig) *weightsFrame {
+	if w == nil {
+		return nil
+	}
+	return &weightsFrame{Table: w.Table, Default: w.Default}
+}
+
+func (f *weightsFrame) config() *WeightConfig {
+	if f == nil {
+		return nil
+	}
+	return &WeightConfig{Table: f.Table, Default: f.Default}
 }
 
 func (r createNamespaceRequest) config() Config {
@@ -432,6 +464,7 @@ func (r createNamespaceRequest) config() Config {
 		QueueDepth:  r.QueueDepth,
 		MergeEvery:  time.Duration(r.MergeEveryMS) * time.Millisecond,
 		QueryCache:  r.QueryCache,
+		Weights:     r.Weights.config(),
 	}
 }
 
@@ -450,6 +483,8 @@ type snapshotResponse struct {
 	Elements      int       `json:"elements"`
 	KeptEdges     int       `json:"kept_edges"`
 	PStar         float64   `json:"p_star"`
+	Weighted      bool      `json:"weighted,omitempty"`
+	WeightClasses int       `json:"weight_classes,omitempty"`
 	Persisted     string    `json:"persisted,omitempty"`
 }
 
@@ -457,9 +492,13 @@ func (r *snapshotResponse) fill(s *Snapshot) {
 	r.Seq = s.Seq
 	r.CreatedAt = s.CreatedAt
 	r.IngestedEdges = s.IngestedEdges
-	r.Elements = s.sketch.Elements()
-	r.KeptEdges = s.sketch.Edges()
-	r.PStar = s.sketch.PStar()
+	r.Elements = s.elements()
+	r.KeptEdges = s.keptEdges()
+	r.PStar = s.pStar()
+	if s.Weighted() {
+		r.Weighted = true
+		r.WeightClasses = s.bank.Classes()
+	}
 }
 
 // statusFor maps service errors to HTTP codes: a closed engine or a
@@ -481,8 +520,17 @@ func httpError(w http.ResponseWriter, code int, format string, args ...interface
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// writeJSON marshals v before touching the response: if encoding fails
+// (it should not — query results are now NaN-free by construction — but
+// a marshal error after WriteHeader would emit a broken 200 with an
+// empty body), the client receives a well-formed 500 instead.
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		code = http.StatusInternalServerError
+		data, _ = json.Marshal(map[string]string{"error": "encoding response: " + err.Error()})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	w.Write(append(data, '\n'))
 }

@@ -186,6 +186,9 @@ type NamespaceInfo struct {
 	Eps     float64 `json:"eps"`
 	Seed    uint64  `json:"seed"`
 	Shards  int     `json:"shards"`
+	// Weighted reports whether the namespace serves weighted coverage
+	// (Config.Weights set).
+	Weighted bool `json:"weighted,omitempty"`
 	// IngestedEdges is the number of edges the namespace has accepted.
 	IngestedEdges int64 `json:"ingested_edges"`
 	// SnapshotSeq is the namespace's current merge sequence number (0
@@ -194,7 +197,9 @@ type NamespaceInfo struct {
 }
 
 func infoFor(name string, e *Engine, isDefault bool) NamespaceInfo {
-	cfg := e.Config()
+	// Read the config fields directly: Engine.Config() deep-copies the
+	// weight table, which directory listings must not pay per entry.
+	cfg := &e.cfg
 	info := NamespaceInfo{
 		Name:          name,
 		Default:       isDefault,
@@ -203,6 +208,7 @@ func infoFor(name string, e *Engine, isDefault bool) NamespaceInfo {
 		Eps:           cfg.Eps,
 		Seed:          cfg.Seed,
 		Shards:        cfg.shards(),
+		Weighted:      cfg.Weights != nil,
 		IngestedEdges: e.IngestedEdges(),
 	}
 	if snap := e.snap.Load(); snap != nil {

@@ -39,19 +39,24 @@ const (
 )
 
 // configFrame is the JSON encoding of a namespace's Config inside a v2
-// snapshot. Durations are persisted in nanoseconds.
+// snapshot. Durations are persisted in nanoseconds. A weighted
+// namespace additionally frames its element-weight table (weights is
+// omitted entirely for unweighted namespaces, so files written before
+// the weighted extension — and files written for unweighted namespaces
+// today — are byte-identical and restore unchanged).
 type configFrame struct {
-	NumSets     int     `json:"num_sets"`
-	K           int     `json:"k"`
-	Eps         float64 `json:"eps,omitempty"`
-	Seed        uint64  `json:"seed,omitempty"`
-	NumElems    int     `json:"num_elems,omitempty"`
-	EdgeBudget  int     `json:"edge_budget,omitempty"`
-	SpaceFactor float64 `json:"space_factor,omitempty"`
-	Shards      int     `json:"shards,omitempty"`
-	QueueDepth  int     `json:"queue_depth,omitempty"`
-	MergeEvery  int64   `json:"merge_every_ns,omitempty"`
-	QueryCache  int     `json:"query_cache,omitempty"`
+	NumSets     int           `json:"num_sets"`
+	K           int           `json:"k"`
+	Eps         float64       `json:"eps,omitempty"`
+	Seed        uint64        `json:"seed,omitempty"`
+	NumElems    int           `json:"num_elems,omitempty"`
+	EdgeBudget  int           `json:"edge_budget,omitempty"`
+	SpaceFactor float64       `json:"space_factor,omitempty"`
+	Shards      int           `json:"shards,omitempty"`
+	QueueDepth  int           `json:"queue_depth,omitempty"`
+	MergeEvery  int64         `json:"merge_every_ns,omitempty"`
+	QueryCache  int           `json:"query_cache,omitempty"`
+	Weights     *weightsFrame `json:"weights,omitempty"`
 }
 
 func frameFromConfig(cfg Config) configFrame {
@@ -67,6 +72,7 @@ func frameFromConfig(cfg Config) configFrame {
 		QueueDepth:  cfg.QueueDepth,
 		MergeEvery:  int64(cfg.MergeEvery),
 		QueryCache:  cfg.QueryCache,
+		Weights:     weightsFromConfig(cfg.Weights),
 	}
 }
 
@@ -83,6 +89,7 @@ func (f configFrame) config() Config {
 		QueueDepth:  f.QueueDepth,
 		MergeEvery:  time.Duration(f.MergeEvery),
 		QueryCache:  f.QueryCache,
+		Weights:     f.Weights.config(),
 	}
 }
 
@@ -180,12 +187,13 @@ func (m *Multi) RestoreAll(r io.Reader) (int, error) {
 		if _, err := io.CopyN(&blob, br, int64(blobLen)); err != nil {
 			return restored, fmt.Errorf("server: reading namespace %q sketch: %w", name, err)
 		}
-		sk, err := core.ReadSketch(bytes.NewReader(blob.Bytes()))
+		// The frame's config decides the blob format: weighted namespaces
+		// persist a class bank, unweighted ones a v1 sketch. ReadRestore
+		// fills the matching Config restore field.
+		cfg, err := ReadRestore(frame.config(), bytes.NewReader(blob.Bytes()))
 		if err != nil {
-			return restored, fmt.Errorf("server: decoding namespace %q sketch: %w", name, err)
+			return restored, fmt.Errorf("server: decoding namespace %q state: %w", name, err)
 		}
-		cfg := frame.config()
-		cfg.Restore = sk
 		if _, err := m.Create(string(name), cfg); err != nil {
 			return restored, err
 		}

@@ -1,0 +1,279 @@
+package weighted
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// bankWorkloads is the full generator matrix the serialization and
+// merge property tests sweep — every workload family the repository
+// ships.
+func bankWorkloads() map[string]workload.Instance {
+	return map[string]workload.Instance{
+		"uniform":          workload.Uniform(40, 2500, 0.05, 11),
+		"zipf":             workload.Zipf(50, 3000, 700, 0.9, 0.7, 7),
+		"planted_kcover":   workload.PlantedKCover(40, 2500, 4, 0.9, 25, 5),
+		"planted_setcover": workload.PlantedSetCover(30, 2000, 5, 20, 9),
+		"blog_topics":      workload.BlogTopics(40, 1500, 120, 3),
+		"large_sets":       workload.LargeSets(12, 4000, 0.3, 13),
+		"clustered":        workload.Clustered(30, 2000, 5, 17),
+	}
+}
+
+// testWeightOf spreads elements over several geometric classes and
+// leaves a residue class at weight zero, exercising the skip path.
+func testWeightOf(e uint32) float64 {
+	return float64((e * 2654435761) % 9)
+}
+
+func testBankOptions() Options {
+	return Options{Eps: 0.4, Seed: 77, NumElems: 3000, EdgeBudget: 2500}
+}
+
+// serializeBank returns the canonical bytes of a bank.
+func serializeBank(t *testing.T, b *Bank) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// mustSolve runs Solve and fails the test on error.
+func mustSolve(t *testing.T, b *Bank, k int) *Result {
+	t.Helper()
+	res, err := b.Solve(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sameResult(a, b *Result) bool {
+	if a.EstimatedCoverage != b.EstimatedCoverage || a.Classes != b.Classes ||
+		a.EdgesStored != b.EdgesStored || len(a.Sets) != len(b.Sets) {
+		return false
+	}
+	for i := range a.Sets {
+		if a.Sets[i] != b.Sets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBankMatchesKCover pins that a Bank fed edge batches answers
+// exactly like the one-shot KCover over the same stream (KCover is the
+// bank in stream clothing, so this guards the refactor).
+func TestBankMatchesKCover(t *testing.T) {
+	const k = 5
+	for name, inst := range bankWorkloads() {
+		n := inst.G.NumSets()
+		opt := testBankOptions()
+		oneshot, err := KCover(stream.Shuffled(inst.G, 3), n, k, testWeightOf, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := NewBank(n, k, opt, testWeightOf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		edges := stream.Drain(stream.Shuffled(inst.G, 3))
+		for i := 0; i < len(edges); i += 97 {
+			j := i + 97
+			if j > len(edges) {
+				j = len(edges)
+			}
+			b.AddEdges(edges[i:j])
+		}
+		if got := b.EdgesSeen(); got != int64(len(edges)) {
+			t.Fatalf("%s: bank saw %d of %d edges", name, got, len(edges))
+		}
+		res := mustSolve(t, b, k)
+		if !sameResult(res, oneshot) {
+			t.Fatalf("%s: bank %+v != one-shot %+v", name, res, oneshot)
+		}
+	}
+}
+
+// TestBankSerializationRoundTrip is the satellite property test: for
+// every workload generator, WriteTo → ReadBank reproduces the bank
+// exactly — byte-identical re-serialization, identical accounting and
+// identical answers.
+func TestBankSerializationRoundTrip(t *testing.T) {
+	const k = 4
+	for name, inst := range bankWorkloads() {
+		n := inst.G.NumSets()
+		opt := testBankOptions()
+		b, err := NewBank(n, k, opt, testWeightOf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b.AddStream(stream.Shuffled(inst.G, 5))
+
+		raw := serializeBank(t, b)
+		back, err := ReadBank(bytes.NewReader(raw), n, k, opt, testWeightOf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := serializeBank(t, back); !bytes.Equal(raw, got) {
+			t.Fatalf("%s: restored bank re-serializes to different bytes (%d vs %d)", name, len(got), len(raw))
+		}
+		if back.Classes() != b.Classes() || back.Edges() != b.Edges() ||
+			back.Elements() != b.Elements() || back.EdgesSeen() != b.EdgesSeen() {
+			t.Fatalf("%s: restored bank accounting differs: classes %d/%d edges %d/%d elems %d/%d seen %d/%d",
+				name, back.Classes(), b.Classes(), back.Edges(), b.Edges(),
+				back.Elements(), b.Elements(), back.EdgesSeen(), b.EdgesSeen())
+		}
+		if want, got := mustSolve(t, b, k), mustSolve(t, back, k); !sameResult(want, got) {
+			t.Fatalf("%s: restored bank answers %+v, original %+v", name, got, want)
+		}
+	}
+}
+
+// TestBankMergeEqualsSingle pins class-bank merge-composability: banks
+// built over disjoint shards of the stream merge into exactly the bank
+// of the whole stream, for both pairwise Merge and MergeBanks.
+func TestBankMergeEqualsSingle(t *testing.T) {
+	const k = 4
+	for name, inst := range bankWorkloads() {
+		n := inst.G.NumSets()
+		opt := testBankOptions()
+		whole, err := NewBank(n, k, opt, testWeightOf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		whole.AddStream(stream.Shuffled(inst.G, 9))
+		want := serializeBank(t, whole)
+
+		edges := stream.Drain(stream.Shuffled(inst.G, 9))
+		const parts = 3
+		shards := make([]*Bank, parts)
+		for p := range shards {
+			if shards[p], err = NewBank(n, k, opt, testWeightOf); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			shards[p].AddEdges(edges[p*len(edges)/parts : (p+1)*len(edges)/parts])
+		}
+
+		merged, err := MergeBanks(n, k, opt, testWeightOf, shards...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := serializeBank(t, merged); !bytes.Equal(want, got) {
+			t.Fatalf("%s: MergeBanks of %d shards differs from the single-pass bank", name, parts)
+		}
+
+		pairwise, err := NewBank(n, k, opt, testWeightOf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, sh := range shards {
+			if err := pairwise.Merge(sh); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		// Pairwise Merge leaves stream accounting untouched (like
+		// core.Sketch.Merge); align it before the byte comparison.
+		pairwise.SetEdgesSeen(whole.EdgesSeen())
+		if got := serializeBank(t, pairwise); !bytes.Equal(want, got) {
+			t.Fatalf("%s: pairwise merge differs from the single-pass bank", name)
+		}
+	}
+}
+
+// TestBankCloneIsDeep pins clone isolation: mutating the clone leaves
+// the original untouched and vice versa.
+func TestBankCloneIsDeep(t *testing.T) {
+	inst := workload.Zipf(30, 1500, 300, 0.9, 0.7, 21)
+	b, err := NewBank(30, 3, testBankOptions(), testWeightOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := stream.Drain(stream.Shuffled(inst.G, 1))
+	half := len(edges) / 2
+	b.AddEdges(edges[:half])
+	want := serializeBank(t, b)
+
+	c := b.Clone()
+	c.AddEdges(edges[half:])
+	if got := serializeBank(t, b); !bytes.Equal(want, got) {
+		t.Fatal("mutating the clone changed the original bank")
+	}
+	full, err := NewBank(30, 3, testBankOptions(), testWeightOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.AddEdges(edges)
+	if got, wantFull := serializeBank(t, c), serializeBank(t, full); !bytes.Equal(got, wantFull) {
+		t.Fatal("clone fed the remaining edges differs from a bank fed everything")
+	}
+}
+
+// TestBankValidation covers constructor and decoder error paths.
+func TestBankValidation(t *testing.T) {
+	if _, err := NewBank(0, 1, Options{}, testWeightOf); err == nil {
+		t.Fatal("numSets=0 accepted")
+	}
+	if _, err := NewBank(5, 0, Options{}, testWeightOf); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewBank(5, 1, Options{}, nil); err == nil {
+		t.Fatal("nil weight oracle accepted")
+	}
+
+	b, err := NewBank(5, 2, testBankOptions(), testWeightOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Add(bipartite.Edge{Set: 1, Elem: 3})
+	raw := serializeBank(t, b)
+
+	if _, err := ReadBank(bytes.NewReader([]byte("NOPE!")), 5, 2, testBankOptions(), testWeightOf); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// A different seed derives different class params: the frames must be
+	// rejected instead of silently re-keyed.
+	otherOpt := testBankOptions()
+	otherOpt.Seed++
+	if _, err := ReadBank(bytes.NewReader(raw), 5, 2, otherOpt, testWeightOf); err == nil {
+		t.Fatal("bank restored under mismatched options")
+	}
+	if _, err := ReadBank(bytes.NewReader(raw[:len(raw)-2]), 5, 2, testBankOptions(), testWeightOf); err == nil {
+		t.Fatal("truncated bank accepted")
+	}
+
+	other, err := NewBank(5, 3, testBankOptions(), testWeightOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Merge(other); err == nil {
+		t.Fatal("merge of incompatible banks accepted")
+	}
+}
+
+// TestBankStatsAggregate sanity-checks the aggregated accounting.
+func TestBankStatsAggregate(t *testing.T) {
+	inst := workload.Uniform(20, 1000, 0.08, 3)
+	b, err := NewBank(20, 3, testBankOptions(), testWeightOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := b.AddStream(stream.Shuffled(inst.G, 2))
+	st := b.Stats()
+	if st.EdgesSeen != int64(n) {
+		t.Fatalf("stats saw %d of %d edges", st.EdgesSeen, n)
+	}
+	if st.EdgesKept != b.Edges() || st.ElementsKept != b.Elements() {
+		t.Fatalf("stats kept %d/%d, bank %d/%d", st.EdgesKept, st.ElementsKept, b.Edges(), b.Elements())
+	}
+	if st.PStar <= 0 || st.PStar > 1 || math.IsNaN(st.PStar) {
+		t.Fatalf("bad aggregate p* %v", st.PStar)
+	}
+}

@@ -21,7 +21,6 @@ import (
 	"math"
 
 	"repro/internal/bipartite"
-	"repro/internal/core"
 	"repro/internal/stream"
 )
 
@@ -93,6 +92,9 @@ func (h *wHeap) Pop() interface{} {
 type GreedyResult struct {
 	Sets    []int
 	Covered float64
+	// CoveredElems is the number of (sketch) elements the solution
+	// covers — the raw count behind the weighted Covered total.
+	CoveredElems int
 }
 
 // MaxCover picks at most k sets greedily by weighted marginal gain — the
@@ -143,6 +145,7 @@ func MaxCover(in Instance, k int) GreedyResult {
 		res.Sets = append(res.Sets, top.set)
 		res.Covered += fresh
 	}
+	res.CoveredElems = cov.Covered()
 	return res
 }
 
@@ -166,6 +169,9 @@ type Result struct {
 	Sets []int
 	// EstimatedCoverage is the class-scaled weighted coverage estimate.
 	EstimatedCoverage float64
+	// CoveredElems is the number of sampled (union) elements the
+	// solution covers — the raw count behind the weighted estimate.
+	CoveredElems int
 	// Classes is the number of non-empty weight classes sketched.
 	Classes int
 	// EdgesStored is the total edges across class sketches.
@@ -182,84 +188,18 @@ func classIndex(w float64) int {
 // caller supplies weightOf, the element-weight oracle (weights are
 // instance metadata, like the element ids themselves). Elements with
 // zero weight are skipped.
+//
+// The pass feeds a class Bank (bank.go) — one H≤n sketch per non-empty
+// geometric weight class — and solves the weighted greedy on its scaled
+// union. The bank assembles the union in a canonical class order, so
+// KCover is fully deterministic given the options, and a sharded
+// service merging per-shard banks over the same edges answers
+// bit-identically (pinned by the server equivalence tests).
 func KCover(st stream.Stream, numSets, k int, weightOf func(elem uint32) float64, opt Options) (*Result, error) {
-	if numSets <= 0 || k <= 0 {
-		return nil, fmt.Errorf("weighted: KCover needs positive numSets and k")
-	}
-	if weightOf == nil {
-		return nil, fmt.Errorf("weighted: nil weight oracle")
-	}
-	eps := opt.Eps
-	if eps <= 0 || eps > 1 {
-		eps = 0.5
-	}
-	baseParams := core.Params{
-		NumSets:     numSets,
-		NumElems:    opt.NumElems,
-		K:           k,
-		Eps:         eps / 12,
-		Seed:        opt.Seed,
-		EdgeBudget:  opt.EdgeBudget,
-		SpaceFactor: opt.SpaceFactor,
-	}
-
-	// One sketch per non-empty weight class, created lazily.
-	sketches := map[int]*core.Sketch{}
-	for {
-		e, ok := st.Next()
-		if !ok {
-			break
-		}
-		w := weightOf(e.Elem)
-		if w <= 0 {
-			continue
-		}
-		ci := classIndex(w)
-		sk, ok := sketches[ci]
-		if !ok {
-			p := baseParams
-			// Independent hashing per class, derived from the seed.
-			p.Seed = opt.Seed ^ (uint64(int64(ci))+0x9e3779b97f4a7c15)*0xbf58476d1ce4e5b9
-			var err error
-			sk, err = core.NewSketch(p)
-			if err != nil {
-				return nil, err
-			}
-			sketches[ci] = sk
-		}
-		sk.AddEdge(e)
-	}
-
-	// Assemble the union instance: kept elements from every class, with
-	// weights scaled by 1/p*_class so weighted coverage on the union
-	// estimates weighted coverage on the input.
-	var (
-		edges   []bipartite.Edge
-		weights []float64
-		nextID  uint32
-		stored  int
-	)
-	for _, sk := range sketches {
-		g, ids := sk.Graph()
-		scale := 1 / sk.PStar()
-		stored += sk.Edges()
-		for newID, orig := range ids {
-			for _, set := range g.Elem(newID) {
-				edges = append(edges, bipartite.Edge{Set: set, Elem: nextID})
-			}
-			weights = append(weights, weightOf(orig)*scale)
-			nextID++
-		}
-	}
-	union, err := bipartite.FromEdges(numSets, int(nextID), edges)
+	b, err := NewBank(numSets, k, opt, weightOf)
 	if err != nil {
-		return nil, fmt.Errorf("weighted: union sketch: %w", err)
+		return nil, err
 	}
-	res := MaxCover(Instance{G: union, W: weights}, k)
-	return &Result{
-		Sets:              res.Sets,
-		EstimatedCoverage: res.Covered,
-		Classes:           len(sketches),
-		EdgesStored:       stored,
-	}, nil
+	b.AddStream(st)
+	return b.Solve(k)
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/core"
 	"repro/internal/server"
 )
 
@@ -57,7 +56,7 @@ func serviceConfig(numSets int, opt ServiceOptions) (server.Config, error) {
 	if opt.K <= 0 {
 		return server.Config{}, fmt.Errorf("streamcover: ServiceOptions.K must be positive")
 	}
-	return server.Config{
+	cfg := server.Config{
 		NumSets:     numSets,
 		K:           opt.K,
 		Eps:         opt.Eps,
@@ -69,14 +68,23 @@ func serviceConfig(numSets int, opt ServiceOptions) (server.Config, error) {
 		QueueDepth:  opt.BatchQueue,
 		MergeEvery:  opt.MergeEvery,
 		QueryCache:  opt.QueryCache,
-	}, nil
+	}
+	if opt.Weights != nil {
+		// The engine clones the table, so the caller may keep mutating its
+		// copy without aliasing the namespace's weights.
+		cfg.Weights = &server.WeightConfig{Table: opt.Weights.Table, Default: opt.Weights.Default}
+	}
+	return cfg, nil
 }
 
 // OpenNamespace creates namespace name for instances with numSets sets
 // and returns its Service handle — the same handle type NewService
 // returns, so everything a Service does (Ingest, KCover, Stats,
-// WriteSnapshot, …) works per namespace. Opening an existing name
-// fails; look the handle up with Namespace instead.
+// WriteSnapshot, …) works per namespace. A namespace opened with
+// opt.Weights set is a weighted-coverage dataset; its weight table
+// travels with the hub snapshot, so RestoreHub rebuilds it wholesale.
+// Opening an existing name fails; look the handle up with Namespace
+// instead.
 func (h *Hub) OpenNamespace(name string, numSets int, opt ServiceOptions) (*Service, error) {
 	cfg, err := serviceConfig(numSets, opt)
 	if err != nil {
@@ -99,11 +107,10 @@ func (h *Hub) RestoreNamespace(name string, r io.Reader, numSets int, opt Servic
 	if err != nil {
 		return nil, err
 	}
-	sk, err := core.ReadSketch(r)
+	cfg, err = server.ReadRestore(cfg, r)
 	if err != nil {
 		return nil, fmt.Errorf("streamcover: restoring namespace %q: %w", name, err)
 	}
-	cfg.Restore = sk
 	eng, err := h.multi.Create(name, cfg)
 	if err != nil {
 		return nil, err

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"repro/internal/bipartite"
-	"repro/internal/core"
 	"repro/internal/server"
 )
 
@@ -36,6 +35,15 @@ type ServiceOptions struct {
 	// (repeated queries against an unchanged snapshot return without
 	// re-running greedy). 0 selects the default (64); negative disables.
 	QueryCache int
+	// Weights, when non-nil, makes this a weighted-coverage service:
+	// each shard keeps one H≤n sketch per geometric weight class
+	// (instead of a single sketch), and KCover maximizes the total
+	// weight of the covered elements. A weighted service answers
+	// bit-identically to the one-shot MaxWeightedCoverage run with the
+	// same Options and weight oracle over the same edges. Outlier and
+	// full-greedy queries are not defined on weighted instances and
+	// return an error. NewWeightedService is the explicit constructor.
+	Weights *Weights
 }
 
 // Service is a live, concurrently-ingestible coverage-query service: the
@@ -57,27 +65,42 @@ type Service struct {
 	convPool sync.Pool
 }
 
-// NewService starts a coverage service for instances with numSets sets.
+// NewService starts a coverage service for instances with numSets sets
+// (weighted when opt.Weights is set).
 func NewService(numSets int, opt ServiceOptions) (*Service, error) {
-	return newService(numSets, opt, nil)
-}
-
-// RestoreService starts a service from a snapshot previously written by
-// WriteSnapshot. numSets and opt must match the writing service.
-func RestoreService(r io.Reader, numSets int, opt ServiceOptions) (*Service, error) {
-	sk, err := core.ReadSketch(r)
-	if err != nil {
-		return nil, fmt.Errorf("streamcover: restoring service: %w", err)
-	}
-	return newService(numSets, opt, sk)
-}
-
-func newService(numSets int, opt ServiceOptions, restore *core.Sketch) (*Service, error) {
 	cfg, err := serviceConfig(numSets, opt) // shared with the Hub namespaces
 	if err != nil {
 		return nil, err
 	}
-	cfg.Restore = restore
+	eng, err := server.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{engine: eng, numSets: numSets}, nil
+}
+
+// NewWeightedService starts a weighted coverage service: KCover picks k
+// sets maximizing the total weight of the covered elements, answering
+// bit-identically to MaxWeightedCoverage with the same Options and
+// weights over the same edges. It is NewService with opt.Weights set.
+func NewWeightedService(numSets int, weights Weights, opt ServiceOptions) (*Service, error) {
+	opt.Weights = &weights
+	return NewService(numSets, opt)
+}
+
+// RestoreService starts a service from a snapshot previously written by
+// WriteSnapshot. numSets and opt must match the writing service —
+// including opt.Weights: a weighted service persists a class bank, an
+// unweighted one a single sketch, and the options select the decoder.
+func RestoreService(r io.Reader, numSets int, opt ServiceOptions) (*Service, error) {
+	cfg, err := serviceConfig(numSets, opt)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err = server.ReadRestore(cfg, r)
+	if err != nil {
+		return nil, fmt.Errorf("streamcover: restoring service: %w", err)
+	}
 	eng, err := server.New(cfg)
 	if err != nil {
 		return nil, err
@@ -87,6 +110,10 @@ func newService(numSets int, opt ServiceOptions, restore *core.Sketch) (*Service
 
 // Engine exposes the underlying engine, e.g. to mount its HTTP handler.
 func (s *Service) Engine() *server.Engine { return s.engine }
+
+// Weighted reports whether the service runs the weighted query plane
+// (constructed with ServiceOptions.Weights / NewWeightedService).
+func (s *Service) Weighted() bool { return s.engine.Weighted() }
 
 // Ingest absorbs a batch of edges. Safe for concurrent use; blocks only
 // for backpressure when shard queues are full. The caller's slice may be
@@ -172,7 +199,9 @@ func fromEngineResult(r *server.QueryResult) *ServiceQueryResult {
 // KCover answers a max-k-cover query against the current snapshot (stale
 // by design; call Refresh first — or pass fresh=true — for a fully
 // up-to-date answer). With k = Options.K and a fresh snapshot, the
-// answer equals the one-shot MaxCoverage over the same edges.
+// answer equals the one-shot MaxCoverage over the same edges; on a
+// weighted service it runs the weighted greedy and equals the one-shot
+// MaxWeightedCoverage (EstimatedCoverage is then the covered weight).
 func (s *Service) KCover(k int, fresh bool) (*ServiceQueryResult, error) {
 	r, err := s.engine.Query(server.Query{Algo: server.AlgoKCover, K: k, Refresh: fresh})
 	if err != nil {
@@ -221,6 +250,11 @@ type ServiceStats struct {
 	// QueryCacheHits counts queries answered from the memoized result
 	// cache without re-running greedy.
 	QueryCacheHits int64
+	// Weighted reports whether the service runs the weighted query
+	// plane; WeightClasses counts the non-empty weight classes in the
+	// current snapshot (weighted services only).
+	Weighted      bool
+	WeightClasses int
 }
 
 // Stats returns a consistent accounting of the service.
@@ -238,6 +272,8 @@ func (s *Service) Stats() (*ServiceStats, error) {
 		PStar:          st.SnapshotPStar,
 		Queries:        st.Queries,
 		QueryCacheHits: st.QueryCacheHits,
+		Weighted:       st.Weighted,
+		WeightClasses:  st.WeightClasses,
 	}, nil
 }
 

@@ -4,6 +4,30 @@ import (
 	"repro/internal/weighted"
 )
 
+// Weights is a serializable element-weight assignment for weighted
+// coverage services: weight(e) = Table[e] for e < len(Table), Default
+// otherwise. Weights are instance configuration — fixed when a service
+// or namespace is created — so every shard, snapshot and restart of a
+// weighted service resolves the same weight for the same element. All
+// weights must be finite and non-negative; zero-weight elements never
+// contribute coverage and are skipped by the sketches.
+type Weights struct {
+	// Table[e] is the weight of element e for e < len(Table).
+	Table []float64
+	// Default is the weight of every element at or beyond len(Table);
+	// the zero value ignores such elements.
+	Default float64
+}
+
+// WeightOf returns the weight of element e — the oracle form of the
+// table, as MaxWeightedCoverage consumes it.
+func (w *Weights) WeightOf(e uint32) float64 {
+	if int(e) < len(w.Table) {
+		return w.Table[e]
+	}
+	return w.Default
+}
+
 // WeightedResult reports a MaxWeightedCoverage run.
 type WeightedResult struct {
 	// Sets is the chosen solution, at most k set ids.

@@ -1,0 +1,258 @@
+package streamcover
+
+import (
+	"bytes"
+	"testing"
+)
+
+// weightedWorkloads is the full generator matrix the weighted service
+// equivalence sweep runs over — every generator the package exposes.
+func weightedWorkloads() map[string]*Instance {
+	return map[string]*Instance{
+		"uniform":          GenerateUniform(40, 2500, 0.05, 11),
+		"zipf":             GenerateZipf(50, 3000, 700, 0.9, 0.7, 7),
+		"planted_kcover":   GeneratePlantedKCover(40, 2500, 4, 0.9, 25, 5),
+		"planted_setcover": GeneratePlantedSetCover(30, 2000, 5, 20, 9),
+		"blog_topics":      GenerateBlogTopics(40, 1500, 120, 3),
+		"large_sets":       GenerateLargeSets(12, 4000, 0.3, 13),
+		"clustered":        GenerateClustered(30, 2000, 5, 17),
+	}
+}
+
+// testWeights builds a table spreading elements over several geometric
+// weight classes, including a zero-weight residue class.
+func testWeights(m int) Weights {
+	table := make([]float64, m)
+	for e := range table {
+		table[e] = float64((uint32(e) * 2654435761) % 9)
+	}
+	return Weights{Table: table}
+}
+
+func sameSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWeightedServiceMatchesMaxWeightedCoverage is the tentpole
+// acceptance test: for every workload generator, shard count ∈ {1,4,8}
+// and batch split, the weighted service's KCover answer (sets and
+// estimated coverage) is bit-identical to the one-shot
+// MaxWeightedCoverage with the same Options, seed and weights over the
+// same edges — and stays bit-identical after a snapshot write/restore
+// cycle.
+func TestWeightedServiceMatchesMaxWeightedCoverage(t *testing.T) {
+	const k = 4
+	for name, inst := range weightedWorkloads() {
+		n, m := inst.NumSets(), inst.NumElems()
+		w := testWeights(m)
+		opt := Options{Eps: 0.4, Seed: 77, NumElems: m, EdgeBudget: 60 * n}
+
+		offline, err := MaxWeightedCoverage(inst.EdgeStream(1), n, k, w.WeightOf, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+
+		// Same edge order for every service run; only sharding and batch
+		// split vary (the sketch is order-invariant, but keeping the order
+		// fixed makes the comparison about the service plumbing alone).
+		var edges []Edge
+		st := inst.EdgeStream(1)
+		for {
+			e, ok := st.Next()
+			if !ok {
+				break
+			}
+			edges = append(edges, e)
+		}
+
+		for i, shards := range []int{1, 4, 8} {
+			batch := []int{len(edges), 97, 1024}[i] // one call, tiny splits, mid-size splits
+			svcOpt := ServiceOptions{Options: opt, K: k, Shards: shards, Weights: &w}
+			svc, err := NewService(n, svcOpt)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", name, shards, err)
+			}
+			for lo := 0; lo < len(edges); lo += batch {
+				hi := lo + batch
+				if hi > len(edges) {
+					hi = len(edges)
+				}
+				if err := svc.Ingest(edges[lo:hi]); err != nil {
+					t.Fatalf("%s shards=%d: %v", name, shards, err)
+				}
+			}
+			if !svc.Weighted() {
+				t.Fatalf("%s shards=%d: service not marked weighted", name, shards)
+			}
+			res, err := svc.KCover(k, true)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", name, shards, err)
+			}
+			if res.EstimatedCoverage != offline.EstimatedCoverage || !sameSets(res.Sets, offline.Sets) {
+				t.Fatalf("%s shards=%d batch=%d: service (%v, %v) != one-shot (%v, %v)",
+					name, shards, batch, res.Sets, res.EstimatedCoverage, offline.Sets, offline.EstimatedCoverage)
+			}
+
+			// Snapshot cycle: persist, restore into a fresh service, re-query.
+			var buf bytes.Buffer
+			if err := svc.WriteSnapshot(&buf); err != nil {
+				t.Fatalf("%s shards=%d: %v", name, shards, err)
+			}
+			svc.Close()
+			restored, err := RestoreService(&buf, n, svcOpt)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", name, shards, err)
+			}
+			res, err = restored.KCover(k, true)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", name, shards, err)
+			}
+			if res.EstimatedCoverage != offline.EstimatedCoverage || !sameSets(res.Sets, offline.Sets) {
+				t.Fatalf("%s shards=%d: restored service (%v, %v) != one-shot (%v, %v)",
+					name, shards, res.Sets, res.EstimatedCoverage, offline.Sets, offline.EstimatedCoverage)
+			}
+			if res.SnapshotEdges != int64(len(edges)) {
+				t.Fatalf("%s shards=%d: restored snapshot accounts %d of %d edges",
+					name, shards, res.SnapshotEdges, len(edges))
+			}
+			stats, err := restored.Stats()
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", name, shards, err)
+			}
+			if !stats.Weighted || stats.WeightClasses != offline.WeightClasses {
+				t.Fatalf("%s shards=%d: stats weighted=%v classes=%d, want true/%d",
+					name, shards, stats.Weighted, stats.WeightClasses, offline.WeightClasses)
+			}
+			restored.Close()
+		}
+	}
+}
+
+// TestWeightedServiceRejectsUnweightedQueries pins the workload
+// boundary: outliers and full-greedy are undefined under weights.
+func TestWeightedServiceRejectsUnweightedQueries(t *testing.T) {
+	svc, err := NewWeightedService(10, testWeights(100), ServiceOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.CoverWithOutliers(0.1, false); err == nil {
+		t.Fatal("outliers accepted on a weighted service")
+	}
+	if _, err := svc.GreedyCover(false); err == nil {
+		t.Fatal("greedy accepted on a weighted service")
+	}
+}
+
+// TestWeightedServiceValidation covers the construction error paths.
+func TestWeightedServiceValidation(t *testing.T) {
+	bad := testWeights(50)
+	bad.Table[7] = -2
+	if _, err := NewWeightedService(10, bad, ServiceOptions{K: 2}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	// Restoring a weighted snapshot without the weighted options (or vice
+	// versa) must fail loudly, not restore garbage.
+	svc, err := NewWeightedService(10, testWeights(50), ServiceOptions{K: 2, Options: Options{Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Ingest([]Edge{{Set: 1, Elem: 2}, {Set: 3, Elem: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := svc.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	if _, err := RestoreService(bytes.NewReader(buf.Bytes()), 10, ServiceOptions{K: 2, Options: Options{Seed: 5}}); err == nil {
+		t.Fatal("weighted snapshot restored into an unweighted service")
+	}
+}
+
+// TestHubWeightedNamespace pins the multi-tenant weighted story: a hub
+// hosts a weighted namespace next to an unweighted one, both answer
+// like their standalone counterparts, and a hub snapshot restores the
+// weighted namespace wholesale (weight table included).
+func TestHubWeightedNamespace(t *testing.T) {
+	const n, m, k = 40, 2000, 4
+	inst := GenerateZipf(n, m, 500, 0.9, 0.7, 19)
+	w := testWeights(m)
+	opt := Options{Eps: 0.4, Seed: 23, NumElems: m, EdgeBudget: 50 * n}
+	wOpt := ServiceOptions{Options: opt, K: k, Shards: 3, Weights: &w}
+	uOpt := ServiceOptions{Options: opt, K: k, Shards: 3}
+
+	hub := NewHub()
+	defer hub.Close()
+	heavy, err := hub.OpenNamespace("heavy", n, wOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := hub.OpenNamespace("plain", n, uOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := heavy.IngestStream(inst.EdgeStream(2), 300); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.IngestStream(inst.EdgeStream(2), 300); err != nil {
+		t.Fatal(err)
+	}
+
+	offlineW, err := MaxWeightedCoverage(inst.EdgeStream(9), n, k, w.WeightOf, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resW, err := heavy.KCover(k, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resW.EstimatedCoverage != offlineW.EstimatedCoverage || !sameSets(resW.Sets, offlineW.Sets) {
+		t.Fatalf("weighted namespace (%v, %v) != one-shot (%v, %v)",
+			resW.Sets, resW.EstimatedCoverage, offlineW.Sets, offlineW.EstimatedCoverage)
+	}
+	offlineU, err := MaxCoverage(inst.EdgeStream(9), n, k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resU, err := plain.KCover(k, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resU.EstimatedCoverage != offlineU.EstimatedCoverage || !sameSets(resU.Sets, offlineU.Sets) {
+		t.Fatalf("unweighted namespace diverged from its one-shot run")
+	}
+
+	var buf bytes.Buffer
+	if err := hub.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := RestoreHub(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	heavyBack, ok := back.Namespace("heavy")
+	if !ok {
+		t.Fatal("weighted namespace missing after hub restore")
+	}
+	if !heavyBack.Weighted() {
+		t.Fatal("restored namespace lost its weighted configuration")
+	}
+	got, err := heavyBack.KCover(k, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EstimatedCoverage != resW.EstimatedCoverage || !sameSets(got.Sets, resW.Sets) {
+		t.Fatalf("restored hub namespace (%v, %v) != original (%v, %v)",
+			got.Sets, got.EstimatedCoverage, resW.Sets, resW.EstimatedCoverage)
+	}
+}
