@@ -33,6 +33,16 @@
 //	covcli -server http://127.0.0.1:8080 -ns heavy -create-ns \
 //	       -file inst.txt -k 10 -eps 0.4 -seed 7 -budget 10000 \
 //	       -weights mod:16 -compare
+//
+// With -fanout, covcli replays against a whole cluster (covserved
+// -peers …): batches are partitioned round-robin across the listed
+// node URLs, the first node is asked to pull its peers
+// (POST /v1/cluster/pull), and the query goes to that node alone —
+// whose cluster-merged answer -compare then verifies against the
+// offline run over the complete stream:
+//
+//	covcli -fanout http://a:8080,http://b:8080,http://c:8080 \
+//	       -file inst.txt -k 10 -eps 0.4 -seed 7 -budget 10000 -compare
 package main
 
 import (
@@ -91,6 +101,7 @@ func main() {
 		ns        = flag.String("ns", "", "target namespace (empty = the server's default dataset)")
 		createNS  = flag.Bool("create-ns", false, "create -ns on the server first, from the instance dimensions and sketch flags")
 		weightsFl = flag.String("weights", "", `weighted-coverage profile ("mod:<p>" or "geo:<c>"); requires -create-ns, queries the weighted kcover route`)
+		fanout    = flag.String("fanout", "", "comma-separated cluster node URLs: partition the replay across them, pull, then query the first (overrides -server)")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -124,11 +135,20 @@ func main() {
 		*file, inst.NumSets(), inst.NumElems(), inst.NumEdges(), *batch)
 
 	client := &http.Client{Timeout: 60 * time.Second}
+	// nodes are the base URLs the replay is partitioned across: the one
+	// -server by default, or the cluster members with -fanout (the first
+	// is the query node).
+	nodes := []string{*serverURL}
+	if *fanout != "" {
+		nodes = strings.Split(*fanout, ",")
+	}
 	// All dataset routes hang off this prefix: the legacy default-dataset
 	// surface, or a namespace-scoped one with -ns.
-	apiBase := *serverURL + "/v1"
-	if *ns != "" {
-		apiBase = *serverURL + "/v1/ns/" + *ns
+	apiBase := func(node string) string {
+		if *ns != "" {
+			return node + "/v1/ns/" + *ns
+		}
+		return node + "/v1"
 	}
 	if *createNS {
 		req := map[string]interface{}{
@@ -140,38 +160,46 @@ func main() {
 			req["weights"] = map[string]interface{}{"table": weightTable}
 		}
 		body, _ := json.Marshal(req)
-		resp, err := client.Post(*serverURL+"/v1/ns", "application/json", bytes.NewReader(body))
-		if err != nil {
-			fatal(err)
-		}
-		msg, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		switch resp.StatusCode {
-		case http.StatusCreated:
-			fmt.Fprintf(os.Stderr, "covcli: created namespace %q\n", *ns)
-		case http.StatusConflict:
-			fmt.Fprintf(os.Stderr, "covcli: namespace %q already exists; replaying into it as-is\n", *ns)
-		default:
-			fatal(fmt.Errorf("POST /v1/ns: %s: %s", resp.Status, bytes.TrimSpace(msg)))
+		// Every cluster node needs the namespace: peers only exchange
+		// namespaces that exist (with identical config) on both sides.
+		for _, node := range nodes {
+			resp, err := client.Post(node+"/v1/ns", "application/json", bytes.NewReader(body))
+			if err != nil {
+				fatal(err)
+			}
+			msg, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusCreated:
+				fmt.Fprintf(os.Stderr, "covcli: created namespace %q on %s\n", *ns, node)
+			case http.StatusConflict:
+				fmt.Fprintf(os.Stderr, "covcli: namespace %q already exists on %s; replaying into it as-is\n", *ns, node)
+			default:
+				fatal(fmt.Errorf("POST %s/v1/ns: %s: %s", node, resp.Status, bytes.TrimSpace(msg)))
+			}
 		}
 	}
 	start := time.Now()
 	sent, batches := 0, 0
 	st := inst.EdgeStream(*seed)
 	pairs := make([][2]uint32, 0, *batch)
+	// Batches round-robin across the nodes — with -fanout every node
+	// ingests only its partition, and the final answer still has to
+	// account for every edge (mergeability over the wire).
 	flush := func() error {
 		if len(pairs) == 0 {
 			return nil
 		}
+		base := apiBase(nodes[batches%len(nodes)])
 		body, _ := json.Marshal(map[string]interface{}{"edges": pairs})
-		resp, err := client.Post(apiBase+"/edges", "application/json", bytes.NewReader(body))
+		resp, err := client.Post(base+"/edges", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			msg, _ := io.ReadAll(resp.Body)
-			return fmt.Errorf("POST %s/edges: %s: %s", apiBase, resp.Status, bytes.TrimSpace(msg))
+			return fmt.Errorf("POST %s/edges: %s: %s", base, resp.Status, bytes.TrimSpace(msg))
 		}
 		sent += len(pairs)
 		batches++
@@ -193,16 +221,31 @@ func main() {
 	if err := flush(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "covcli: ingested %d edges in %d batches (%v)\n",
-		sent, batches, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "covcli: ingested %d edges in %d batches across %d node(s) (%v)\n",
+		sent, batches, len(nodes), time.Since(start).Round(time.Millisecond))
 
-	// Merge, then query.
-	resp, err := client.Post(apiBase+"/snapshot", "", nil)
-	if err != nil {
-		fatal(err)
+	queryBase := apiBase(nodes[0])
+	if len(nodes) > 1 {
+		// Make the query node pull every peer now, so the answer reflects
+		// all partitions (its own partition is re-merged by &refresh=1).
+		resp, err := client.Post(nodes[0]+"/v1/cluster/pull", "", nil)
+		if err != nil {
+			fatal(err)
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("POST /v1/cluster/pull: %s: %s", resp.Status, bytes.TrimSpace(msg)))
+		}
+	} else {
+		// Merge, then query.
+		resp, err := client.Post(queryBase+"/snapshot", "", nil)
+		if err != nil {
+			fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
 
 	algo := "kcover"
 	if weightTable != nil {
@@ -210,8 +253,8 @@ func main() {
 		// really created a weighted namespace (an unweighted one rejects it).
 		algo = "wkcover"
 	}
-	qURL := fmt.Sprintf("%s/query?algo=%s&k=%d", apiBase, algo, *k)
-	resp, err = client.Get(qURL)
+	qURL := fmt.Sprintf("%s/query?algo=%s&k=%d&refresh=1", queryBase, algo, *k)
+	resp, err := client.Get(qURL)
 	if err != nil {
 		fatal(err)
 	}
@@ -225,7 +268,7 @@ func main() {
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		fatal(fmt.Errorf("GET %s/query: %s: %s", apiBase, resp.Status, bytes.TrimSpace(msg)))
+		fatal(fmt.Errorf("GET %s/query: %s: %s", queryBase, resp.Status, bytes.TrimSpace(msg)))
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&remote); err != nil {
 		fatal(err)

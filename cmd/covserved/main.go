@@ -10,6 +10,7 @@
 //	covserved -n 1000 -k 10 -addr :8080
 //	covserved -n 1000 -k 10 -shards 8 -merge-every 2s -snapshot-file state.skch
 //	covserved -n 1000 -k 10 -ns production
+//	covserved -n 1000 -k 10 -addr :8080 -node-id a -peers http://b:8080,http://c:8080
 //
 // The sketch flags (-n, -k, -eps, …) configure the bootstrap namespace,
 // named by -ns ("default" unless overridden). Further namespaces are
@@ -33,6 +34,19 @@
 //	GET    /v1/ns/{name}/query      namespace-scoped query
 //	GET    /v1/ns/{name}/stats      namespace-scoped accounting
 //	POST   /v1/ns/{name}/snapshot   merge namespace (+persist all)
+//	GET    …/snapshot               local merged state, as bytes (+ETag)
+//
+// With -peers, covserved runs as a cluster node (internal/cluster):
+// each node ingests its own stream partition, pulls its peers'
+// serialized sketches every -pull-every, and answers /v1/query and
+// /v1/ns/{name}/query from the cluster-wide merged view. Three more
+// routes appear:
+//
+//	GET    /v1/cluster/sketch?ns=…  this node's local state blob (what
+//	                                peers pull; conditional via ETag)
+//	GET    /v1/cluster/stats        per-peer anti-entropy accounting
+//	POST   /v1/cluster/pull         synchronous pull round (read your
+//	                                cluster-wide writes before a query)
 //
 // With -snapshot-file, POST …/snapshot persists every namespace into
 // one file (snapshot format v2) and covserved restores all of them at
@@ -50,8 +64,10 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/server"
 )
@@ -73,6 +89,9 @@ func main() {
 		snapFile   = flag.String("snapshot-file", "", "persist/restore all namespaces here (v2; v1 files restore into -ns)")
 		maxBatch   = flag.Int("max-batch", 1<<20, "largest accepted ingest batch, in edges")
 		maxBody    = flag.Int64("max-body-bytes", 0, "largest accepted request body (0 = derive from -max-batch)")
+		peersFlag  = flag.String("peers", "", "comma-separated base URLs of the other cluster nodes (enables cluster mode)")
+		nodeID     = flag.String("node-id", "", "this node's name in cluster headers and stats (default: the listen address)")
+		pullEvery  = flag.Duration("pull-every", 2*time.Second, "anti-entropy pull interval in cluster mode")
 	)
 	flag.Parse()
 	if *n <= 0 {
@@ -130,11 +149,39 @@ func main() {
 		}
 	}
 
-	handler := server.NewMultiHandler(multi, server.HTTPOptions{
+	httpOpt := server.HTTPOptions{
 		MaxBatchEdges: *maxBatch,
 		MaxBodyBytes:  *maxBody,
 		SnapshotPath:  *snapFile,
-	})
+	}
+	var handler http.Handler
+	if *peersFlag != "" {
+		// Cluster mode: ingest stays local, queries answer from the
+		// cluster-wide merged view, and peers exchange serialized state
+		// over /v1/cluster/sketch (see internal/cluster).
+		id := *nodeID
+		if id == "" {
+			id = *addr
+		}
+		node, err := cluster.NewNode(multi, cluster.Options{
+			NodeID:       id,
+			Peers:        strings.Split(*peersFlag, ","),
+			PullInterval: *pullEvery,
+			OnPullError: func(peer, ns string, err error) {
+				fmt.Fprintf(os.Stderr, "covserved: pull from %s ns %q: %v\n", peer, ns, err)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "covserved: %v\n", err)
+			os.Exit(2)
+		}
+		defer node.Close()
+		handler = cluster.NewHandler(node, httpOpt)
+		fmt.Fprintf(os.Stderr, "covserved: cluster node %s with %d peer(s), pulling every %s\n",
+			id, len(node.Stats().Peers), *pullEvery)
+	} else {
+		handler = server.NewMultiHandler(multi, httpOpt)
+	}
 	fmt.Fprintf(os.Stderr, "covserved: serving ns=%s n=%d k=%d eps=%g shards=%d on %s\n",
 		*nsName, *n, *k, *eps, *shards, *addr)
 	srv := &http.Server{

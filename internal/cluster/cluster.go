@@ -1,0 +1,590 @@
+// Package cluster turns covserved nodes into a multi-node coverage
+// cluster via anti-entropy sketch exchange. Each node ingests its own
+// partition of the edge stream into a local server.Multi; a background
+// loop periodically pulls every peer's serialized merged state (v1
+// sketch blobs for unweighted namespaces, weighted.BankMagic class
+// banks for weighted ones) over GET /v1/cluster/sketch and keeps the
+// last successfully decoded state per (peer, namespace). Queries are
+// answered from a cluster view: the local engine snapshot folded with
+// the remote states through core.MergeAll / weighted.MergeBanks — the
+// paper's mergeability result (the H≤n sketch is an order-invariant
+// function of the absorbed edge set), which is exactly what makes
+// "nodes with a network in between" behave like "shards inside one
+// process": when the degree caps don't bind, any node's cluster answer
+// is bit-identical to a single node fed the whole stream, and to the
+// offline one-pass run (the package tests pin this).
+//
+// Two planes keep the exchange convergent: a node always *serves* its
+// local-only state (never the merged view), and *merges* only at query
+// time. Gossip echo is therefore impossible — no peer's state ever
+// re-enters another node's served blob, so pulling is idempotent and
+// the cluster view is a pure function of the n local states.
+// Persistence stays local-only for the same reason: a node restarting
+// from its snapshot re-pulls its peers and converges back to the exact
+// cluster view.
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/weighted"
+)
+
+// Options configures a cluster node.
+type Options struct {
+	// NodeID names this node in headers and stats (default "node").
+	NodeID string
+	// Peers lists the base URLs of the other cluster nodes (e.g.
+	// "http://10.0.0.2:7070"); this node must not list itself. Empty is
+	// a single-node cluster: the node serves purely local answers.
+	Peers []string
+	// PullInterval is the anti-entropy period (default 2s). Negative
+	// disables the background loop entirely — pulls then happen only
+	// through PullNow (tests and covcli drive the loop explicitly).
+	PullInterval time.Duration
+	// MaxBackoff caps the exponential per-peer retry backoff applied
+	// after consecutive transport failures (default 30s). The first
+	// failure retries after one PullInterval, then 2×, 4×, … up to this.
+	MaxBackoff time.Duration
+	// Client issues the pull requests (default: a client with a 10s
+	// timeout — never http.DefaultClient, whose zero timeout would let
+	// a hung peer pin the loop).
+	Client *http.Client
+	// MaxStateBytes rejects remote state blobs larger than this
+	// (default 256 MiB) before decoding, bounding memory per pull.
+	MaxStateBytes int64
+	// OnPullError, when non-nil, observes every failed or rejected pull
+	// (transport errors, oversized/truncated blobs, config mismatches).
+	// Called from the pull goroutine; keep it fast.
+	OnPullError func(peer, namespace string, err error)
+}
+
+func (o Options) nodeID() string {
+	if o.NodeID == "" {
+		return "node"
+	}
+	return o.NodeID
+}
+
+func (o Options) pullInterval() time.Duration {
+	if o.PullInterval == 0 {
+		return 2 * time.Second
+	}
+	return o.PullInterval
+}
+
+func (o Options) maxBackoff() time.Duration {
+	if o.MaxBackoff <= 0 {
+		return 30 * time.Second
+	}
+	return o.MaxBackoff
+}
+
+func (o Options) maxStateBytes() int64 {
+	if o.MaxStateBytes <= 0 {
+		return 256 << 20
+	}
+	return o.MaxStateBytes
+}
+
+// remoteState is one peer's last successfully decoded state for one
+// namespace. Immutable once stored (a failed refresh never replaces a
+// good state — unreachable peers degrade to last-known, not to empty).
+type remoteState struct {
+	etag     string
+	edges    int64          // ingested-edge total the state reflects
+	sketch   *core.Sketch   // unweighted namespaces
+	bank     *weighted.Bank // weighted namespaces
+	version  uint64         // node-unique; drives cluster-view invalidation
+	pulledAt time.Time
+}
+
+// peer is the per-peer pull bookkeeping.
+type peer struct {
+	url string
+
+	mu sync.Mutex
+	ns map[string]*remoteState
+	// consecFails / nextAttempt implement the transport backoff; the
+	// counters below feed PeerStats.
+	consecFails int
+	nextAttempt time.Time
+	pulls       int64
+	notModified int64
+	failures    int64
+	rejected    int64
+	lastErr     string
+}
+
+func (p *peer) state(name string) *remoteState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ns[name]
+}
+
+// view is a cached cluster-wide merged snapshot for one namespace,
+// valid while the local snapshot and every remote state are unchanged.
+type view struct {
+	key  string
+	snap *server.Snapshot
+}
+
+// Node is a cluster member: a local server.Multi plus the anti-entropy
+// state of its peers. It does not own the Multi — close the Node first,
+// then the directory.
+type Node struct {
+	multi *server.Multi
+	opt   Options
+	cl    *http.Client
+	peers []*peer
+
+	// versions hands out node-unique remote-state versions; viewSeq
+	// numbers the merged cluster-view snapshots.
+	versions atomic.Uint64
+	viewSeq  atomic.Uint64
+
+	viewMu sync.Mutex
+	views  map[string]*view
+
+	pullRounds   atomic.Int64
+	viewRebuilds atomic.Int64
+	viewReuses   atomic.Int64
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewNode validates the peer list and starts the anti-entropy loop
+// (unless Options.PullInterval is negative). Close stops the loop.
+func NewNode(m *server.Multi, opt Options) (*Node, error) {
+	if m == nil {
+		return nil, fmt.Errorf("cluster: nil namespace directory")
+	}
+	peers := make([]*peer, 0, len(opt.Peers))
+	for _, raw := range opt.Peers {
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: bad peer URL %q", raw)
+		}
+		peers = append(peers, &peer{
+			url: strings.TrimRight(raw, "/"),
+			ns:  make(map[string]*remoteState),
+		})
+	}
+	cl := opt.Client
+	if cl == nil {
+		cl = &http.Client{Timeout: 10 * time.Second}
+	}
+	n := &Node{
+		multi: m,
+		opt:   opt,
+		cl:    cl,
+		peers: peers,
+		views: make(map[string]*view),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if opt.PullInterval >= 0 && len(peers) > 0 {
+		go n.loop()
+	} else {
+		close(n.done)
+	}
+	return n, nil
+}
+
+// Multi exposes the node's namespace directory.
+func (n *Node) Multi() *server.Multi { return n.multi }
+
+// NodeID reports the node's name (Options.NodeID or the default).
+func (n *Node) NodeID() string { return n.opt.nodeID() }
+
+// Close stops the anti-entropy loop. It does not close the underlying
+// Multi (the caller owns it). Idempotent.
+func (n *Node) Close() error {
+	n.stopOnce.Do(func() { close(n.stop) })
+	<-n.done
+	return nil
+}
+
+func (n *Node) loop() {
+	defer close(n.done)
+	t := time.NewTicker(n.opt.pullInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.pull(true)
+		}
+	}
+}
+
+// PullNow synchronously pulls every peer for every local namespace,
+// ignoring the backoff gate, and returns the joined errors (nil when
+// every pull succeeded or short-circuited). Successful pulls merge
+// even when others fail, so a partial cluster still converges.
+func (n *Node) PullNow() error {
+	return n.pull(false)
+}
+
+// pull runs one anti-entropy round. respectBackoff skips peers inside
+// their failure-backoff window (the ticker path); PullNow does not.
+func (n *Node) pull(respectBackoff bool) error {
+	n.pullRounds.Add(1)
+	names := make([]string, 0, 4)
+	for _, info := range n.multi.List() {
+		names = append(names, info.Name)
+	}
+	var errs []error
+	for _, p := range n.peers {
+		if respectBackoff {
+			p.mu.Lock()
+			wait := time.Now().Before(p.nextAttempt)
+			p.mu.Unlock()
+			if wait {
+				continue
+			}
+		}
+		for _, name := range names {
+			e, ok := n.multi.Get(name)
+			if !ok { // deleted since List
+				continue
+			}
+			err := n.pullOne(p, name, e)
+			if err == nil {
+				continue
+			}
+			if n.opt.OnPullError != nil {
+				n.opt.OnPullError(p.url, name, err)
+			}
+			errs = append(errs, fmt.Errorf("peer %s ns %q: %w", p.url, name, err))
+			if isTransport(err) {
+				// The peer itself is unreachable/unhealthy: no point
+				// probing its remaining namespaces this round.
+				break
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// errTransport marks peer-level failures (connection refused, timeout,
+// 5xx): they trigger exponential backoff and skip the peer's remaining
+// namespaces. Data-level rejections (bad blob, config mismatch) are
+// counted but retried at the normal cadence — the peer is alive.
+type errTransport struct{ err error }
+
+func (e errTransport) Error() string { return e.err.Error() }
+func (e errTransport) Unwrap() error { return e.err }
+
+func isTransport(err error) bool {
+	var t errTransport
+	return errors.As(err, &t)
+}
+
+// fail records a pull failure on p and classifies it.
+func (p *peer) fail(err error, transport bool, interval, maxBackoff time.Duration) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lastErr = err.Error()
+	if !transport {
+		p.rejected++
+		return err
+	}
+	p.failures++
+	p.consecFails++
+	backoff := interval
+	for i := 1; i < p.consecFails && backoff < maxBackoff; i++ {
+		backoff *= 2
+	}
+	if backoff > maxBackoff {
+		backoff = maxBackoff
+	}
+	p.nextAttempt = time.Now().Add(backoff)
+	return errTransport{err}
+}
+
+// pullOne fetches one namespace's state from one peer and, when it
+// changed, decodes and stores it. Decoding happens entirely on private
+// buffers: a truncated or corrupt blob is rejected without touching
+// the previous remote state or the local engine.
+func (n *Node) pullOne(p *peer, name string, e *server.Engine) error {
+	interval, maxBackoff := n.opt.pullInterval(), n.opt.maxBackoff()
+	if interval < 0 {
+		interval = 2 * time.Second // PullNow-only nodes still need a backoff unit
+	}
+	req, err := http.NewRequest(http.MethodGet,
+		p.url+"/v1/cluster/sketch?ns="+url.QueryEscape(name), nil)
+	if err != nil {
+		return p.fail(err, false, interval, maxBackoff)
+	}
+	if prev := p.state(name); prev != nil && prev.etag != "" {
+		req.Header.Set("If-None-Match", prev.etag)
+	}
+	resp, err := n.cl.Do(req)
+	if err != nil {
+		return p.fail(err, true, interval, maxBackoff)
+	}
+	defer resp.Body.Close()
+
+	switch {
+	case resp.StatusCode == http.StatusNotModified:
+		p.mu.Lock()
+		p.notModified++
+		p.consecFails = 0
+		p.nextAttempt = time.Time{}
+		p.mu.Unlock()
+		return nil
+	case resp.StatusCode == http.StatusNotFound:
+		// The peer does not (or no longer does) serve this namespace:
+		// not an error — drop any stale state so queries stop counting a
+		// deleted dataset — but nothing to back off from either.
+		p.mu.Lock()
+		delete(p.ns, name)
+		p.consecFails = 0
+		p.nextAttempt = time.Time{}
+		p.mu.Unlock()
+		return nil
+	case resp.StatusCode >= 500:
+		return p.fail(fmt.Errorf("peer returned %s", resp.Status), true, interval, maxBackoff)
+	case resp.StatusCode != http.StatusOK:
+		return p.fail(fmt.Errorf("peer returned %s", resp.Status), false, interval, maxBackoff)
+	}
+
+	// Validate mode and weight signature from the headers before paying
+	// for the body: a weighted/unweighted mismatch or a different weight
+	// table can never be merged, whatever the bytes say.
+	cfg := e.Config()
+	if wantW, gotW := e.Weighted(), resp.Header.Get(server.HeaderWeighted) == "1"; wantW != gotW {
+		return p.fail(fmt.Errorf("mode mismatch: local weighted=%v, peer weighted=%v", wantW, gotW), false, interval, maxBackoff)
+	}
+	if e.Weighted() {
+		if got := resp.Header.Get(server.HeaderWeightsSig); got != fmt.Sprint(e.WeightSig()) {
+			return p.fail(fmt.Errorf("weight config mismatch: local signature %d, peer %s", e.WeightSig(), got), false, interval, maxBackoff)
+		}
+	}
+
+	maxBytes := n.opt.maxStateBytes()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBytes+1))
+	if err != nil {
+		return p.fail(fmt.Errorf("reading state: %w", err), true, interval, maxBackoff)
+	}
+	if int64(len(body)) > maxBytes {
+		return p.fail(fmt.Errorf("state exceeds %d bytes", maxBytes), false, interval, maxBackoff)
+	}
+
+	st := &remoteState{
+		etag:     resp.Header.Get("ETag"),
+		version:  n.versions.Add(1),
+		pulledAt: time.Now(),
+	}
+	if e.Weighted() {
+		bank, err := weighted.ReadBank(bytes.NewReader(body), cfg.NumSets, cfg.K, cfg.WeightedOptions(), cfg.Weights.Fn())
+		if err != nil {
+			return p.fail(fmt.Errorf("decoding bank: %w", err), false, interval, maxBackoff)
+		}
+		st.bank, st.edges = bank, bank.EdgesSeen()
+	} else {
+		sk, err := core.ReadSketch(bytes.NewReader(body))
+		if err != nil {
+			return p.fail(fmt.Errorf("decoding sketch: %w", err), false, interval, maxBackoff)
+		}
+		if sk.Params() != cfg.Params() {
+			return p.fail(fmt.Errorf("sketch parameter mismatch (peer built with different options)"), false, interval, maxBackoff)
+		}
+		st.sketch, st.edges = sk, sk.Stats().EdgesSeen
+	}
+
+	p.mu.Lock()
+	p.ns[name] = st
+	p.pulls++
+	p.consecFails = 0
+	p.nextAttempt = time.Time{}
+	p.lastErr = ""
+	p.mu.Unlock()
+	return nil
+}
+
+// snapshot returns the cluster-view snapshot for namespace name: the
+// local engine snapshot folded with every peer's last-known state.
+// With no remote state it is the local snapshot itself; otherwise the
+// merged view is cached until the local snapshot or any remote state
+// changes, so a read-heavy node pays one merge per state change, not
+// per query. fresh forces a local coordinator merge first (the remote
+// side refreshes are the pull loop's job — queries never block on the
+// network).
+func (n *Node) snapshot(name string, e *server.Engine, fresh bool) (*server.Snapshot, error) {
+	var (
+		local *server.Snapshot
+		err   error
+	)
+	if fresh {
+		local, err = e.Refresh()
+	} else {
+		local, err = e.Snapshot()
+	}
+	if err != nil {
+		return nil, err
+	}
+	remotes := make([]*remoteState, 0, len(n.peers))
+	var key strings.Builder
+	fmt.Fprintf(&key, "%d", local.Seq)
+	for _, p := range n.peers {
+		if st := p.state(name); st != nil {
+			remotes = append(remotes, st)
+			fmt.Fprintf(&key, "|%d", st.version)
+		} else {
+			key.WriteString("|-")
+		}
+	}
+	if len(remotes) == 0 {
+		return local, nil
+	}
+
+	n.viewMu.Lock()
+	defer n.viewMu.Unlock()
+	if v := n.views[name]; v != nil && v.key == key.String() {
+		n.viewReuses.Add(1)
+		return v.snap, nil
+	}
+
+	// MergeAll/MergeBanks never modify their inputs, so the local
+	// snapshot state and the stored remote states can be folded without
+	// defensive clones; the merged output is privately owned.
+	cfg := e.Config()
+	edges := local.IngestedEdges
+	var (
+		merged *core.Sketch
+		bank   *weighted.Bank
+	)
+	if local.Weighted() {
+		banks := make([]*weighted.Bank, 0, len(remotes)+1)
+		banks = append(banks, local.Bank())
+		for _, st := range remotes {
+			banks = append(banks, st.bank)
+			edges += st.edges
+		}
+		bank, err = weighted.MergeBanks(cfg.NumSets, cfg.K, cfg.WeightedOptions(), cfg.Weights.Fn(), banks...)
+	} else {
+		sketches := make([]*core.Sketch, 0, len(remotes)+1)
+		sketches = append(sketches, local.Sketch())
+		for _, st := range remotes {
+			sketches = append(sketches, st.sketch)
+			edges += st.edges
+		}
+		merged, err = core.MergeAll(cfg.Params(), sketches...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	snap, err := server.NewMergedSnapshot(n.viewSeq.Add(1), edges, merged, bank)
+	if err != nil {
+		return nil, err
+	}
+	n.views[name] = &view{key: key.String(), snap: snap}
+	n.viewRebuilds.Add(1)
+	return snap, nil
+}
+
+// Query answers q for namespace name from the cluster-wide merged
+// view: local snapshot + every peer's last-known state. Unreachable
+// peers never block — their last pulled state keeps serving until the
+// anti-entropy loop replaces it. q.Refresh re-merges the local engine
+// only; pair with PullNow for a fully fresh cluster answer.
+func (n *Node) Query(name string, q server.Query) (*server.QueryResult, error) {
+	e, ok := n.multi.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", server.ErrNamespaceUnknown, name)
+	}
+	snap, err := n.snapshot(name, e, q.Refresh)
+	if err != nil {
+		return nil, err
+	}
+	return server.ExecuteQuery(snap, q)
+}
+
+// PeerStats reports one peer's anti-entropy accounting.
+type PeerStats struct {
+	// URL is the peer's base URL.
+	URL string `json:"url"`
+	// Pulls counts state blobs successfully fetched and merged;
+	// NotModified counts conditional requests short-circuited by the
+	// peer's ETag (unchanged state, no body transferred).
+	Pulls       int64 `json:"pulls"`
+	NotModified int64 `json:"not_modified"`
+	// Failures counts transport-level failures (unreachable, timeout,
+	// 5xx) — these back off exponentially; ConsecutiveFailures is the
+	// current streak and NextAttempt the end of the backoff window.
+	Failures            int64     `json:"failures"`
+	ConsecutiveFailures int       `json:"consecutive_failures"`
+	NextAttempt         time.Time `json:"next_attempt,omitempty"`
+	// Rejected counts data-level rejections: oversized or undecodable
+	// blobs and mode/weight/parameter mismatches. Rejected state is
+	// never merged; the previous good state keeps serving.
+	Rejected int64 `json:"rejected"`
+	// LastError is the most recent failure or rejection ("" after a
+	// subsequent success).
+	LastError string `json:"last_error,omitempty"`
+	// Namespaces maps namespace → ingested-edge total of the last
+	// pulled state, the freshness of this peer's contribution.
+	Namespaces map[string]int64 `json:"namespaces,omitempty"`
+}
+
+// NodeStats reports the node's cluster accounting.
+type NodeStats struct {
+	// NodeID echoes Options.NodeID.
+	NodeID string `json:"node_id"`
+	// PullRounds counts anti-entropy rounds (ticker and PullNow).
+	PullRounds int64 `json:"pull_rounds"`
+	// ViewRebuilds counts cluster-view merges; ViewReuses counts
+	// queries served from an unchanged cached view.
+	ViewRebuilds int64 `json:"view_rebuilds"`
+	ViewReuses   int64 `json:"view_reuses"`
+	// Peers holds per-peer accounting, in Options.Peers order.
+	Peers []PeerStats `json:"peers"`
+}
+
+// Stats returns a consistent snapshot of the node's peer bookkeeping.
+func (n *Node) Stats() NodeStats {
+	st := NodeStats{
+		NodeID:       n.opt.nodeID(),
+		PullRounds:   n.pullRounds.Load(),
+		ViewRebuilds: n.viewRebuilds.Load(),
+		ViewReuses:   n.viewReuses.Load(),
+	}
+	for _, p := range n.peers {
+		p.mu.Lock()
+		ps := PeerStats{
+			URL:                 p.url,
+			Pulls:               p.pulls,
+			NotModified:         p.notModified,
+			Failures:            p.failures,
+			ConsecutiveFailures: p.consecFails,
+			NextAttempt:         p.nextAttempt,
+			Rejected:            p.rejected,
+			LastError:           p.lastErr,
+		}
+		if len(p.ns) > 0 {
+			ps.Namespaces = make(map[string]int64, len(p.ns))
+			for name, st := range p.ns {
+				ps.Namespaces[name] = st.edges
+			}
+		}
+		p.mu.Unlock()
+		st.Peers = append(st.Peers, ps)
+	}
+	return st
+}

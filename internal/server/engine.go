@@ -132,8 +132,10 @@ func (c Config) queryCache() int {
 	return c.QueryCache
 }
 
-// params derives the Algorithm 3 sketch parameters from the config.
-func (c Config) params() core.Params {
+// Params derives the Algorithm 3 sketch parameters from the config —
+// exported so the cluster layer can fold remote sketches with exactly
+// the parameters the local shards were built with.
+func (c Config) Params() core.Params {
 	return algorithms.KCoverParams(c.NumSets, c.K, algorithms.Options{
 		Eps:         c.Eps,
 		Seed:        c.Seed,
@@ -143,11 +145,11 @@ func (c Config) params() core.Params {
 	})
 }
 
-// weightedOptions derives the class-bank options from the config — the
+// WeightedOptions derives the class-bank options from the config — the
 // same mapping streamcover.MaxWeightedCoverage applies to its Options,
-// so a weighted engine and the one-shot run build identical per-class
-// sketches.
-func (c Config) weightedOptions() weighted.Options {
+// so a weighted engine, a one-shot run and a cluster peer's decoded
+// bank all build identical per-class sketches.
+func (c Config) WeightedOptions() weighted.Options {
 	return weighted.Options{
 		Eps:         c.Eps,
 		Seed:        c.Seed,
@@ -285,6 +287,66 @@ func (s *Snapshot) pStar() float64 {
 // shared with every query running against this snapshot.
 func (s *Snapshot) Graph() *bipartite.Graph { return s.graph }
 
+// WriteState serializes the snapshot's merged state: a weighted
+// snapshot writes its class bank (weighted.BankMagic framing), an
+// unweighted one its merged sketch (v1 format). These are the exact
+// bytes Engine.WriteSnapshot persists and /v1/cluster/sketch serves —
+// one wire format for disk and peers. Safe on a published snapshot:
+// WriteTo only reads, and the lazy set-list normalization already ran
+// when the snapshot's graph was materialized.
+func (s *Snapshot) WriteState(w io.Writer) error {
+	if s.bank != nil {
+		_, err := s.bank.WriteTo(w)
+		return err
+	}
+	_, err := s.sketch.WriteTo(w)
+	return err
+}
+
+// NewMergedSnapshot materializes a queryable Snapshot from merged state
+// — exactly one of merged/bank must be non-nil (the mode). It is the
+// snapshot-building tail of a coordinator refresh, exported so the
+// cluster layer can publish a cluster-wide view (local state folded
+// with decoded peer states via core.MergeAll / weighted.MergeBanks)
+// that queries exactly like an engine snapshot. edges is the
+// ingested-edge total the state reflects (a merged sketch only counts
+// the kept edges it replayed, so the caller pins the true total).
+func NewMergedSnapshot(seq uint64, edges int64, merged *core.Sketch, bank *weighted.Bank) (*Snapshot, error) {
+	var (
+		wts []float64
+		g   *bipartite.Graph
+		ids []uint32
+	)
+	switch {
+	case bank != nil && merged == nil:
+		bank.SetEdgesSeen(edges)
+		in, orig, err := bank.Assemble()
+		if err != nil {
+			return nil, err
+		}
+		g, wts, ids = in.G, in.W, orig
+	case merged != nil && bank == nil:
+		merged.SetEdgesSeen(edges)
+		g, ids = merged.Graph()
+	default:
+		return nil, fmt.Errorf("server: NewMergedSnapshot needs exactly one of sketch and bank")
+	}
+	// Materialize the bitset coverage index now (when profitable for this
+	// graph) so no query pays the build: snapshots are immutable and the
+	// index is shared by every greedy run against them.
+	g.BuildCoverIndex()
+	return &Snapshot{
+		Seq:           seq,
+		CreatedAt:     time.Now(),
+		IngestedEdges: edges,
+		sketch:        merged,
+		bank:          bank,
+		weights:       wts,
+		graph:         g,
+		ids:           ids,
+	}, nil
+}
+
 // Engine is the concurrent sharded ingest engine.
 type Engine struct {
 	cfg    Config
@@ -349,7 +411,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	// Private copy: the engine outlives the caller's table.
 	cfg.Weights = cfg.Weights.clone()
-	params := cfg.params()
+	params := cfg.Params()
 	var (
 		sketches []*core.Sketch
 		banks    []*weighted.Bank
@@ -360,7 +422,7 @@ func New(cfg Config) (*Engine, error) {
 		fn := cfg.Weights.Fn()
 		banks = make([]*weighted.Bank, cfg.shards())
 		for i := range banks {
-			if banks[i], err = weighted.NewBank(cfg.NumSets, cfg.K, cfg.weightedOptions(), fn); err != nil {
+			if banks[i], err = weighted.NewBank(cfg.NumSets, cfg.K, cfg.WeightedOptions(), fn); err != nil {
 				return nil, err
 			}
 		}
@@ -398,7 +460,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Weights != nil {
 		e.weightFn = cfg.Weights.Fn()
-		e.weightSig = cfg.Weights.signature()
+		e.weightSig = cfg.Weights.Signature()
 	}
 	for i := range e.shards {
 		sh := &shard{
@@ -428,6 +490,11 @@ func New(cfg Config) (*Engine, error) {
 // a single pointer check, unlike Config(), which deep-copies the
 // weight table and is therefore not for hot read paths.
 func (e *Engine) Weighted() bool { return e.weightFn != nil }
+
+// WeightSig fingerprints the engine's weight mapping (0 when
+// unweighted) — see WeightConfig.Signature. Cluster peers compare it
+// before merging remote state.
+func (e *Engine) WeightSig() uint64 { return e.weightSig }
 
 func (e *Engine) mergeLoop(every time.Duration) {
 	defer close(e.tickerDone)
@@ -567,28 +634,16 @@ func (e *Engine) refreshLocked() (*Snapshot, error) {
 	var (
 		merged *core.Sketch
 		bank   *weighted.Bank
-		wts    []float64
-		g      *bipartite.Graph
-		ids    []uint32
 	)
 	if e.Weighted() {
 		banks := make([]*weighted.Bank, len(states))
 		for i, st := range states {
 			banks[i] = st.bank
 		}
-		bank, err = weighted.MergeBanks(e.cfg.NumSets, e.cfg.K, e.cfg.weightedOptions(), e.weightFn, banks...)
+		bank, err = weighted.MergeBanks(e.cfg.NumSets, e.cfg.K, e.cfg.WeightedOptions(), e.weightFn, banks...)
 		if err != nil {
 			return nil, err
 		}
-		// Restored edges already ride `applied`; the merged bank's own
-		// counter (summed shard counters) would double-count nothing, but
-		// pin it to the captured total so every consumer agrees.
-		bank.SetEdgesSeen(applied)
-		in, orig, err := bank.Assemble()
-		if err != nil {
-			return nil, err
-		}
-		g, wts, ids = in.G, in.W, orig
 	} else {
 		clones := make([]*core.Sketch, len(states))
 		for i, st := range states {
@@ -600,26 +655,15 @@ func (e *Engine) refreshLocked() (*Snapshot, error) {
 		if err != nil {
 			return nil, err
 		}
-		// A merged sketch only counts the kept edges it replayed; pin the
-		// captured applied total so the snapshot's sketch reports the true
-		// consumed count and WriteSnapshot can persist it without a fix-up
-		// clone.
-		merged.SetEdgesSeen(applied)
-		g, ids = merged.Graph()
 	}
-	// Materialize the bitset coverage index now (when profitable for this
-	// graph) so no query pays the build: snapshots are immutable and the
-	// index is shared by every greedy run against them.
-	g.BuildCoverIndex()
-	snap := &Snapshot{
-		Seq:           e.seq.Add(1),
-		CreatedAt:     time.Now(),
-		IngestedEdges: applied,
-		sketch:        merged,
-		bank:          bank,
-		weights:       wts,
-		graph:         g,
-		ids:           ids,
+	// NewMergedSnapshot pins the captured applied total on the merged
+	// state (a merged sketch only counts the kept edges it replayed;
+	// restored edges already ride `applied`), so the snapshot reports the
+	// true consumed count and WriteSnapshot persists it without a fix-up
+	// clone.
+	snap, err := NewMergedSnapshot(e.seq.Add(1), applied, merged, bank)
+	if err != nil {
+		return nil, err
 	}
 	e.snap.Store(snap)
 	e.refreshes.Add(1)
@@ -727,33 +771,97 @@ type QueryResult struct {
 	SnapshotEdges int64  `json:"snapshot_edges"`
 }
 
+// ValidateQuery checks q against an engine mode (weighted or not)
+// without executing it: algo known, k/lambda in range, algo defined for
+// the mode. Engine.Query and the cluster query plane share it so a
+// malformed query is rejected identically everywhere.
+func ValidateQuery(q Query, isWeighted bool) error {
+	switch q.Algo {
+	case AlgoKCover:
+		if q.K <= 0 {
+			return fmt.Errorf("server: kcover query needs positive k")
+		}
+	case AlgoWeightedKCover:
+		if !isWeighted {
+			return fmt.Errorf("server: wkcover requires a weighted engine (configure Weights)")
+		}
+		if q.K <= 0 {
+			return fmt.Errorf("server: wkcover query needs positive k")
+		}
+	case AlgoOutliers:
+		if !(q.Lambda > 0 && q.Lambda < 1) {
+			return fmt.Errorf("server: outliers query needs lambda in (0,1), got %v", q.Lambda)
+		}
+	case AlgoGreedy:
+	default:
+		return fmt.Errorf("server: unknown query algo %q", q.Algo)
+	}
+	if isWeighted && (q.Algo == AlgoOutliers || q.Algo == AlgoGreedy) {
+		return fmt.Errorf("server: algo %q is not defined on a weighted engine (weighted coverage serves kcover)", q.Algo)
+	}
+	return nil
+}
+
+// ExecuteQuery runs a validated query against a snapshot — the greedy
+// dispatch of Engine.Query without the engine: no cache, no refresh,
+// no counters. The cluster layer uses it to answer queries on merged
+// cluster-view snapshots (NewMergedSnapshot) with byte-for-byte the
+// result shape a local engine produces. q.Refresh is ignored (there is
+// no engine to refresh); the caller picks the snapshot.
+func ExecuteQuery(snap *Snapshot, q Query) (*QueryResult, error) {
+	if err := ValidateQuery(q, snap.Weighted()); err != nil {
+		return nil, err
+	}
+	if snap.Weighted() {
+		res := weighted.MaxCover(weighted.Instance{G: snap.graph, W: snap.weights}, q.K)
+		return &QueryResult{
+			Algo:              q.Algo,
+			Sets:              res.Sets,
+			SketchCoverage:    res.CoveredElems,
+			EstimatedCoverage: res.Covered, // the weighted greedy scales per class already
+			SampledElements:   snap.graph.NumElems(),
+			PStar:             snap.pStar(),
+			Weighted:          true,
+			WeightClasses:     snap.bank.Classes(),
+			SnapshotSeq:       snap.Seq,
+			SnapshotEdges:     snap.IngestedEdges,
+		}, nil
+	}
+	var res greedy.Result
+	switch q.Algo {
+	case AlgoKCover:
+		res = greedy.MaxCover(snap.graph, q.K)
+	case AlgoOutliers:
+		// Ceiling, not truncation: a truncated target can leave the
+		// covered fraction strictly below 1−λ (e.g. λ=0.001 over 999
+		// elements truncates 998.001 to 998, i.e. 998/999 < 0.999). The
+		// (1−1e-12) relative tolerance keeps float noise from rounding an
+		// exactly-integral product up (10·0.3 evaluates above 3.0, which
+		// a bare Ceil would turn into a target of 4).
+		target := int(math.Ceil(float64(snap.graph.CoveredElems()) * (1 - q.Lambda) * (1 - 1e-12)))
+		res = greedy.PartialCover(snap.graph, target)
+	case AlgoGreedy:
+		res = greedy.SetCover(snap.graph)
+	}
+	return &QueryResult{
+		Algo:              q.Algo,
+		Sets:              res.Sets,
+		SketchCoverage:    res.Covered,
+		EstimatedCoverage: safeEstimate(res.Covered, snap.sketch.PStar()),
+		SampledElements:   snap.sketch.Elements(),
+		PStar:             snap.sketch.PStar(),
+		SnapshotSeq:       snap.Seq,
+		SnapshotEdges:     snap.IngestedEdges,
+	}, nil
+}
+
 // Query executes q against the current (or freshly merged) snapshot.
 // Safe for concurrent use with Ingest: the snapshot is immutable.
 // Results for an unchanged snapshot are memoized (see Config.QueryCache);
 // every call returns a privately owned Sets slice either way.
 func (e *Engine) Query(q Query) (*QueryResult, error) {
-	switch q.Algo {
-	case AlgoKCover:
-		if q.K <= 0 {
-			return nil, fmt.Errorf("server: kcover query needs positive k")
-		}
-	case AlgoWeightedKCover:
-		if !e.Weighted() {
-			return nil, fmt.Errorf("server: wkcover requires a weighted engine (configure Weights)")
-		}
-		if q.K <= 0 {
-			return nil, fmt.Errorf("server: wkcover query needs positive k")
-		}
-	case AlgoOutliers:
-		if !(q.Lambda > 0 && q.Lambda < 1) {
-			return nil, fmt.Errorf("server: outliers query needs lambda in (0,1), got %v", q.Lambda)
-		}
-	case AlgoGreedy:
-	default:
-		return nil, fmt.Errorf("server: unknown query algo %q", q.Algo)
-	}
-	if e.Weighted() && (q.Algo == AlgoOutliers || q.Algo == AlgoGreedy) {
-		return nil, fmt.Errorf("server: algo %q is not defined on a weighted engine (weighted coverage serves kcover)", q.Algo)
+	if err := ValidateQuery(q, e.Weighted()); err != nil {
+		return nil, err
 	}
 	var (
 		snap *Snapshot
@@ -778,48 +886,9 @@ func (e *Engine) Query(q Query) (*QueryResult, error) {
 			return res, nil
 		}
 	}
-	var out *QueryResult
-	if e.Weighted() {
-		res := weighted.MaxCover(weighted.Instance{G: snap.graph, W: snap.weights}, q.K)
-		out = &QueryResult{
-			Algo:              q.Algo,
-			Sets:              res.Sets,
-			SketchCoverage:    res.CoveredElems,
-			EstimatedCoverage: res.Covered, // the weighted greedy scales per class already
-			SampledElements:   snap.graph.NumElems(),
-			PStar:             snap.pStar(),
-			Weighted:          true,
-			WeightClasses:     snap.bank.Classes(),
-			SnapshotSeq:       snap.Seq,
-			SnapshotEdges:     snap.IngestedEdges,
-		}
-	} else {
-		var res greedy.Result
-		switch q.Algo {
-		case AlgoKCover:
-			res = greedy.MaxCover(snap.graph, q.K)
-		case AlgoOutliers:
-			// Ceiling, not truncation: a truncated target can leave the
-			// covered fraction strictly below 1−λ (e.g. λ=0.001 over 999
-			// elements truncates 998.001 to 998, i.e. 998/999 < 0.999). The
-			// (1−1e-12) relative tolerance keeps float noise from rounding an
-			// exactly-integral product up (10·0.3 evaluates above 3.0, which
-			// a bare Ceil would turn into a target of 4).
-			target := int(math.Ceil(float64(snap.graph.CoveredElems()) * (1 - q.Lambda) * (1 - 1e-12)))
-			res = greedy.PartialCover(snap.graph, target)
-		case AlgoGreedy:
-			res = greedy.SetCover(snap.graph)
-		}
-		out = &QueryResult{
-			Algo:              q.Algo,
-			Sets:              res.Sets,
-			SketchCoverage:    res.Covered,
-			EstimatedCoverage: safeEstimate(res.Covered, snap.sketch.PStar()),
-			SampledElements:   snap.sketch.Elements(),
-			PStar:             snap.sketch.PStar(),
-			SnapshotSeq:       snap.Seq,
-			SnapshotEdges:     snap.IngestedEdges,
-		}
+	out, err := ExecuteQuery(snap, q)
+	if err != nil {
+		return nil, err
 	}
 	if e.cache != nil {
 		e.cache.put(key, out)
@@ -853,18 +922,11 @@ func (e *Engine) WriteSnapshot(w io.Writer) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	// No clone needed in either mode: refreshLocked already pinned the
+	// No clone needed in either mode: the refresh already pinned the
 	// merged state's consumed-edge counter to the snapshot's applied
-	// total, and WriteTo only reads (its lazy set-list normalization ran
-	// when the snapshot's graph was materialized), so serializing the
-	// published state races with nothing.
-	if snap.bank != nil {
-		if _, err := snap.bank.WriteTo(w); err != nil {
-			return nil, err
-		}
-		return snap, nil
-	}
-	if _, err := snap.sketch.WriteTo(w); err != nil {
+	// total, and WriteState only reads, so serializing the published
+	// state races with nothing.
+	if err := snap.WriteState(w); err != nil {
 		return nil, err
 	}
 	return snap, nil
@@ -876,7 +938,7 @@ func (e *Engine) WriteSnapshot(w io.Writer) (*Snapshot, error) {
 // sketch. The config must repeat the writing engine's parameters.
 func ReadRestore(cfg Config, r io.Reader) (Config, error) {
 	if cfg.Weights != nil {
-		bk, err := weighted.ReadBank(r, cfg.NumSets, cfg.K, cfg.weightedOptions(), cfg.Weights.Fn())
+		bk, err := weighted.ReadBank(r, cfg.NumSets, cfg.K, cfg.WeightedOptions(), cfg.Weights.Fn())
 		if err != nil {
 			return cfg, fmt.Errorf("server: restoring weighted snapshot: %w", err)
 		}

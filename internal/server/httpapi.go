@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -142,14 +143,14 @@ func NewMultiHandler(m *Multi, opt HTTPOptions) http.Handler {
 	mux.HandleFunc("/v1/ns", func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodGet:
-			writeJSON(w, http.StatusOK, listNamespacesResponse{
+			WriteJSON(w, http.StatusOK, listNamespacesResponse{
 				Default:    m.DefaultName(),
 				Namespaces: m.List(),
 			})
 		case http.MethodPost:
 			a.handleCreateNamespace(m, w, r)
 		default:
-			methodNotAllowed(w, "GET, POST")
+			MethodNotAllowed(w, "GET, POST")
 		}
 	})
 
@@ -159,18 +160,18 @@ func NewMultiHandler(m *Multi, opt HTTPOptions) http.Handler {
 		case http.MethodGet:
 			e, ok := m.Get(name)
 			if !ok {
-				httpError(w, http.StatusNotFound, "%v: %q", ErrNamespaceUnknown, name)
+				ErrorJSON(w, http.StatusNotFound, "%v: %q", ErrNamespaceUnknown, name)
 				return
 			}
-			writeJSON(w, http.StatusOK, infoFor(name, e, name == m.DefaultName()))
+			WriteJSON(w, http.StatusOK, infoFor(name, e, name == m.DefaultName()))
 		case http.MethodDelete:
 			if err := m.Delete(name); err != nil {
-				httpError(w, statusFor(err), "%v", err)
+				ErrorJSON(w, StatusFor(err), "%v", err)
 				return
 			}
-			writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+			WriteJSON(w, http.StatusOK, map[string]string{"deleted": name})
 		default:
-			methodNotAllowed(w, "GET, DELETE")
+			MethodNotAllowed(w, "GET, DELETE")
 		}
 	})
 
@@ -185,12 +186,12 @@ func (a *api) engineRoutes(mux *http.ServeMux, prefix string, resolve func(*http
 	withEngine := func(method, allow string, h func(*Engine, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
 			if r.Method != method {
-				methodNotAllowed(w, allow)
+				MethodNotAllowed(w, allow)
 				return
 			}
 			e, err := resolve(r)
 			if err != nil {
-				httpError(w, statusFor(err), "%v", err)
+				ErrorJSON(w, StatusFor(err), "%v", err)
 				return
 			}
 			h(e, w, r)
@@ -199,16 +200,95 @@ func (a *api) engineRoutes(mux *http.ServeMux, prefix string, resolve func(*http
 	mux.HandleFunc(prefix+"/edges", withEngine(http.MethodPost, "POST", a.handleIngest))
 	mux.HandleFunc(prefix+"/query", withEngine(http.MethodGet, "GET", a.handleQuery))
 	mux.HandleFunc(prefix+"/stats", withEngine(http.MethodGet, "GET", a.handleStats))
-	mux.HandleFunc(prefix+"/snapshot", withEngine(http.MethodPost, "POST", a.handleSnapshot))
+	// POST merges (and persists when configured); GET serves the merged
+	// state bytes — the same blob a cluster peer pulls from
+	// /v1/cluster/sketch, so one curl can inspect or back up a node.
+	mux.HandleFunc(prefix+"/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodPost {
+			MethodNotAllowed(w, "GET, POST")
+			return
+		}
+		e, err := resolve(r)
+		if err != nil {
+			ErrorJSON(w, StatusFor(err), "%v", err)
+			return
+		}
+		if r.Method == http.MethodGet {
+			ServeState(e, w, r)
+			return
+		}
+		a.handleSnapshot(e, w, r)
+	})
+}
+
+// Response headers of the binary state endpoints (GET …/snapshot and
+// /v1/cluster/sketch): enough metadata for a cluster peer to validate a
+// blob before decoding it and to account for the edges it carries.
+const (
+	// HeaderNodeID carries the serving node's id on cluster responses.
+	HeaderNodeID = "X-Cov-Node"
+	// HeaderWeighted is "1" when the blob is a weighted class bank
+	// (weighted.BankMagic framing) rather than a v1 sketch.
+	HeaderWeighted = "X-Cov-Weighted"
+	// HeaderWeightsSig is the decimal WeightConfig.Signature of the
+	// serving engine (0 for unweighted) — peers refuse to merge a blob
+	// whose weights disagree with their own.
+	HeaderWeightsSig = "X-Cov-Weights-Sig"
+	// HeaderEdges is the decimal ingested-edge total the blob reflects.
+	HeaderEdges = "X-Cov-Edges"
+)
+
+// ServeState implements a conditional GET of an engine's serialized
+// merged state: Content-Type application/octet-stream, body exactly the
+// bytes Engine.WriteSnapshot persists (v1 sketch, or a class bank on a
+// weighted engine), metadata in the X-Cov-* headers. The ETag is the
+// quoted ingested-edge total — a node's merged state is a deterministic
+// function of its (append-only) ingested edge set, so an unchanged
+// count means unchanged bytes and If-None-Match short-circuits to an
+// empty 304: the anti-entropy loop's steady-state probe costs one
+// refresh idle-check and no serialization. Both GET …/snapshot and the
+// cluster /v1/cluster/sketch endpoint are this handler.
+func ServeState(e *Engine, w http.ResponseWriter, r *http.Request) {
+	snap, err := e.Refresh() // idle engines reuse the published snapshot
+	if err != nil {
+		ErrorJSON(w, StatusFor(err), "%v", err)
+		return
+	}
+	etag := `"` + strconv.FormatInt(snap.IngestedEdges, 10) + `"`
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set(HeaderEdges, strconv.FormatInt(snap.IngestedEdges, 10))
+	h.Set(HeaderWeightsSig, strconv.FormatUint(e.weightSig, 10))
+	if snap.Weighted() {
+		h.Set(HeaderWeighted, "1")
+	}
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	// Serialize to memory first: an encode failure after WriteHeader
+	// would truncate a 200 mid-body, which a peer could mistake for a
+	// corrupt snapshot rather than a server error.
+	var buf bytes.Buffer
+	if err := snap.WriteState(&buf); err != nil {
+		ErrorJSON(w, http.StatusInternalServerError, "serializing state: %v", err)
+		return
+	}
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		w.Write(buf.Bytes())
+	}
 }
 
 func registerHealthz(mux *http.ServeMux) {
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
-			methodNotAllowed(w, "GET, HEAD")
+			MethodNotAllowed(w, "GET, HEAD")
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 }
 
@@ -221,33 +301,36 @@ func (a *api) handleIngest(e *Engine, w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&body); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			httpError(w, http.StatusRequestEntityTooLarge,
+			ErrorJSON(w, http.StatusRequestEntityTooLarge,
 				"body exceeds limit of %d bytes", tooLarge.Limit)
 			return
 		}
-		httpError(w, http.StatusBadRequest, "bad ingest body: %v", err)
+		ErrorJSON(w, http.StatusBadRequest, "bad ingest body: %v", err)
 		return
 	}
 	// One JSON document per request: trailing tokens after the body
 	// are a malformed request, not silently ignorable garbage.
 	if _, err := dec.Token(); err != io.EOF {
-		httpError(w, http.StatusBadRequest, "trailing data after JSON body")
+		ErrorJSON(w, http.StatusBadRequest, "trailing data after JSON body")
 		return
 	}
 	if len(body.Edges) > a.opt.maxBatch() {
-		httpError(w, http.StatusRequestEntityTooLarge,
+		ErrorJSON(w, http.StatusRequestEntityTooLarge,
 			"batch of %d edges exceeds limit %d", len(body.Edges), a.opt.maxBatch())
 		return
 	}
 	n, err := e.Ingest(body.edges())
 	if err != nil {
-		httpError(w, statusFor(err), "%v", err)
+		ErrorJSON(w, StatusFor(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ingestResponse{Accepted: n, IngestedTotal: e.IngestedEdges()})
+	WriteJSON(w, http.StatusOK, ingestResponse{Accepted: n, IngestedTotal: e.IngestedEdges()})
 }
 
-func (a *api) handleQuery(e *Engine, w http.ResponseWriter, r *http.Request) {
+// ParseQuery decodes the ?algo/&k/&lambda/&refresh query parameters
+// into a Query (algo defaults to kcover). The engine and cluster query
+// endpoints share it, so a URL means the same thing on every route.
+func ParseQuery(r *http.Request) (Query, error) {
 	q := Query{Algo: Algo(r.URL.Query().Get("algo"))}
 	if q.Algo == "" {
 		q.Algo = AlgoKCover
@@ -255,37 +338,44 @@ func (a *api) handleQuery(e *Engine, w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("k"); v != "" {
 		k, err := strconv.Atoi(v)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad k: %v", err)
-			return
+			return q, fmt.Errorf("bad k: %v", err)
 		}
 		q.K = k
 	}
 	if v := r.URL.Query().Get("lambda"); v != "" {
 		l, err := strconv.ParseFloat(v, 64)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad lambda: %v", err)
-			return
+			return q, fmt.Errorf("bad lambda: %v", err)
 		}
 		q.Lambda = l
 	}
 	if v := r.URL.Query().Get("refresh"); v == "1" || v == "true" {
 		q.Refresh = true
 	}
-	res, err := e.Query(q)
+	return q, nil
+}
+
+func (a *api) handleQuery(e *Engine, w http.ResponseWriter, r *http.Request) {
+	q, err := ParseQuery(r)
 	if err != nil {
-		httpError(w, statusFor(err), "%v", err)
+		ErrorJSON(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	res, err := e.Query(q)
+	if err != nil {
+		ErrorJSON(w, StatusFor(err), "%v", err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, res)
 }
 
 func (a *api) handleStats(e *Engine, w http.ResponseWriter, r *http.Request) {
 	st, err := e.Stats()
 	if err != nil {
-		httpError(w, statusFor(err), "%v", err)
+		ErrorJSON(w, StatusFor(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	WriteJSON(w, http.StatusOK, st)
 }
 
 func (a *api) handleSnapshot(e *Engine, w http.ResponseWriter, r *http.Request) {
@@ -294,17 +384,17 @@ func (a *api) handleSnapshot(e *Engine, w http.ResponseWriter, r *http.Request) 
 		// Unlike the other endpoints, a snapshot failure that is not a
 		// recognized service-state error is an I/O problem (disk full,
 		// unwritable path) — the server's fault, not the request's.
-		code := statusFor(err)
+		code := StatusFor(err)
 		if code == http.StatusBadRequest {
 			code = http.StatusInternalServerError
 		}
-		httpError(w, code, "%v", err)
+		ErrorJSON(w, code, "%v", err)
 		return
 	}
 	resp := snapshotResponse{}
 	resp.fill(snap)
 	resp.Persisted = persisted
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // handleCreateNamespace implements POST /v1/ns.
@@ -317,30 +407,30 @@ func (a *api) handleCreateNamespace(m *Multi, w http.ResponseWriter, r *http.Req
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			httpError(w, http.StatusRequestEntityTooLarge,
+			ErrorJSON(w, http.StatusRequestEntityTooLarge,
 				"body exceeds limit of %d bytes", tooLarge.Limit)
 			return
 		}
-		httpError(w, http.StatusBadRequest, "bad namespace body: %v", err)
+		ErrorJSON(w, http.StatusBadRequest, "bad namespace body: %v", err)
 		return
 	}
 	if _, err := dec.Token(); err != io.EOF {
-		httpError(w, http.StatusBadRequest, "trailing data after JSON body")
+		ErrorJSON(w, http.StatusBadRequest, "trailing data after JSON body")
 		return
 	}
 	e, err := m.Create(req.Name, req.config())
 	if err != nil {
-		httpError(w, statusFor(err), "%v", err)
+		ErrorJSON(w, StatusFor(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, infoFor(req.Name, e, req.Name == m.DefaultName()))
+	WriteJSON(w, http.StatusCreated, infoFor(req.Name, e, req.Name == m.DefaultName()))
 }
 
-// methodNotAllowed writes a 405 with the required Allow header (RFC 9110
+// MethodNotAllowed writes a 405 with the required Allow header (RFC 9110
 // §15.5.6).
-func methodNotAllowed(w http.ResponseWriter, allowed string) {
+func MethodNotAllowed(w http.ResponseWriter, allowed string) {
 	w.Header().Set("Allow", allowed)
-	httpError(w, http.StatusMethodNotAllowed, "%s required", allowed)
+	ErrorJSON(w, http.StatusMethodNotAllowed, "%s required", allowed)
 }
 
 // atomicWrite streams write to a private temp file and renames it over
@@ -501,10 +591,10 @@ func (r *snapshotResponse) fill(s *Snapshot) {
 	}
 }
 
-// statusFor maps service errors to HTTP codes: a closed engine or a
+// StatusFor maps service errors to HTTP codes: a closed engine or a
 // duplicate namespace conflict with the server's state, an unknown
 // namespace is absent, and everything else is a bad request.
-func statusFor(err error) int {
+func StatusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrClosed):
 		return http.StatusConflict
@@ -516,15 +606,15 @@ func statusFor(err error) int {
 	return http.StatusBadRequest
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+func ErrorJSON(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	WriteJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// writeJSON marshals v before touching the response: if encoding fails
+// WriteJSON marshals v before touching the response: if encoding fails
 // (it should not — query results are now NaN-free by construction — but
 // a marshal error after WriteHeader would emit a broken 200 with an
 // empty body), the client receives a well-formed 500 instead.
-func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+func WriteJSON(w http.ResponseWriter, code int, v interface{}) {
 	data, err := json.Marshal(v)
 	if err != nil {
 		code = http.StatusInternalServerError

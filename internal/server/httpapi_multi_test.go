@@ -108,7 +108,7 @@ func TestHTTPNamespaceCRUD(t *testing.T) {
 		{"GET", "/v1/ns/default/edges", "POST"},
 		{"DELETE", "/v1/ns/default/query", "GET"},
 		{"POST", "/v1/ns/default/stats", "GET"},
-		{"GET", "/v1/ns/default/snapshot", "POST"},
+		{"DELETE", "/v1/ns/default/snapshot", "GET, POST"},
 	} {
 		resp, _ := doJSON(t, c.method, ts.URL+c.path, "")
 		if resp.StatusCode != http.StatusMethodNotAllowed {

@@ -162,7 +162,7 @@ func TestHTTPErrors(t *testing.T) {
 	check("GET", "/v1/query?algo=kcover&k=zero", "", http.StatusBadRequest)
 	check("GET", "/v1/query?algo=outliers&lambda=nope", "", http.StatusBadRequest)
 	check("GET", fmt.Sprintf("/v1/query?algo=%s", "bogus"), "", http.StatusBadRequest)
-	check("GET", "/v1/snapshot", "", http.StatusMethodNotAllowed)
+	check("DELETE", "/v1/snapshot", "", http.StatusMethodNotAllowed)
 	check("POST", "/v1/stats", "", http.StatusMethodNotAllowed)
 	check("POST", "/v1/healthz", "", http.StatusMethodNotAllowed)
 }
@@ -182,7 +182,7 @@ func TestHTTPMethodNotAllowedSetsAllow(t *testing.T) {
 		{"GET", "/v1/edges", "POST"},
 		{"DELETE", "/v1/query", "GET"},
 		{"PUT", "/v1/stats", "GET"},
-		{"GET", "/v1/snapshot", "POST"},
+		{"DELETE", "/v1/snapshot", "GET, POST"},
 		{"POST", "/v1/healthz", "GET, HEAD"},
 	}
 	for _, c := range cases {

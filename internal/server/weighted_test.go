@@ -55,7 +55,7 @@ func TestWeightedEngineMatchesOneShot(t *testing.T) {
 	cfg := weightedTestConfig(n, m, k, seed, 1)
 	fn := cfg.Weights.Fn()
 
-	oneshot, err := weighted.KCover(stream.Shuffled(inst.G, 3), n, k, fn, cfg.weightedOptions())
+	oneshot, err := weighted.KCover(stream.Shuffled(inst.G, 3), n, k, fn, cfg.WeightedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

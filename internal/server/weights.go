@@ -60,10 +60,12 @@ func (w *WeightConfig) Fn() func(uint32) float64 {
 	}
 }
 
-// signature fingerprints the weight mapping for the query cache key: a
-// SplitMix64-style fold over the table bits, the default and the
-// length. Two engines only share a cache when their weights agree.
-func (w *WeightConfig) signature() uint64 {
+// Signature fingerprints the weight mapping: a SplitMix64-style fold
+// over the table bits, the default and the length. Two engines only
+// share a query cache when their weights agree, and a cluster peer is
+// only merged when its weight signature equals the local one — weights
+// that disagree would make the per-class scaled union silently wrong.
+func (w *WeightConfig) Signature() uint64 {
 	if w == nil {
 		return 0
 	}

@@ -1,0 +1,168 @@
+package tables
+
+// This file implements the cluster-throughput experiment: N in-process
+// covserved-style nodes (internal/cluster) each ingest a round-robin
+// partition of the stream, exchange serialized sketches over a real
+// HTTP loopback via an anti-entropy pull round, and answer a
+// max-k-cover query from the cluster-wide merged view. Because the
+// sketch is mergeable (the property that makes shards exact), the
+// merged answer is bit-identical across node counts — the coverage
+// column doubles as a correctness check. `covbench -run
+// cluster-throughput -json` produces the BENCH_cluster.json
+// trajectory line.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// clusterTimings is one trial's measurements for a given node count.
+type clusterTimings struct {
+	ingest   time.Duration // partitioned ingest + local merge, all nodes
+	pull     time.Duration // one full anti-entropy round (every node pulls every peer)
+	query    time.Duration // merged kcover query on node 0
+	coverage float64
+}
+
+// runClusterTrial stands up size nodes over httptest loopback servers,
+// ingests the partitioned stream, runs one pull round and one merged
+// query, and tears everything down.
+func runClusterTrial(size int, cfg server.Config, edges []bipartite.Edge, k int) clusterTimings {
+	srvs := make([]*httptest.Server, size)
+	urls := make([]string, size)
+	for i := range srvs {
+		srvs[i] = httptest.NewUnstartedServer(nil)
+		urls[i] = "http://" + srvs[i].Listener.Addr().String()
+	}
+	multis := make([]*server.Multi, size)
+	nodes := make([]*cluster.Node, size)
+	for i := range nodes {
+		multis[i] = server.NewMulti(server.DefaultNamespace)
+		if _, err := multis[i].Create(server.DefaultNamespace, cfg); err != nil {
+			panic(err)
+		}
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		node, err := cluster.NewNode(multis[i], cluster.Options{
+			NodeID:       fmt.Sprintf("bench-%d", i),
+			Peers:        peers,
+			PullInterval: -1, // the trial drives exchange with PullNow
+		})
+		if err != nil {
+			panic(err)
+		}
+		nodes[i] = node
+		srvs[i].Config.Handler = cluster.NewHandler(node, server.HTTPOptions{})
+		srvs[i].Start()
+	}
+	defer func() {
+		for i := range nodes {
+			nodes[i].Close()
+			srvs[i].Close()
+			multis[i].Close()
+		}
+	}()
+
+	var tm clusterTimings
+	start := time.Now()
+	for i := range multis {
+		e, _ := multis[i].Get(server.DefaultNamespace)
+		var part []bipartite.Edge
+		for j := i; j < len(edges); j += size {
+			part = append(part, edges[j])
+		}
+		if _, err := e.Ingest(part); err != nil {
+			panic(err)
+		}
+		if _, err := e.Refresh(); err != nil {
+			panic(err)
+		}
+	}
+	tm.ingest = time.Since(start)
+
+	start = time.Now()
+	for _, node := range nodes {
+		if err := node.PullNow(); err != nil {
+			panic(err)
+		}
+	}
+	tm.pull = time.Since(start)
+
+	start = time.Now()
+	res, err := nodes[0].Query(server.DefaultNamespace, server.Query{
+		Algo: server.AlgoKCover, K: k,
+	})
+	if err != nil {
+		panic(err)
+	}
+	tm.query = time.Since(start)
+	tm.coverage = res.EstimatedCoverage
+	return tm
+}
+
+// RunClusterThroughput measures the cluster mode end to end: how
+// partitioned ingest, the anti-entropy pull round (serialize, HTTP
+// transfer, decode) and the merged-view query scale with the node
+// count. Node count 1 is the degenerate cluster (no peers) and anchors
+// the comparison; the coverage column must not move across rows.
+func RunClusterThroughput(cfg Config) []*stats.Table {
+	n := cfg.pick(200, 60)
+	m := cfg.pick(20000, 4000)
+	k := 10
+	inst := workload.Zipf(n, m, m/8, 0.9, 0.7, cfg.seed())
+	edges := stream.Drain(stream.Shuffled(inst.G, cfg.seed()+1))
+	scfg := server.Config{
+		NumSets: n, NumElems: m, K: k, Eps: 0.3,
+		Seed: cfg.seed(), EdgeBudget: 40 * n, Shards: 2,
+	}
+	params := core.Params{
+		NumSets: n, NumElems: m, K: k, Eps: 0.3,
+		Seed: cfg.seed(), EdgeBudget: 40 * n,
+	}
+
+	sizes := []int{1, 2, 4}
+	if cfg.Quick {
+		sizes = []int{1, 2}
+	}
+
+	tbl := &stats.Table{
+		Title: fmt.Sprintf("cluster throughput — %s, %d edges, budget %d",
+			inst.Name, len(edges), params.EffectiveEdgeBudget()),
+		Cols: []string{"nodes", "ingest ms", "ingest edges/sec", "pull round ms", "query ms", "coverage"},
+		Notes: []string{
+			"N in-process nodes over HTTP loopback; round-robin stream partition; one full anti-entropy round",
+			"pull round = every node pulls every peer's serialized sketch; query answers from the merged view",
+			fmt.Sprintf("best of %d trials per row; the coverage column is invariant across node counts (mergeability)", cfg.trials()),
+		},
+	}
+
+	for _, size := range sizes {
+		var best clusterTimings
+		for trial := 0; trial < cfg.trials(); trial++ {
+			tm := runClusterTrial(size, scfg, edges, k)
+			if best.ingest == 0 || tm.ingest+tm.pull < best.ingest+best.pull {
+				best = tm
+			}
+		}
+		tbl.AddRow(fmt.Sprintf("%d", size),
+			float64(best.ingest.Milliseconds()),
+			float64(len(edges))/best.ingest.Seconds(),
+			float64(best.pull.Microseconds())/1000.0,
+			float64(best.query.Microseconds())/1000.0,
+			best.coverage)
+	}
+	return []*stats.Table{tbl}
+}

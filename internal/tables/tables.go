@@ -58,23 +58,24 @@ type Runner func(Config) []*stats.Table
 // Experiments maps experiment ids (DESIGN.md §4) to runners.
 func Experiments() map[string]Runner {
 	return map[string]Runner{
-		"table1-kcover":     RunTable1KCover,
-		"table1-outliers":   RunTable1Outliers,
-		"table1-setcover":   RunTable1SetCover,
-		"fig1-sketch":       RunFig1Sketch,
-		"thm31-kcover":      RunThm31KCover,
-		"thm33-outliers":    RunThm33Outliers,
-		"thm34-setcover":    RunThm34SetCover,
-		"lem22-accuracy":    RunLem22Accuracy,
-		"thm12-lb":          RunThm12LowerBound,
-		"thm13-oracle":      RunThm13Oracle,
-		"appD-l0":           RunAppDL0,
-		"ablate-degcap":     RunAblateDegreeCap,
-		"ablate-guess":      RunAblateGuessGrid,
-		"dist-merge":        RunDistMerge,
-		"ext-weighted":      RunExtWeighted,
-		"ingest-throughput": RunIngestThroughput,
-		"query-throughput":  RunQueryThroughput,
+		"table1-kcover":      RunTable1KCover,
+		"table1-outliers":    RunTable1Outliers,
+		"table1-setcover":    RunTable1SetCover,
+		"fig1-sketch":        RunFig1Sketch,
+		"thm31-kcover":       RunThm31KCover,
+		"thm33-outliers":     RunThm33Outliers,
+		"thm34-setcover":     RunThm34SetCover,
+		"lem22-accuracy":     RunLem22Accuracy,
+		"thm12-lb":           RunThm12LowerBound,
+		"thm13-oracle":       RunThm13Oracle,
+		"appD-l0":            RunAppDL0,
+		"ablate-degcap":      RunAblateDegreeCap,
+		"ablate-guess":       RunAblateGuessGrid,
+		"dist-merge":         RunDistMerge,
+		"ext-weighted":       RunExtWeighted,
+		"ingest-throughput":  RunIngestThroughput,
+		"query-throughput":   RunQueryThroughput,
+		"cluster-throughput": RunClusterThroughput,
 	}
 }
 

@@ -1,0 +1,128 @@
+package streamcover
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestClusterNodeMatchesMaxCoverage pins the public cluster surface: two
+// hubs joined as peers, each ingesting half of the stream, answer
+// KCover bit-identically to the offline one-pass MaxCoverage /
+// MaxWeightedCoverage over the whole stream — from either node.
+func TestClusterNodeMatchesMaxCoverage(t *testing.T) {
+	const n, m, k = 60, 3000, 5
+	inst := GenerateZipf(n, m, 400, 0.9, 0.7, 5)
+	opt := Options{Eps: 0.4, Seed: 77, NumElems: m, EdgeBudget: 60 * n}
+	weights := Weights{Table: make([]float64, m)}
+	for e := range weights.Table {
+		weights.Table[e] = 1 + float64(e%9)
+	}
+
+	offline, err := MaxCoverage(inst.EdgeStream(1), n, k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	woffline, err := MaxWeightedCoverage(inst.EdgeStream(1), n, k, weights.WeightOf, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two hubs behind swappable-address servers; peer URLs are known
+	// before the handlers exist.
+	srvs := [2]*httptest.Server{httptest.NewUnstartedServer(nil), httptest.NewUnstartedServer(nil)}
+	urls := [2]string{
+		"http://" + srvs[0].Listener.Addr().String(),
+		"http://" + srvs[1].Listener.Addr().String(),
+	}
+	var hubs [2]*Hub
+	var nodes [2]*ClusterNode
+	for i := range hubs {
+		hubs[i] = NewHub()
+		defer hubs[i].Close()
+		if _, err := hubs[i].OpenNamespace(DefaultNamespace, n, ServiceOptions{Options: opt, K: k, Shards: 2}); err != nil {
+			t.Fatal(err)
+		}
+		wopt := ServiceOptions{Options: opt, K: k, Shards: 2, Weights: &weights}
+		if _, err := hubs[i].OpenNamespace("wcov", n, wopt); err != nil {
+			t.Fatal(err)
+		}
+		node, err := hubs[i].JoinCluster(ClusterOptions{
+			NodeID:       urls[i],
+			Peers:        []string{urls[1-i]},
+			PullInterval: -1, // the test drives exchange with PullNow
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close()
+		nodes[i] = node
+		srvs[i].Config.Handler = node.Handler(server.HTTPOptions{})
+		srvs[i].Start()
+		defer srvs[i].Close()
+	}
+
+	// Partition the stream: even edges to hub 0, odd to hub 1.
+	st := inst.EdgeStream(9)
+	var parts [2][]Edge
+	for i := 0; ; i++ {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		parts[i%2] = append(parts[i%2], e)
+	}
+	for i, hub := range hubs {
+		for _, ns := range []string{DefaultNamespace, "wcov"} {
+			svc, ok := hub.Namespace(ns)
+			if !ok {
+				t.Fatalf("hub %d: namespace %q missing", i, ns)
+			}
+			if err := svc.Ingest(parts[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for i, node := range nodes {
+		if err := node.PullNow(); err != nil {
+			t.Fatalf("node %d PullNow: %v", i, err)
+		}
+		res, err := node.KCover(DefaultNamespace, k, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.EstimatedCoverage != offline.EstimatedCoverage {
+			t.Fatalf("node %d estimate %v != offline %v", i, res.EstimatedCoverage, offline.EstimatedCoverage)
+		}
+		for j := range res.Sets {
+			if res.Sets[j] != offline.Sets[j] {
+				t.Fatalf("node %d sets %v != offline %v", i, res.Sets, offline.Sets)
+			}
+		}
+		wres, err := node.KCover("wcov", k, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wres.EstimatedCoverage != woffline.EstimatedCoverage {
+			t.Fatalf("node %d weighted estimate %v != offline %v", i, wres.EstimatedCoverage, woffline.EstimatedCoverage)
+		}
+		st := node.Stats()
+		if len(st.Peers) != 1 || st.Peers[0].Pulls < 1 {
+			t.Fatalf("node %d peer accounting: %+v", i, st.Peers)
+		}
+	}
+
+	// A plain GET against either node's HTTP surface serves the same
+	// cluster-wide answer.
+	resp, err := http.Get(srvs[1].URL + "/v1/query?algo=kcover&k=5&refresh=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP cluster query: %d", resp.StatusCode)
+	}
+}
