@@ -101,6 +101,7 @@ func main() {
 		ns        = flag.String("ns", "", "target namespace (empty = the server's default dataset)")
 		createNS  = flag.Bool("create-ns", false, "create -ns on the server first, from the instance dimensions and sketch flags")
 		weightsFl = flag.String("weights", "", `weighted-coverage profile ("mod:<p>" or "geo:<c>"); requires -create-ns, queries the weighted kcover route`)
+		engineFl  = flag.String("engine", "", `engine mode for the created namespace ("sketch" or "sieve"); requires -create-ns`)
 		fanout    = flag.String("fanout", "", "comma-separated cluster node URLs: partition the replay across them, pull, then query the first (overrides -server)")
 	)
 	flag.Parse()
@@ -114,6 +115,18 @@ func main() {
 	}
 	if *weightsFl != "" && !*createNS {
 		fmt.Fprintln(os.Stderr, "covcli: -weights requires -create-ns (weights are namespace configuration)")
+		os.Exit(2)
+	}
+	if *engineFl != "" && !*createNS {
+		fmt.Fprintln(os.Stderr, "covcli: -engine requires -create-ns (the engine mode is namespace configuration)")
+		os.Exit(2)
+	}
+	if *engineFl != "" && *weightsFl != "" {
+		fmt.Fprintln(os.Stderr, "covcli: -engine and -weights are mutually exclusive (weighted coverage is its own engine mode)")
+		os.Exit(2)
+	}
+	if *engineFl == "sieve" && *compare {
+		fmt.Fprintln(os.Stderr, "covcli: -compare is not defined for -engine sieve (the sharded sieve replay has no bit-identical offline reference)")
 		os.Exit(2)
 	}
 	f, err := os.Open(*file)
@@ -158,6 +171,9 @@ func main() {
 		}
 		if weightTable != nil {
 			req["weights"] = map[string]interface{}{"table": weightTable}
+		}
+		if *engineFl != "" {
+			req["engine"] = *engineFl
 		}
 		body, _ := json.Marshal(req)
 		// Every cluster node needs the namespace: peers only exchange

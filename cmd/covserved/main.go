@@ -19,7 +19,11 @@
 // ({"table": [w0, w1, …], "default": w}) creates a dataset whose
 // kcover queries maximize total covered weight; snapshots persist the
 // weight table, so weighted namespaces survive restarts like any
-// other. See the README for the full endpoint reference:
+// other. -engine sieve (or POST /v1/ns with "engine": "sieve") selects
+// the constant-memory sieve-streaming engine instead of the sketch: at
+// most k candidate sets are buffered per shard and kcover answers
+// exactly over them (outliers/greedy are rejected). See the README for
+// the full endpoint reference:
 //
 //	POST   /v1/edges                bulk ingest (default namespace)
 //	GET    /v1/query?algo=kcover&k=10[&refresh=1]
@@ -68,7 +72,6 @@ import (
 	"time"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/server"
 )
 
@@ -85,6 +88,7 @@ func main() {
 		shards     = flag.Int("shards", 4, "ingest worker shards")
 		queue      = flag.Int("queue", 64, "per-shard queue depth, in batches")
 		mergeEvery = flag.Duration("merge-every", 0, "periodic snapshot merge (0 = on demand only)")
+		engine     = flag.String("engine", "", "engine mode for the bootstrap namespace: sketch (default), sieve")
 		nsName     = flag.String("ns", server.DefaultNamespace, "bootstrap namespace the sketch flags configure (and the unprefixed routes serve)")
 		snapFile   = flag.String("snapshot-file", "", "persist/restore all namespaces here (v2; v1 files restore into -ns)")
 		maxBatch   = flag.Int("max-batch", 1<<20, "largest accepted ingest batch, in edges")
@@ -114,6 +118,7 @@ func main() {
 		Shards:      *shards,
 		QueueDepth:  *queue,
 		MergeEvery:  *mergeEvery,
+		Engine:      server.ModeName(*engine),
 		// A failed background merge is otherwise invisible (no request
 		// carries its error); the engine counts every failure in
 		// stats.refresh_errors and hands the first one here, logged once so
@@ -134,6 +139,9 @@ func main() {
 			if cfg.Restore != nil {
 				fmt.Fprintf(os.Stderr, "covserved: restored v1 sketch (%d kept edges) from %s into namespace %s\n",
 					cfg.Restore.Edges(), *snapFile, *nsName)
+			} else if cfg.RestoreState != nil {
+				fmt.Fprintf(os.Stderr, "covserved: restored %s state from %s into namespace %s\n",
+					cfg.Engine, *snapFile, *nsName)
 			} else {
 				fmt.Fprintf(os.Stderr, "covserved: restored %d namespace(s) from %s\n",
 					len(multi.List()), *snapFile)
@@ -196,20 +204,20 @@ func main() {
 }
 
 // restore loads a snapshot file, sniffing the format: a v2 container
-// (MCOV2) recreates every persisted namespace; a pre-namespace v1
-// sketch file (SKCH1) seeds the bootstrap namespace's config so the
-// upgraded server resumes exactly where the single-dataset one left
-// off.
+// (MCOV2) recreates every persisted namespace; a single-state file (a
+// pre-namespace v1 sketch, or the state blob of whatever -engine the
+// flags select) seeds the bootstrap namespace's config so the upgraded
+// server resumes exactly where the single-dataset one left off.
 func restore(multi *server.Multi, data []byte, cfg *server.Config) error {
 	if len(data) >= len(server.MultiSnapshotMagic) &&
 		string(data[:len(server.MultiSnapshotMagic)]) == server.MultiSnapshotMagic {
 		_, err := multi.RestoreAll(bytes.NewReader(data))
 		return err
 	}
-	sk, err := core.ReadSketch(bytes.NewReader(data))
+	restored, err := server.ReadRestore(*cfg, bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
-	cfg.Restore = sk
+	*cfg = restored
 	return nil
 }

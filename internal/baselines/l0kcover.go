@@ -6,6 +6,7 @@ import (
 	"repro/internal/bipartite"
 	"repro/internal/hashing"
 	"repro/internal/l0"
+	"repro/internal/stats"
 	"repro/internal/stream"
 )
 
@@ -59,7 +60,7 @@ func L0KCover(st stream.Stream, numSets, k int, opt L0Options) L0KCoverOutcome {
 	}
 	reps := opt.Reps
 	if reps <= 0 {
-		reps = int(math.Ceil(float64(k) * math.Log(float64(maxInt(numSets, 2)))))
+		reps = int(math.Ceil(float64(k) * math.Log(float64(max(numSets, 2)))))
 		if reps < 1 {
 			reps = 1
 		}
@@ -108,7 +109,7 @@ func L0KCover(st stream.Stream, numSets, k int, opt L0Options) L0KCoverOutcome {
 			}
 			estimates[r] = acc.Estimate()
 		}
-		return median(estimates)
+		return stats.Median(estimates)
 	}
 
 	if opt.Exhaustive {
@@ -145,7 +146,7 @@ func l0Greedy(numSets, k, reps int, sketches [][]*l0.KMV, out *L0KCoverOutcome) 
 				}
 				scratch[r] = acc.Estimate()
 			}
-			if v := median(scratch); v > bestVal {
+			if v := stats.Median(scratch); v > bestVal {
 				bestVal, bestSet = v, s
 			}
 		}
@@ -192,31 +193,6 @@ func l0Exhaustive(numSets, k int, estimate func([]int) float64) ([]int, float64)
 		}
 	}
 	return best, bestVal
-}
-
-func median(xs []float64) float64 {
-	cp := append([]float64(nil), xs...)
-	// insertion sort: reps are small
-	for i := 1; i < len(cp); i++ {
-		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
-			cp[j], cp[j-1] = cp[j-1], cp[j]
-		}
-	}
-	n := len(cp)
-	if n == 0 {
-		return 0
-	}
-	if n%2 == 1 {
-		return cp[n/2]
-	}
-	return (cp[n/2-1] + cp[n/2]) / 2
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // TrueCoverage evaluates the real coverage of a baseline's solution on

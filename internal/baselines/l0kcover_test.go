@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/exact"
+	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/workload"
 )
@@ -85,7 +86,7 @@ func TestMedian(t *testing.T) {
 		{nil, 0},
 	}
 	for _, c := range cases {
-		if got := median(c.in); got != c.want {
+		if got := stats.Median(c.in); got != c.want {
 			t.Fatalf("median(%v) = %v, want %v", c.in, got, c.want)
 		}
 	}

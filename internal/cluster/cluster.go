@@ -3,10 +3,12 @@
 // partition of the edge stream into a local server.Multi; a background
 // loop periodically pulls every peer's serialized merged state (v1
 // sketch blobs for unweighted namespaces, weighted.BankMagic class
-// banks for weighted ones) over GET /v1/cluster/sketch and keeps the
-// last successfully decoded state per (peer, namespace). Queries are
+// banks for weighted ones, sieve.Magic swap buffers for sieve
+// namespaces) over GET /v1/cluster/sketch and keeps the last
+// successfully decoded state per (peer, namespace). Queries are
 // answered from a cluster view: the local engine snapshot folded with
-// the remote states through core.MergeAll / weighted.MergeBanks — the
+// the remote states through the engine mode's merge
+// (server.Mode.MergeStates). For the sketch modes that fold is the
 // paper's mergeability result (the H≤n sketch is an order-invariant
 // function of the absorbed edge set), which is exactly what makes
 // "nodes with a network in between" behave like "shards inside one
@@ -36,9 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/server"
-	"repro/internal/weighted"
 )
 
 // Options configures a cluster node.
@@ -103,10 +103,9 @@ func (o Options) maxStateBytes() int64 {
 // good state — unreachable peers degrade to last-known, not to empty).
 type remoteState struct {
 	etag     string
-	edges    int64          // ingested-edge total the state reflects
-	sketch   *core.Sketch   // unweighted namespaces
-	bank     *weighted.Bank // weighted namespaces
-	version  uint64         // node-unique; drives cluster-view invalidation
+	edges    int64             // ingested-edge total the state reflects
+	state    server.ShardState // decoded blob in the namespace's engine mode
+	version  uint64            // node-unique; drives cluster-view invalidation
 	pulledAt time.Time
 }
 
@@ -365,11 +364,18 @@ func (n *Node) pullOne(p *peer, name string, e *server.Engine) error {
 	}
 
 	// Validate mode and weight signature from the headers before paying
-	// for the body: a weighted/unweighted mismatch or a different weight
-	// table can never be merged, whatever the bytes say.
-	cfg := e.Config()
+	// for the body: a weighted/unweighted mismatch, a different engine
+	// mode or a different weight table can never be merged, whatever the
+	// bytes say.
 	if wantW, gotW := e.Weighted(), resp.Header.Get(server.HeaderWeighted) == "1"; wantW != gotW {
 		return p.fail(fmt.Errorf("mode mismatch: local weighted=%v, peer weighted=%v", wantW, gotW), false, interval, maxBackoff)
+	}
+	// The engine header is advisory (absent on pre-mode-plane peers):
+	// validate it only when present. Absence is still safe — every mode's
+	// decoder checks its own magic bytes, so a cross-mode blob is
+	// rejected below.
+	if got := resp.Header.Get(server.HeaderEngine); got != "" && got != string(e.ModeName()) {
+		return p.fail(fmt.Errorf("mode mismatch: local engine %q, peer engine %q", e.ModeName(), got), false, interval, maxBackoff)
 	}
 	if e.Weighted() {
 		if got := resp.Header.Get(server.HeaderWeightsSig); got != fmt.Sprint(e.WeightSig()) {
@@ -391,22 +397,14 @@ func (n *Node) pullOne(p *peer, name string, e *server.Engine) error {
 		version:  n.versions.Add(1),
 		pulledAt: time.Now(),
 	}
-	if e.Weighted() {
-		bank, err := weighted.ReadBank(bytes.NewReader(body), cfg.NumSets, cfg.K, cfg.WeightedOptions(), cfg.Weights.Fn())
-		if err != nil {
-			return p.fail(fmt.Errorf("decoding bank: %w", err), false, interval, maxBackoff)
-		}
-		st.bank, st.edges = bank, bank.EdgesSeen()
-	} else {
-		sk, err := core.ReadSketch(bytes.NewReader(body))
-		if err != nil {
-			return p.fail(fmt.Errorf("decoding sketch: %w", err), false, interval, maxBackoff)
-		}
-		if sk.Params() != cfg.Params() {
-			return p.fail(fmt.Errorf("sketch parameter mismatch (peer built with different options)"), false, interval, maxBackoff)
-		}
-		st.sketch, st.edges = sk, sk.Stats().EdgesSeen
+	// Decode through the namespace's engine mode: each mode validates its
+	// own magic bytes and configuration (the sketch mode additionally
+	// rejects a parameter mismatch — a peer built with different options).
+	decoded, err := e.EngineMode().ReadState(bytes.NewReader(body))
+	if err != nil {
+		return p.fail(fmt.Errorf("decoding %s: %w", stateNoun(e.ModeName()), err), false, interval, maxBackoff)
 	}
+	st.state, st.edges = decoded, decoded.Stats().EdgesSeen
 
 	p.mu.Lock()
 	p.ns[name] = st
@@ -416,6 +414,17 @@ func (n *Node) pullOne(p *peer, name string, e *server.Engine) error {
 	p.lastErr = ""
 	p.mu.Unlock()
 	return nil
+}
+
+// stateNoun names a mode's state blob in pull-error messages.
+func stateNoun(mode server.ModeName) string {
+	switch mode {
+	case server.ModeWeighted:
+		return "bank"
+	case server.ModeSieve:
+		return "sieve buffer"
+	}
+	return "sketch"
 }
 
 // snapshot returns the cluster-view snapshot for namespace name: the
@@ -461,36 +470,22 @@ func (n *Node) snapshot(name string, e *server.Engine, fresh bool) (*server.Snap
 		return v.snap, nil
 	}
 
-	// MergeAll/MergeBanks never modify their inputs, so the local
-	// snapshot state and the stored remote states can be folded without
-	// defensive clones; the merged output is privately owned.
-	cfg := e.Config()
+	// Mode.MergeStates never modifies its inputs, so the local snapshot
+	// state and the stored remote states can be folded without defensive
+	// clones; the merged output is privately owned.
+	mode := e.EngineMode()
 	edges := local.IngestedEdges
-	var (
-		merged *core.Sketch
-		bank   *weighted.Bank
-	)
-	if local.Weighted() {
-		banks := make([]*weighted.Bank, 0, len(remotes)+1)
-		banks = append(banks, local.Bank())
-		for _, st := range remotes {
-			banks = append(banks, st.bank)
-			edges += st.edges
-		}
-		bank, err = weighted.MergeBanks(cfg.NumSets, cfg.K, cfg.WeightedOptions(), cfg.Weights.Fn(), banks...)
-	} else {
-		sketches := make([]*core.Sketch, 0, len(remotes)+1)
-		sketches = append(sketches, local.Sketch())
-		for _, st := range remotes {
-			sketches = append(sketches, st.sketch)
-			edges += st.edges
-		}
-		merged, err = core.MergeAll(cfg.Params(), sketches...)
+	states := make([]server.ShardState, 0, len(remotes)+1)
+	states = append(states, local.State())
+	for _, st := range remotes {
+		states = append(states, st.state)
+		edges += st.edges
 	}
+	merged, err := mode.MergeStates(states)
 	if err != nil {
 		return nil, err
 	}
-	snap, err := server.NewMergedSnapshot(n.viewSeq.Add(1), edges, merged, bank)
+	snap, err := server.NewStateSnapshot(mode, n.viewSeq.Add(1), edges, merged)
 	if err != nil {
 		return nil, err
 	}

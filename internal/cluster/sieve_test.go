@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/sieve"
+	"repro/internal/stream"
+)
+
+func sieveClusterConfig() server.Config {
+	cfg := testConfig(1)
+	cfg.Engine = server.ModeSieve
+	return cfg
+}
+
+// startSieveCluster mirrors startCluster with a single sieve-mode
+// default namespace per node (one shard: the sieve buffer is
+// order-dependent, and one shard keeps each node's local replay
+// sequential).
+func startSieveCluster(t *testing.T, size int) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, size)
+	urls := make([]string, size)
+	for i := range nodes {
+		srv := httptest.NewUnstartedServer(nil)
+		nodes[i] = &testNode{srv: srv, swap: &swapHandler{}}
+		urls[i] = "http://" + srv.Listener.Addr().String()
+	}
+	for i, tn := range nodes {
+		tn.multi = server.NewMulti(server.DefaultNamespace)
+		if _, err := tn.multi.Create(server.DefaultNamespace, sieveClusterConfig()); err != nil {
+			t.Fatal(err)
+		}
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		node, err := NewNode(tn.multi, Options{
+			NodeID:       fmt.Sprintf("sieve-node-%d", i),
+			Peers:        peers,
+			PullInterval: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.node = node
+		tn.swap.v.Store(NewHandler(node, server.HTTPOptions{}))
+		tn.srv.Config.Handler = tn.swap
+		tn.srv.Start()
+		t.Cleanup(tn.close)
+	}
+	return nodes
+}
+
+// TestClusterSieveExchange: node 0 ingests the whole stream, node 1
+// ingests nothing and must converge to node 0's exact answer through
+// one anti-entropy pull of the serialized sieve buffer. With one
+// non-empty state the merge fold is a canonical replay of that buffer,
+// so both nodes — and the one-shot offline sieve — agree exactly.
+func TestClusterSieveExchange(t *testing.T) {
+	edges := testEdges(t)
+	nodes := startSieveCluster(t, 2)
+
+	e0, _ := nodes[0].multi.Get(server.DefaultNamespace)
+	if _, err := e0.Ingest(edges); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := sieve.KCover(stream.NewSlice(edges), tNumSets, tK)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local, err := e0.Query(server.Query{Algo: server.AlgoKCover, K: tK, Refresh: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSets(t, "node0 local vs offline sieve", local.Sets, ref.Sets)
+
+	pulled := queryCluster(t, nodes[1], server.DefaultNamespace, tK)
+	assertSameSets(t, "node1 pulled vs offline sieve", pulled.Sets, ref.Sets)
+	if int(pulled.EstimatedCoverage) != ref.Covered {
+		t.Fatalf("pulled coverage %v != offline %d", pulled.EstimatedCoverage, ref.Covered)
+	}
+	if pulled.Engine != server.ModeSieve {
+		t.Fatalf("pulled result engine %q, want sieve", pulled.Engine)
+	}
+	if pulled.SnapshotEdges != int64(len(edges)) {
+		t.Fatalf("cluster view saw %d of %d edges", pulled.SnapshotEdges, len(edges))
+	}
+}
+
+// TestClusterSievePartitionedIngest: both nodes ingest disjoint halves;
+// after symmetric pulls each answers from a merged view accounting for
+// every edge. (Unlike the mergeable sketch, the swap buffer's merged
+// solution is fold-order dependent, so the check is accounting and
+// well-formedness, not cross-node bit-equality.)
+func TestClusterSievePartitionedIngest(t *testing.T) {
+	edges := testEdges(t)
+	nodes := startSieveCluster(t, 2)
+	ingestPartitioned(t, nodes, server.DefaultNamespace, edges)
+
+	for i, tn := range nodes {
+		res := queryCluster(t, tn, server.DefaultNamespace, tK)
+		if res.SnapshotEdges != int64(len(edges)) {
+			t.Fatalf("node %d merged view saw %d of %d edges", i, res.SnapshotEdges, len(edges))
+		}
+		if len(res.Sets) == 0 || len(res.Sets) > tK {
+			t.Fatalf("node %d returned %d sets for k=%d", i, len(res.Sets), tK)
+		}
+		if res.EstimatedCoverage <= 0 {
+			t.Fatalf("node %d merged coverage %v", i, res.EstimatedCoverage)
+		}
+	}
+
+	// A second round with no new edges is an ETag short-circuit, not an
+	// error, and leaves the answer stable.
+	first := queryCluster(t, nodes[0], server.DefaultNamespace, tK)
+	second := queryCluster(t, nodes[0], server.DefaultNamespace, tK)
+	assertSameSets(t, "stable across idle pull rounds", second.Sets, first.Sets)
+}
+
+// TestClusterSieveModeMismatch: a sieve node pulling a namespace a peer
+// serves with the sketch engine must fail the advisory engine-header
+// check, not try to decode the foreign blob.
+func TestClusterSieveModeMismatch(t *testing.T) {
+	edges := testEdges(t)
+
+	peerMulti := server.NewMulti(server.DefaultNamespace)
+	defer peerMulti.Close()
+	if _, err := peerMulti.Create(server.DefaultNamespace, testConfig(1)); err != nil {
+		t.Fatal(err)
+	}
+	pe, _ := peerMulti.Get(server.DefaultNamespace)
+	if _, err := pe.Ingest(edges); err != nil {
+		t.Fatal(err)
+	}
+	peerNode, err := NewNode(peerMulti, Options{NodeID: "sketch-peer", PullInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peerNode.Close()
+	peerSrv := httptest.NewServer(NewHandler(peerNode, server.HTTPOptions{}))
+	defer peerSrv.Close()
+
+	m := server.NewMulti(server.DefaultNamespace)
+	defer m.Close()
+	if _, err := m.Create(server.DefaultNamespace, sieveClusterConfig()); err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewNode(m, Options{NodeID: "sieve-local", Peers: []string{peerSrv.URL}, PullInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	err = node.PullNow()
+	if err == nil || !strings.Contains(err.Error(), "mode mismatch") {
+		t.Fatalf("pull across engine modes: %v, want a mode mismatch error", err)
+	}
+}

@@ -1,23 +1,23 @@
 // Package server hosts the long-running coverage-query service: a
-// concurrent sharded ingest engine over the paper's H≤n sketch, plus an
-// HTTP JSON API (httpapi.go) served by cmd/covserved.
+// concurrent sharded ingest engine over a pluggable per-shard state
+// (mode.go), plus an HTTP JSON API (httpapi.go) served by cmd/covserved.
 //
-// Architecture. N shard goroutines each own a private H≤n sketch built
-// with identical parameters (via internal/distributed.NewSketches, the
-// same policy the one-shot simulation uses). Edge batches are hash-routed
-// to shards over bounded channels; each shard applies its batches
-// sequentially, so no sketch is ever touched by two goroutines. Queries
-// never read shard sketches directly: a coordinator merge — triggered
-// periodically, on demand, or lazily by the first query — asks every
-// shard for a consistent clone of its state (a message in the same
-// mailbox as the batches, so it observes every batch sent before it),
-// merges the clones into one sketch (a parallel tree reduction,
-// core.MergeAll), and publishes the result as an immutable Snapshot
-// behind an atomic pointer. Queries run greedy algorithms against the
-// current snapshot without stalling ingest; the merge-composability of
-// the sketch (internal/core/merge.go) makes the snapshot identical to
-// the sketch a single machine would have built over every edge ingested
-// before the merge.
+// Architecture. N shard goroutines each own a private ShardState built
+// by the engine's Mode with identical parameters. Edge batches are
+// hash-routed to shards over bounded channels; each shard applies its
+// batches sequentially, so no state is ever touched by two goroutines.
+// Queries never read shard states directly: a coordinator merge —
+// triggered periodically, on demand, or lazily by the first query —
+// asks every shard for a consistent clone of its state (a message in
+// the same mailbox as the batches, so it observes every batch sent
+// before it), folds the clones into one merged state (Mode.MergeStates;
+// a parallel tree reduction for the sketch mode), and publishes the
+// result as an immutable Snapshot behind an atomic pointer. Queries run
+// greedy algorithms against the current snapshot without stalling
+// ingest; for the default sketch mode, merge-composability
+// (internal/core/merge.go) makes the snapshot identical to the sketch a
+// single machine would have built over every edge ingested before the
+// merge.
 //
 // The query plane is engineered for read-heavy traffic (DESIGN.md §7):
 // snapshots carry a precomputed bitset coverage index so greedy
@@ -32,7 +32,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,7 +40,6 @@ import (
 	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/distributed"
-	"repro/internal/greedy"
 	"repro/internal/weighted"
 )
 
@@ -83,6 +81,12 @@ type Config struct {
 	// entries); negative disables caching.
 	QueryCache int
 
+	// Engine selects the engine mode by name: ModeSketch (the default),
+	// ModeWeighted (also implied by Weights) or ModeSieve, the
+	// constant-memory swap-buffer engine that keeps at most K candidate
+	// sets per shard. See EngineMode for the resolution rules.
+	Engine ModeName
+
 	// Weights, when non-nil, switches the engine into weighted-coverage
 	// mode: every shard owns a bank of per-weight-class sketches
 	// (internal/weighted) instead of a single H≤n sketch, snapshots
@@ -106,6 +110,11 @@ type Config struct {
 	// previously persisted class bank (see weighted.ReadBank); requires
 	// Weights. NewFromSnapshot fills the right field from raw bytes.
 	RestoreWeighted *weighted.Bank
+	// RestoreState, when non-nil, seeds the engine with a decoded shard
+	// state of the configured mode — the mode-generic restore slot the
+	// sieve engine uses (ReadRestore fills it). The typed Restore /
+	// RestoreWeighted fields remain for the two original modes.
+	RestoreState ShardState
 }
 
 func (c Config) shards() int {
@@ -168,15 +177,16 @@ type shardMsg struct {
 	// returns it to the engine's pool after applying it, so steady-state
 	// ingest recycles buffers instead of allocating per submission.
 	batch *[]bipartite.Edge
-	reply chan shardState // non-nil: respond with the shard's state
-	// wantClone asks for a deep copy of the sketch (a merge is coming);
+	reply chan shardReply // non-nil: respond with the shard's state
+	// wantClone asks for a deep copy of the state (a merge is coming);
 	// stats-only requests leave it false and skip the O(budget) copy.
 	wantClone bool
 }
 
-type shardState struct {
-	clone *core.Sketch   // unweighted engines: deep copy of the shard sketch
-	bank  *weighted.Bank // weighted engines: deep copy of the shard class bank
+// shardReply is a shard's answer to a state request: its accounting,
+// plus a deep clone of its state when one was asked for.
+type shardReply struct {
+	clone ShardState // nil unless wantClone
 	stats core.Stats
 }
 
@@ -186,35 +196,22 @@ type shard struct {
 	pool *sync.Pool // shared with the engine; receives applied batches
 }
 
-// run is a shard's ingest loop; exactly one of sk and bank is non-nil
-// (the engine's mode) and is owned exclusively by this goroutine.
-func (sh *shard) run(sk *core.Sketch, bank *weighted.Bank) {
+// run is a shard's ingest loop; st is the shard's private state (built
+// by the engine's Mode) and is owned exclusively by this goroutine.
+func (sh *shard) run(st ShardState) {
 	defer close(sh.done)
 	for msg := range sh.mail {
 		if msg.reply != nil {
-			var st shardState
-			if bank != nil {
-				st.stats = bank.Stats()
-				if msg.wantClone {
-					st.bank = bank.Clone()
-				}
-			} else {
-				st.stats = sk.Stats()
-				if msg.wantClone {
-					st.clone = sk.Clone()
-				}
+			rep := shardReply{stats: st.Stats()}
+			if msg.wantClone {
+				rep.clone = st.CloneState()
 			}
-			msg.reply <- st
+			msg.reply <- rep
 			continue
 		}
-		// Batched ingest: one deferred-shrink pass over the whole batch
-		// (core.Sketch.AddEdges) instead of per-edge updates; the bank
-		// routes each edge to its weight-class sketch.
-		if bank != nil {
-			bank.AddEdges(*msg.batch)
-		} else {
-			sk.AddEdges(*msg.batch)
-		}
+		// Batched ingest: one pass over the whole batch (e.g. the sketch's
+		// deferred-shrink core.Sketch.AddEdges) instead of per-edge updates.
+		st.AddEdges(*msg.batch)
 		sh.pool.Put(msg.batch)
 	}
 }
@@ -231,119 +228,106 @@ type Snapshot struct {
 	// reflects: the sum of edges the shards had applied when the
 	// coordinator collected their clones, plus any restored edges. It is
 	// captured from the same mailbox replies as the clones themselves,
-	// so it can never disagree with the merged sketch — every Ingest
+	// so it can never disagree with the merged state — every Ingest
 	// call that returned before the merge was requested is included (the
-	// mailbox ordering guarantee), and nothing the sketch missed is
+	// mailbox ordering guarantee), and nothing the state missed is
 	// counted.
 	IngestedEdges int64
 
-	sketch  *core.Sketch     // unweighted: merged H≤n sketch
-	bank    *weighted.Bank   // weighted: merged class bank
+	mode    Mode             // the engine mode the state belongs to
+	state   ShardState       // merged state (sketch / bank / sieve buffer)
 	weights []float64        // weighted: scaled union element weights
 	graph   *bipartite.Graph // materialized (union) graph queries run on
 	ids     []uint32         // graph element id -> original element id
 }
 
-// Sketch returns the merged H≤n sketch (nil on a weighted engine, whose
-// merged state is a class bank — see Bank). Callers must not mutate it.
-func (s *Snapshot) Sketch() *core.Sketch { return s.sketch }
+// Mode returns the engine mode the snapshot was merged under.
+func (s *Snapshot) Mode() Mode { return s.mode }
 
-// Bank returns the merged weight-class bank (nil on an unweighted
-// engine). Callers must not mutate it.
-func (s *Snapshot) Bank() *weighted.Bank { return s.bank }
+// ModeName returns the snapshot's engine-mode name.
+func (s *Snapshot) ModeName() ModeName { return s.mode.Name() }
+
+// State returns the snapshot's merged shard state. Callers must not
+// mutate it (ShardState's read verbs — Stats, WriteTo — are safe).
+func (s *Snapshot) State() ShardState { return s.state }
+
+// Sketch returns the merged H≤n sketch (nil unless the snapshot came
+// from the sketch mode). Callers must not mutate it.
+func (s *Snapshot) Sketch() *core.Sketch {
+	if st, ok := s.state.(sketchState); ok {
+		return st.sk
+	}
+	return nil
+}
+
+// Bank returns the merged weight-class bank (nil unless the snapshot
+// came from the weighted mode). Callers must not mutate it.
+func (s *Snapshot) Bank() *weighted.Bank {
+	if st, ok := s.state.(bankState); ok {
+		return st.bank
+	}
+	return nil
+}
 
 // Weighted reports whether the snapshot came from a weighted engine.
-func (s *Snapshot) Weighted() bool { return s.bank != nil }
+func (s *Snapshot) Weighted() bool { return s.mode.Name() == ModeWeighted }
 
 // elements is the sampled-element count of the merged state.
-func (s *Snapshot) elements() int {
-	if s.bank != nil {
-		return s.bank.Elements()
-	}
-	return s.sketch.Elements()
-}
+func (s *Snapshot) elements() int { return s.state.Stats().ElementsKept }
 
 // keptEdges is the resident edge count of the merged state.
-func (s *Snapshot) keptEdges() int {
-	if s.bank != nil {
-		return s.bank.Edges()
-	}
-	return s.sketch.Edges()
-}
+func (s *Snapshot) keptEdges() int { return s.state.Stats().EdgesKept }
 
 // pStar is the sampling probability of the merged state; a weighted
 // snapshot reports its smallest class probability (each class is an
-// independent subsample, so there is no single p*).
-func (s *Snapshot) pStar() float64 {
-	if s.bank != nil {
-		return s.bank.Stats().PStar
-	}
-	return s.sketch.PStar()
-}
+// independent subsample, so there is no single p*), and a sieve
+// snapshot reports 1 (the buffer holds true element ids, unsampled).
+func (s *Snapshot) pStar() float64 { return s.state.Stats().PStar }
 
-// Graph returns the snapshot sketch materialized as a bipartite graph
+// Graph returns the snapshot state materialized as a bipartite graph
 // (elements renumbered; see core.Sketch.Graph), with the bitset
 // coverage index already built when profitable. Read-only: the graph is
 // shared with every query running against this snapshot.
 func (s *Snapshot) Graph() *bipartite.Graph { return s.graph }
 
-// WriteState serializes the snapshot's merged state: a weighted
-// snapshot writes its class bank (weighted.BankMagic framing), an
-// unweighted one its merged sketch (v1 format). These are the exact
-// bytes Engine.WriteSnapshot persists and /v1/cluster/sketch serves —
-// one wire format for disk and peers. Safe on a published snapshot:
-// WriteTo only reads, and the lazy set-list normalization already ran
-// when the snapshot's graph was materialized.
+// WriteState serializes the snapshot's merged state in its mode's wire
+// format (v1 sketch, weighted.BankMagic bank, or sieve.Magic buffer).
+// These are the exact bytes Engine.WriteSnapshot persists and
+// /v1/cluster/sketch serves — one wire format for disk and peers. Safe
+// on a published snapshot: WriteTo only reads, and any lazy
+// normalization already ran when the snapshot's graph was materialized.
 func (s *Snapshot) WriteState(w io.Writer) error {
-	if s.bank != nil {
-		_, err := s.bank.WriteTo(w)
-		return err
-	}
-	_, err := s.sketch.WriteTo(w)
+	_, err := s.state.WriteTo(w)
 	return err
 }
 
-// NewMergedSnapshot materializes a queryable Snapshot from merged state
-// — exactly one of merged/bank must be non-nil (the mode). It is the
-// snapshot-building tail of a coordinator refresh, exported so the
-// cluster layer can publish a cluster-wide view (local state folded
-// with decoded peer states via core.MergeAll / weighted.MergeBanks)
-// that queries exactly like an engine snapshot. edges is the
-// ingested-edge total the state reflects (a merged sketch only counts
-// the kept edges it replayed, so the caller pins the true total).
-func NewMergedSnapshot(seq uint64, edges int64, merged *core.Sketch, bank *weighted.Bank) (*Snapshot, error) {
-	var (
-		wts []float64
-		g   *bipartite.Graph
-		ids []uint32
-	)
-	switch {
-	case bank != nil && merged == nil:
-		bank.SetEdgesSeen(edges)
-		in, orig, err := bank.Assemble()
-		if err != nil {
-			return nil, err
-		}
-		g, wts, ids = in.G, in.W, orig
-	case merged != nil && bank == nil:
-		merged.SetEdgesSeen(edges)
-		g, ids = merged.Graph()
-	default:
-		return nil, fmt.Errorf("server: NewMergedSnapshot needs exactly one of sketch and bank")
+// NewStateSnapshot materializes a queryable Snapshot from a merged
+// shard state of the given mode. It is the snapshot-building tail of a
+// coordinator refresh, exported so the cluster layer can publish a
+// cluster-wide view (local state folded with decoded peer states via
+// Mode.MergeStates) that queries exactly like an engine snapshot.
+// edges is the ingested-edge total the state reflects (a merged state
+// only counts the kept edges it replayed, so the caller pins the true
+// total).
+func NewStateSnapshot(mode Mode, seq uint64, edges int64, st ShardState) (*Snapshot, error) {
+	st.SetEdgesSeen(edges)
+	mat, err := mode.Materialize(st)
+	if err != nil {
+		return nil, err
 	}
 	// Materialize the bitset coverage index now (when profitable for this
 	// graph) so no query pays the build: snapshots are immutable and the
 	// index is shared by every greedy run against them.
-	g.BuildCoverIndex()
+	mat.graph.BuildCoverIndex()
 	return &Snapshot{
 		Seq:           seq,
 		CreatedAt:     time.Now(),
 		IngestedEdges: edges,
-		sketch:        merged,
-		bank:          bank,
-		weights:       wts,
-		graph:         g,
-		ids:           ids,
+		mode:          mode,
+		state:         st,
+		weights:       mat.weights,
+		graph:         mat.graph,
+		ids:           mat.ids,
 	}, nil
 }
 
@@ -351,16 +335,12 @@ func NewMergedSnapshot(seq uint64, edges int64, merged *core.Sketch, bank *weigh
 type Engine struct {
 	cfg    Config
 	params core.Params
+	mode   Mode
 	part   distributed.Partitioner
 	shards []*shard
 
-	// weightFn / weightSig are set in weighted mode: the element-weight
-	// oracle shared by every shard bank, and the weight-table fingerprint
-	// folded into query-cache keys.
-	weightFn  func(uint32) float64
-	weightSig uint64
-	// restored is the ingested-edge total carried in by Config.Restore /
-	// RestoreWeighted; shard stream counters never see those edges (they
+	// restored is the ingested-edge total carried in by the Config
+	// restore fields; shard stream counters never see those edges (they
 	// arrive via the merge path), so snapshot accounting adds it back.
 	restored int64
 
@@ -411,56 +391,54 @@ func New(cfg Config) (*Engine, error) {
 	}
 	// Private copy: the engine outlives the caller's table.
 	cfg.Weights = cfg.Weights.clone()
-	params := cfg.Params()
-	var (
-		sketches []*core.Sketch
-		banks    []*weighted.Bank
-		err      error
-	)
-	restoredEdges := int64(0)
-	if cfg.Weights != nil {
-		fn := cfg.Weights.Fn()
-		banks = make([]*weighted.Bank, cfg.shards())
-		for i := range banks {
-			if banks[i], err = weighted.NewBank(cfg.NumSets, cfg.K, cfg.WeightedOptions(), fn); err != nil {
-				return nil, err
-			}
+	mode, err := cfg.EngineMode()
+	if err != nil {
+		return nil, err
+	}
+	// Normalize the typed restore fields into one mode-checked state.
+	restore := cfg.RestoreState
+	if cfg.Restore != nil {
+		if restore != nil {
+			return nil, fmt.Errorf("server: Restore and RestoreState are mutually exclusive")
 		}
-		if cfg.RestoreWeighted != nil {
-			if err := banks[0].Merge(cfg.RestoreWeighted); err != nil {
-				return nil, fmt.Errorf("server: restoring weighted snapshot: %w", err)
-			}
-			restoredEdges = cfg.RestoreWeighted.EdgesSeen()
-			cfg.RestoreWeighted = nil
+		restore = sketchState{cfg.Restore}
+	}
+	if cfg.RestoreWeighted != nil {
+		if restore != nil {
+			return nil, fmt.Errorf("server: RestoreWeighted and RestoreState are mutually exclusive")
 		}
-	} else {
-		sketches, err = distributed.NewSketches(params, cfg.shards())
-		if err != nil {
+		restore = bankState{cfg.RestoreWeighted}
+	}
+	cfg.Restore, cfg.RestoreWeighted, cfg.RestoreState = nil, nil, nil
+
+	states := make([]ShardState, cfg.shards())
+	for i := range states {
+		if states[i], err = mode.NewShardState(); err != nil {
 			return nil, err
 		}
-		if cfg.Restore != nil {
-			if err := sketches[0].Merge(cfg.Restore); err != nil {
-				return nil, fmt.Errorf("server: restoring snapshot: %w", err)
+	}
+	restoredEdges := int64(0)
+	if restore != nil {
+		if err := states[0].MergeFrom(restore); err != nil {
+			if mode.Name() == ModeWeighted {
+				return nil, fmt.Errorf("server: restoring weighted snapshot: %w", err)
 			}
-			restoredEdges = cfg.Restore.Stats().EdgesSeen
-			// The restore sketch was consumed by the merge; drop the pointer
-			// so the engine does not pin a full sketch copy for life.
-			cfg.Restore = nil
+			return nil, fmt.Errorf("server: restoring snapshot: %w", err)
 		}
+		restoredEdges = restore.Stats().EdgesSeen
+		// The restore state was consumed by the merge; the pointer dies
+		// with this scope, so the engine does not pin a full copy for life.
 	}
 	e := &Engine{
 		cfg:    cfg,
-		params: params,
+		params: cfg.Params(),
+		mode:   mode,
 		// Offset the partition seed from the sketch seed so edge routing
 		// and element sampling are independent.
 		part:     distributed.NewPartitioner(cfg.shards(), cfg.Seed+0x5eed),
 		shards:   make([]*shard, cfg.shards()),
 		cache:    newQueryCache(cfg.queryCache()),
 		restored: restoredEdges,
-	}
-	if cfg.Weights != nil {
-		e.weightFn = cfg.Weights.Fn()
-		e.weightSig = cfg.Weights.Signature()
 	}
 	for i := range e.shards {
 		sh := &shard{
@@ -469,11 +447,7 @@ func New(cfg Config) (*Engine, error) {
 			pool: &e.batchPool,
 		}
 		e.shards[i] = sh
-		if banks != nil {
-			go sh.run(nil, banks[i])
-		} else {
-			go sh.run(sketches[i], nil)
-		}
+		go sh.run(states[i])
 	}
 	if restoredEdges > 0 {
 		e.ingested.Store(restoredEdges)
@@ -486,15 +460,21 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// EngineMode returns the engine's resolved mode.
+func (e *Engine) EngineMode() Mode { return e.mode }
+
+// ModeName returns the engine's mode name ("sketch", "weighted", "sieve").
+func (e *Engine) ModeName() ModeName { return e.mode.Name() }
+
 // Weighted reports whether the engine runs the weighted query plane —
-// a single pointer check, unlike Config(), which deep-copies the
-// weight table and is therefore not for hot read paths.
-func (e *Engine) Weighted() bool { return e.weightFn != nil }
+// a single comparison, unlike Config(), which deep-copies the weight
+// table and is therefore not for hot read paths.
+func (e *Engine) Weighted() bool { return e.mode.Name() == ModeWeighted }
 
 // WeightSig fingerprints the engine's weight mapping (0 when
-// unweighted) — see WeightConfig.Signature. Cluster peers compare it
-// before merging remote state.
-func (e *Engine) WeightSig() uint64 { return e.weightSig }
+// unweighted) — see WeightConfig.Signature and Mode.Signature. Cluster
+// peers compare it before merging remote state.
+func (e *Engine) WeightSig() uint64 { return e.mode.Signature() }
 
 func (e *Engine) mergeLoop(every time.Duration) {
 	defer close(e.tickerDone)
@@ -529,7 +509,7 @@ func (e *Engine) getBatchBuf() *[]bipartite.Edge {
 	return &b
 }
 
-// Ingest routes one batch of edges to the shard sketches and returns the
+// Ingest routes one batch of edges to the shard states and returns the
 // number of edges accepted. It blocks only when shard mailboxes are full
 // (backpressure). Safe for concurrent use. The caller's slice is copied
 // into pooled per-shard buffers before Ingest returns, so callers may
@@ -573,21 +553,21 @@ func (e *Engine) Ingest(edges []bipartite.Edge) (int, error) {
 }
 
 // collect asks every shard for a consistent view of its state (with a
-// deep clone of the sketch when wantClone). The request rides the same
+// deep clone of the state when wantClone). The request rides the same
 // mailbox as the batches, so each reply reflects every batch enqueued
 // to that shard before the call.
-func (e *Engine) collect(wantClone bool) ([]shardState, error) {
+func (e *Engine) collect(wantClone bool) ([]shardReply, error) {
 	e.ingestMu.RLock()
 	defer e.ingestMu.RUnlock()
 	if e.closed {
 		return nil, ErrClosed
 	}
-	replies := make([]chan shardState, len(e.shards))
+	replies := make([]chan shardReply, len(e.shards))
 	for i, sh := range e.shards {
-		replies[i] = make(chan shardState, 1)
+		replies[i] = make(chan shardReply, 1)
 		sh.mail <- shardMsg{reply: replies[i], wantClone: wantClone}
 	}
-	out := make([]shardState, len(replies))
+	out := make([]shardReply, len(replies))
 	for i, ch := range replies {
 		out[i] = <-ch
 	}
@@ -617,7 +597,7 @@ func (e *Engine) refreshLocked() (*Snapshot, error) {
 		e.refreshSkips.Add(1)
 		return snap, nil
 	}
-	states, err := e.collect(true)
+	replies, err := e.collect(true)
 	if err != nil {
 		return nil, err
 	}
@@ -628,40 +608,23 @@ func (e *Engine) refreshLocked() (*Snapshot, error) {
 	// read above is only the idle check — a batch accepted between it
 	// and collect() is legitimately included here.)
 	applied := e.restored
-	for _, st := range states {
-		applied += st.stats.EdgesSeen
+	states := make([]ShardState, len(replies))
+	for i, rep := range replies {
+		applied += rep.stats.EdgesSeen
+		states[i] = rep.clone
 	}
-	var (
-		merged *core.Sketch
-		bank   *weighted.Bank
-	)
-	if e.Weighted() {
-		banks := make([]*weighted.Bank, len(states))
-		for i, st := range states {
-			banks[i] = st.bank
-		}
-		bank, err = weighted.MergeBanks(e.cfg.NumSets, e.cfg.K, e.cfg.WeightedOptions(), e.weightFn, banks...)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		clones := make([]*core.Sketch, len(states))
-		for i, st := range states {
-			clones[i] = st.clone
-		}
-		// Parallel tree reduction across the shard clones (core.MergeAll);
-		// the clones are owned here and discarded after the fold.
-		merged, err = core.MergeAll(e.params, clones...)
-		if err != nil {
-			return nil, err
-		}
+	// Fold the shard clones into one merged state (the clones are owned
+	// here and discarded after the fold).
+	merged, err := e.mode.MergeStates(states)
+	if err != nil {
+		return nil, err
 	}
-	// NewMergedSnapshot pins the captured applied total on the merged
-	// state (a merged sketch only counts the kept edges it replayed;
+	// NewStateSnapshot pins the captured applied total on the merged
+	// state (a merged state only counts the kept edges it replayed;
 	// restored edges already ride `applied`), so the snapshot reports the
 	// true consumed count and WriteSnapshot persists it without a fix-up
 	// clone.
-	snap, err := NewMergedSnapshot(e.seq.Add(1), applied, merged, bank)
+	snap, err := NewStateSnapshot(e.mode, e.seq.Add(1), applied, merged)
 	if err != nil {
 		return nil, err
 	}
@@ -687,13 +650,14 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 }
 
 // Config returns a copy of the configuration the engine was built with
-// (with the Restore state cleared — it is consumed at construction).
-// The namespace layer persists this alongside the merged sketch so a
+// (with the restore state cleared — it is consumed at construction).
+// The namespace layer persists this alongside the merged state so a
 // snapshot-v2 restore can rebuild the engine identically.
 func (e *Engine) Config() Config {
 	cfg := e.cfg
 	cfg.Restore = nil
 	cfg.RestoreWeighted = nil
+	cfg.RestoreState = nil
 	cfg.Weights = cfg.Weights.clone()
 	return cfg
 }
@@ -713,7 +677,7 @@ type Algo string
 
 const (
 	// AlgoKCover runs the greedy (1−1/e)-approximation for max k-cover on
-	// the snapshot sketch — Algorithm 3's offline step (Theorem 3.1).
+	// the snapshot state — Algorithm 3's offline step (Theorem 3.1).
 	AlgoKCover Algo = "kcover"
 	// AlgoOutliers runs greedy partial cover until a 1−λ fraction of the
 	// snapshot's sampled elements is covered — the offline step of the
@@ -765,17 +729,22 @@ type QueryResult struct {
 	// classes in the snapshot bank.
 	Weighted      bool `json:"weighted,omitempty"`
 	WeightClasses int  `json:"weight_classes,omitempty"`
+	// Engine names the engine mode for results from a non-default mode
+	// (currently only "sieve"); empty for the sketch and weighted planes,
+	// whose result shape predates the field.
+	Engine ModeName `json:"engine,omitempty"`
 	// SnapshotSeq and SnapshotEdges identify the snapshot; a query issued
 	// during ingestion reports the merge it was served from.
 	SnapshotSeq   uint64 `json:"snapshot_seq"`
 	SnapshotEdges int64  `json:"snapshot_edges"`
 }
 
-// ValidateQuery checks q against an engine mode (weighted or not)
-// without executing it: algo known, k/lambda in range, algo defined for
-// the mode. Engine.Query and the cluster query plane share it so a
-// malformed query is rejected identically everywhere.
-func ValidateQuery(q Query, isWeighted bool) error {
+// ValidateQuery checks q against an engine mode without executing it:
+// algo known, k/lambda in range, algo defined for the mode. Engine.Query
+// and the cluster query plane share it so a malformed query is rejected
+// identically everywhere.
+func ValidateQuery(q Query, mode ModeName) error {
+	isWeighted := mode == ModeWeighted
 	switch q.Algo {
 	case AlgoKCover:
 		if q.K <= 0 {
@@ -799,60 +768,26 @@ func ValidateQuery(q Query, isWeighted bool) error {
 	if isWeighted && (q.Algo == AlgoOutliers || q.Algo == AlgoGreedy) {
 		return fmt.Errorf("server: algo %q is not defined on a weighted engine (weighted coverage serves kcover)", q.Algo)
 	}
+	if mode == ModeSieve && (q.Algo == AlgoOutliers || q.Algo == AlgoGreedy) {
+		// The sieve buffer keeps at most K candidate sets — partial and
+		// full set cover over that residue would answer a different
+		// question than the algorithms promise.
+		return fmt.Errorf("server: algo %q is not defined on a sieve engine (sieve serves kcover)", q.Algo)
+	}
 	return nil
 }
 
 // ExecuteQuery runs a validated query against a snapshot — the greedy
 // dispatch of Engine.Query without the engine: no cache, no refresh,
 // no counters. The cluster layer uses it to answer queries on merged
-// cluster-view snapshots (NewMergedSnapshot) with byte-for-byte the
+// cluster-view snapshots (NewStateSnapshot) with byte-for-byte the
 // result shape a local engine produces. q.Refresh is ignored (there is
 // no engine to refresh); the caller picks the snapshot.
 func ExecuteQuery(snap *Snapshot, q Query) (*QueryResult, error) {
-	if err := ValidateQuery(q, snap.Weighted()); err != nil {
+	if err := ValidateQuery(q, snap.ModeName()); err != nil {
 		return nil, err
 	}
-	if snap.Weighted() {
-		res := weighted.MaxCover(weighted.Instance{G: snap.graph, W: snap.weights}, q.K)
-		return &QueryResult{
-			Algo:              q.Algo,
-			Sets:              res.Sets,
-			SketchCoverage:    res.CoveredElems,
-			EstimatedCoverage: res.Covered, // the weighted greedy scales per class already
-			SampledElements:   snap.graph.NumElems(),
-			PStar:             snap.pStar(),
-			Weighted:          true,
-			WeightClasses:     snap.bank.Classes(),
-			SnapshotSeq:       snap.Seq,
-			SnapshotEdges:     snap.IngestedEdges,
-		}, nil
-	}
-	var res greedy.Result
-	switch q.Algo {
-	case AlgoKCover:
-		res = greedy.MaxCover(snap.graph, q.K)
-	case AlgoOutliers:
-		// Ceiling, not truncation: a truncated target can leave the
-		// covered fraction strictly below 1−λ (e.g. λ=0.001 over 999
-		// elements truncates 998.001 to 998, i.e. 998/999 < 0.999). The
-		// (1−1e-12) relative tolerance keeps float noise from rounding an
-		// exactly-integral product up (10·0.3 evaluates above 3.0, which
-		// a bare Ceil would turn into a target of 4).
-		target := int(math.Ceil(float64(snap.graph.CoveredElems()) * (1 - q.Lambda) * (1 - 1e-12)))
-		res = greedy.PartialCover(snap.graph, target)
-	case AlgoGreedy:
-		res = greedy.SetCover(snap.graph)
-	}
-	return &QueryResult{
-		Algo:              q.Algo,
-		Sets:              res.Sets,
-		SketchCoverage:    res.Covered,
-		EstimatedCoverage: safeEstimate(res.Covered, snap.sketch.PStar()),
-		SampledElements:   snap.sketch.Elements(),
-		PStar:             snap.sketch.PStar(),
-		SnapshotSeq:       snap.Seq,
-		SnapshotEdges:     snap.IngestedEdges,
-	}, nil
+	return snap.mode.Execute(snap, q)
 }
 
 // Query executes q against the current (or freshly merged) snapshot.
@@ -860,7 +795,7 @@ func ExecuteQuery(snap *Snapshot, q Query) (*QueryResult, error) {
 // Results for an unchanged snapshot are memoized (see Config.QueryCache);
 // every call returns a privately owned Sets slice either way.
 func (e *Engine) Query(q Query) (*QueryResult, error) {
-	if err := ValidateQuery(q, e.Weighted()); err != nil {
+	if err := ValidateQuery(q, e.ModeName()); err != nil {
 		return nil, err
 	}
 	var (
@@ -876,7 +811,7 @@ func (e *Engine) Query(q Query) (*QueryResult, error) {
 		return nil, err
 	}
 	e.queries.Add(1)
-	key := newQueryKey(snap.Seq, e.weightSig, q)
+	key := newQueryKey(snap.Seq, e.mode.Signature(), q)
 	if e.cache != nil {
 		if res, ok := e.cache.get(key); ok {
 			e.cacheHits.Add(1)
@@ -909,23 +844,25 @@ func safeEstimate(covered int, pStar float64) float64 {
 	return float64(covered) / pStar
 }
 
-// WriteSnapshot merges and persists the service state: an unweighted
-// engine writes its merged sketch (v1 format, restorable through
-// core.ReadSketch into Config.Restore), a weighted engine writes its
-// merged class bank (weighted.BankMagic framing, restorable through
-// weighted.ReadBank into Config.RestoreWeighted). NewFromSnapshot
-// decodes either from the config. The persisted state carries the
-// engine's true ingested-edge total (a merged sketch only counts the
-// kept edges it replayed), so accounting survives restore.
+// WriteSnapshot merges and persists the service state in the engine
+// mode's wire format: a sketch engine writes its merged sketch (v1
+// format, restorable through core.ReadSketch into Config.Restore), a
+// weighted engine its merged class bank (weighted.BankMagic framing,
+// restorable into Config.RestoreWeighted), a sieve engine its merged
+// swap buffer (sieve.Magic framing, restorable into Config.RestoreState).
+// ReadRestore / NewFromSnapshot decode any of them from the config. The
+// persisted state carries the engine's true ingested-edge total (a
+// merged state only counts the kept edges it replayed), so accounting
+// survives restore.
 func (e *Engine) WriteSnapshot(w io.Writer) (*Snapshot, error) {
 	snap, err := e.Refresh()
 	if err != nil {
 		return nil, err
 	}
-	// No clone needed in either mode: the refresh already pinned the
-	// merged state's consumed-edge counter to the snapshot's applied
-	// total, and WriteState only reads, so serializing the published
-	// state races with nothing.
+	// No clone needed in any mode: the refresh already pinned the merged
+	// state's consumed-edge counter to the snapshot's applied total, and
+	// WriteState only reads, so serializing the published state races
+	// with nothing.
 	if err := snap.WriteState(w); err != nil {
 		return nil, err
 	}
@@ -934,22 +871,30 @@ func (e *Engine) WriteSnapshot(w io.Writer) (*Snapshot, error) {
 
 // ReadRestore decodes a snapshot previously written by WriteSnapshot
 // and returns cfg with the matching restore field filled: weighted
-// configs (Weights set) decode a class bank, unweighted configs a v1
-// sketch. The config must repeat the writing engine's parameters.
+// configs (Weights set) decode a class bank into RestoreWeighted,
+// sketch configs a v1 sketch into Restore, sieve configs a swap buffer
+// into RestoreState. The config must repeat the writing engine's
+// parameters.
 func ReadRestore(cfg Config, r io.Reader) (Config, error) {
-	if cfg.Weights != nil {
-		bk, err := weighted.ReadBank(r, cfg.NumSets, cfg.K, cfg.WeightedOptions(), cfg.Weights.Fn())
-		if err != nil {
+	mode, err := cfg.EngineMode()
+	if err != nil {
+		return cfg, err
+	}
+	st, err := mode.ReadState(r)
+	if err != nil {
+		if mode.Name() == ModeWeighted {
 			return cfg, fmt.Errorf("server: restoring weighted snapshot: %w", err)
 		}
-		cfg.RestoreWeighted = bk
-		return cfg, nil
-	}
-	sk, err := core.ReadSketch(r)
-	if err != nil {
 		return cfg, fmt.Errorf("server: restoring snapshot: %w", err)
 	}
-	cfg.Restore = sk
+	switch s := st.(type) {
+	case sketchState:
+		cfg.Restore = s.sk
+	case bankState:
+		cfg.RestoreWeighted = s.bank
+	default:
+		cfg.RestoreState = st
+	}
 	return cfg, nil
 }
 
@@ -965,7 +910,7 @@ func NewFromSnapshot(r io.Reader, cfg Config) (*Engine, error) {
 
 // Stats reports engine-level accounting.
 type Stats struct {
-	// Shards is the number of ingest workers (each owning one sketch).
+	// Shards is the number of ingest workers (each owning one state).
 	Shards int `json:"shards"`
 	// IngestedEdges is the total number of edges accepted by Ingest.
 	IngestedEdges int64 `json:"ingested_edges"`
@@ -992,25 +937,29 @@ type Stats struct {
 	// snapshot's class bank (weighted engines only).
 	Weighted      bool `json:"weighted,omitempty"`
 	WeightClasses int  `json:"weight_classes,omitempty"`
-	// ShardStats holds each shard sketch's accounting, in shard order.
+	// Engine names the engine mode for non-default modes (currently only
+	// "sieve"); empty for the sketch and weighted planes, whose stats
+	// shape predates the field.
+	Engine ModeName `json:"engine,omitempty"`
+	// ShardStats holds each shard state's accounting, in shard order.
 	ShardStats []core.Stats `json:"shard_stats"`
 	// SnapshotSeq identifies the current merged snapshot (0: none yet).
 	SnapshotSeq uint64 `json:"snapshot_seq"`
 	// SnapshotEdges is the ingested-edge count the snapshot reflects.
 	SnapshotEdges int64 `json:"snapshot_edges"`
 	// SnapshotElements is the number of sampled elements in the snapshot
-	// sketch.
+	// state.
 	SnapshotElements int `json:"snapshot_elements"`
-	// SnapshotKept is the number of edges the snapshot sketch holds.
+	// SnapshotKept is the number of edges the snapshot state holds.
 	SnapshotKept int `json:"snapshot_kept_edges"`
-	// SnapshotPStar is the snapshot sketch's sampling probability p*.
+	// SnapshotPStar is the snapshot state's sampling probability p*.
 	SnapshotPStar float64 `json:"snapshot_p_star"`
 }
 
 // Stats returns a consistent per-shard and snapshot accounting. It rides
 // the shard mailboxes, so it reflects all previously ingested batches.
 func (e *Engine) Stats() (*Stats, error) {
-	states, err := e.collect(false)
+	replies, err := e.collect(false)
 	if err != nil {
 		return nil, err
 	}
@@ -1025,11 +974,14 @@ func (e *Engine) Stats() (*Stats, error) {
 		RefreshErrors:  e.refreshErrors.Load(),
 		Weighted:       e.Weighted(),
 	}
+	if name := e.mode.Name(); name != ModeSketch && name != ModeWeighted {
+		st.Engine = name
+	}
 	if e.cache != nil {
 		st.QueryCacheEntries = e.cache.len()
 	}
-	for _, s := range states {
-		st.ShardStats = append(st.ShardStats, s.stats)
+	for _, rep := range replies {
+		st.ShardStats = append(st.ShardStats, rep.stats)
 	}
 	if snap := e.snap.Load(); snap != nil {
 		st.SnapshotSeq = snap.Seq
@@ -1037,8 +989,8 @@ func (e *Engine) Stats() (*Stats, error) {
 		st.SnapshotElements = snap.elements()
 		st.SnapshotKept = snap.keptEdges()
 		st.SnapshotPStar = snap.pStar()
-		if snap.bank != nil {
-			st.WeightClasses = snap.bank.Classes()
+		if bank := snap.Bank(); bank != nil {
+			st.WeightClasses = bank.Classes()
 		}
 	}
 	return st, nil

@@ -236,6 +236,11 @@ const (
 	HeaderWeightsSig = "X-Cov-Weights-Sig"
 	// HeaderEdges is the decimal ingested-edge total the blob reflects.
 	HeaderEdges = "X-Cov-Edges"
+	// HeaderEngine is the serving engine's mode name ("sketch",
+	// "weighted", "sieve") — peers refuse to merge a blob produced by a
+	// different engine mode. Absent on responses from servers that
+	// predate the engine-mode plane; receivers treat it as advisory.
+	HeaderEngine = "X-Cov-Engine"
 )
 
 // ServeState implements a conditional GET of an engine's serialized
@@ -258,7 +263,8 @@ func ServeState(e *Engine, w http.ResponseWriter, r *http.Request) {
 	h := w.Header()
 	h.Set("ETag", etag)
 	h.Set(HeaderEdges, strconv.FormatInt(snap.IngestedEdges, 10))
-	h.Set(HeaderWeightsSig, strconv.FormatUint(e.weightSig, 10))
+	h.Set(HeaderWeightsSig, strconv.FormatUint(e.WeightSig(), 10))
+	h.Set(HeaderEngine, string(e.ModeName()))
 	if snap.Weighted() {
 		h.Set(HeaderWeighted, "1")
 	}
@@ -515,6 +521,9 @@ type createNamespaceRequest struct {
 	MergeEveryMS int64         `json:"merge_every_ms"`
 	QueryCache   int           `json:"query_cache"`
 	Weights      *weightsFrame `json:"weights,omitempty"`
+	// Engine selects the engine mode by name ("sketch", "weighted",
+	// "sieve"); empty defaults as in Config.EngineMode.
+	Engine string `json:"engine,omitempty"`
 }
 
 // weightsFrame is the wire/persisted form of a WeightConfig, shared by
@@ -555,6 +564,7 @@ func (r createNamespaceRequest) config() Config {
 		MergeEvery:  time.Duration(r.MergeEveryMS) * time.Millisecond,
 		QueryCache:  r.QueryCache,
 		Weights:     r.Weights.config(),
+		Engine:      ModeName(r.Engine),
 	}
 }
 
@@ -575,6 +585,7 @@ type snapshotResponse struct {
 	PStar         float64   `json:"p_star"`
 	Weighted      bool      `json:"weighted,omitempty"`
 	WeightClasses int       `json:"weight_classes,omitempty"`
+	Engine        ModeName  `json:"engine,omitempty"`
 	Persisted     string    `json:"persisted,omitempty"`
 }
 
@@ -587,7 +598,10 @@ func (r *snapshotResponse) fill(s *Snapshot) {
 	r.PStar = s.pStar()
 	if s.Weighted() {
 		r.Weighted = true
-		r.WeightClasses = s.bank.Classes()
+		r.WeightClasses = s.Bank().Classes()
+	}
+	if name := s.ModeName(); name != ModeSketch && name != ModeWeighted {
+		r.Engine = name
 	}
 }
 

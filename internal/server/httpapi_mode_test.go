@@ -1,0 +1,118 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/sieve"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// TestHTTPSieveNamespace drives the sieve mode through the HTTP plane:
+// namespace creation with "engine": "sieve", ingest, kcover (checked
+// against the offline sieve replay), the X-Cov-Engine state header, and
+// the per-mode algo rejections as status codes.
+func TestHTTPSieveNamespace(t *testing.T) {
+	const n, m, k = 25, 1200, 4
+	multi := NewMulti("")
+	defer multi.Close()
+	ts := httptest.NewServer(NewMultiHandler(multi, HTTPOptions{}))
+	defer ts.Close()
+
+	// Invalid engine configs are 400s, not namespaces.
+	for _, body := range []string{
+		`{"name":"bad","num_sets":10,"k":3,"engine":"sieve","weights":{"table":[1,2]}}`,
+		`{"name":"bad","num_sets":10,"k":3,"engine":"turbo"}`,
+	} {
+		if resp, out := doJSON(t, "POST", ts.URL+"/v1/ns", body); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST /v1/ns %s: got %d (%s), want 400", body, resp.StatusCode, out)
+		}
+	}
+
+	resp, out := doJSON(t, "POST", ts.URL+"/v1/ns",
+		`{"name":"sv","num_sets":25,"k":4,"eps":0.4,"seed":5,"num_elems":1200,"shards":1,"engine":"sieve"}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create sieve namespace: got %d: %s", resp.StatusCode, out)
+	}
+	var info NamespaceInfo
+	if err := json.Unmarshal(out, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Engine != ModeSieve {
+		t.Fatalf("created namespace reports engine %q, want sieve", info.Engine)
+	}
+
+	inst := workload.Uniform(n, m, 0.1, 9)
+	edges := stream.Drain(stream.Shuffled(inst.G, 2))
+	pairs := make([][2]uint32, len(edges))
+	for i, ed := range edges {
+		pairs[i] = [2]uint32{ed.Set, ed.Elem}
+	}
+	body, _ := json.Marshal(ingestRequest{Edges: pairs})
+	ir, err := http.Post(ts.URL+"/v1/ns/sv/edges", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir.Body.Close()
+	if ir.StatusCode != http.StatusOK {
+		t.Fatalf("ingest into sieve namespace: %s", ir.Status)
+	}
+
+	ref, err := sieve.KCover(stream.NewSlice(edges), n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out = doJSON(t, "GET", ts.URL+"/v1/ns/sv/query?algo=kcover&k=4&refresh=1", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sieve query: %d: %s", resp.StatusCode, out)
+	}
+	var qr QueryResult
+	if err := json.Unmarshal(out, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Engine != ModeSieve {
+		t.Fatalf("query result engine %q, want sieve", qr.Engine)
+	}
+	if int(qr.EstimatedCoverage) != ref.Covered {
+		t.Fatalf("HTTP sieve coverage %v != offline %d", qr.EstimatedCoverage, ref.Covered)
+	}
+
+	// Algos the sieve does not serve are client errors.
+	if resp, _ := doJSON(t, "GET", ts.URL+"/v1/ns/sv/query?algo=outliers&lambda=0.2", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("outliers on sieve over HTTP: got %d, want 400", resp.StatusCode)
+	}
+
+	// The binary state endpoint advertises the mode.
+	sr, err := http.Get(ts.URL + "/v1/ns/sv/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := new(bytes.Buffer)
+	if _, err := blob.ReadFrom(sr.Body); err != nil {
+		t.Fatal(err)
+	}
+	sr.Body.Close()
+	if sr.StatusCode != http.StatusOK {
+		t.Fatalf("GET snapshot: %s", sr.Status)
+	}
+	if got := sr.Header.Get(HeaderEngine); got != string(ModeSieve) {
+		t.Fatalf("%s = %q, want %q", HeaderEngine, got, ModeSieve)
+	}
+	// The blob is a sieve buffer, decodable by the sieve mode.
+	cfg := Config{NumSets: n, NumElems: m, K: k, Eps: 0.4, Seed: 5, Engine: ModeSieve}
+	mode, err := cfg.EngineMode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mode.ReadState(bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().EdgesSeen != int64(len(edges)) {
+		t.Fatalf("state blob saw %d edges, want %d", st.Stats().EdgesSeen, len(edges))
+	}
+}

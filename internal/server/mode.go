@@ -1,0 +1,441 @@
+package server
+
+// This file is the pluggable engine-mode plane. The service used to
+// hard-code a two-way branch ("exactly one of merged/bank is non-nil")
+// across the engine, the snapshot framing, the HTTP query plane and the
+// cluster blob validation; every branch point now dispatches through
+// two interfaces instead:
+//
+//   - ShardState is the per-shard (and per-snapshot) state object with
+//     the lifecycle verbs all modes share: batched ingest, deep clone,
+//     merge, uniform accounting, the consumed-edge override the
+//     coordinator uses to pin true totals, and serialization.
+//   - Mode is the engine-mode singleton: it names the mode, fingerprints
+//     its configuration for cluster compatibility, constructs / merges /
+//     decodes shard states, materializes a merged state into the
+//     queryable graph, and executes validated queries against a
+//     Snapshot.
+//
+// Three modes implement the plane: "sketch" (the paper's H≤n sketch,
+// the default), "weighted" (PR 5's per-weight-class bank, selected by
+// Config.Weights) and "sieve" (the constant-memory swap buffer of
+// internal/sieve, selected by Config.Engine). The two pre-existing
+// modes are pure re-expressions — same types, same merge policy, same
+// wire bytes — so their behavior and snapshot frames are unchanged.
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/greedy"
+	"repro/internal/sieve"
+	"repro/internal/weighted"
+)
+
+// ModeName identifies an engine mode (Config.Engine, the HTTP "engine"
+// field, and the X-Cov-Engine cluster header).
+type ModeName string
+
+const (
+	// ModeSketch is the default: one H≤n sketch per shard, exactly the
+	// paper's Algorithm 3 summary (internal/core).
+	ModeSketch ModeName = "sketch"
+	// ModeWeighted serves weighted coverage: one sketch per geometric
+	// weight class (internal/weighted). Selected by Config.Weights.
+	ModeWeighted ModeName = "weighted"
+	// ModeSieve is the constant-memory swap buffer (internal/sieve): at
+	// most K candidate sets per shard, single-pass, order-dependent.
+	ModeSieve ModeName = "sieve"
+)
+
+// ShardState is the state a single ingest shard owns — and, after a
+// coordinator merge, the state a Snapshot carries. The three engine
+// modes (H≤n sketch, weighted class bank, sieve swap buffer) implement
+// it with the lifecycle verbs they already shared.
+type ShardState interface {
+	// AddEdges absorbs one routed batch. Only the owning shard goroutine
+	// calls it.
+	AddEdges(edges []bipartite.Edge)
+	// CloneState returns a deep copy, taken inside the shard mailbox so
+	// it is a consistent cut of the shard's stream.
+	CloneState() ShardState
+	// MergeFrom folds other (a state of the same mode and configuration)
+	// into the receiver. The receiver's consumed-edge counter is left
+	// untouched — replayed kept edges were already counted upstream.
+	MergeFrom(other ShardState) error
+	// Stats reports the state's accounting in the uniform core.Stats
+	// shape (EdgesSeen/EdgesKept/ElementsKept/PStar/…).
+	Stats() core.Stats
+	// SetEdgesSeen pins the consumed-edge counter: a merged state only
+	// replays kept edges, so the coordinator overrides it with the true
+	// ingested total before publishing or persisting.
+	SetEdgesSeen(n int64)
+	// WriteTo serializes the state — exactly the bytes WriteSnapshot
+	// persists and /v1/cluster/sketch serves. Pure reads on a published
+	// state.
+	WriteTo(w io.Writer) (int64, error)
+}
+
+// materialized is a merged state rendered queryable: the bipartite
+// graph greedy runs on, the graph-id → original-element mapping, and
+// (weighted mode only) the per-element weights of the scaled union.
+type materialized struct {
+	graph   *bipartite.Graph
+	ids     []uint32
+	weights []float64
+}
+
+// Mode is an engine mode: the factory, merge policy, wire codec, query
+// validator/executor and compatibility fingerprint behind one engine
+// configuration. Engine, Snapshot, the snapshot-v2 container and the
+// cluster exchange all dispatch through it; adding an engine mode means
+// implementing Mode + ShardState and listing the name in EngineMode.
+type Mode interface {
+	// Name is the mode's wire name.
+	Name() ModeName
+	// Signature fingerprints mode configuration that the serialized
+	// state cannot carry itself (the weighted mode's weight table; 0
+	// otherwise). Cluster peers refuse blobs whose signature disagrees.
+	Signature() uint64
+	// NewShardState returns an empty state for one ingest shard.
+	NewShardState() (ShardState, error)
+	// MergeStates folds shard states (owned by the caller) into one
+	// merged state without modifying the inputs.
+	MergeStates(states []ShardState) (ShardState, error)
+	// ReadState decodes WriteTo bytes, validating that the blob was
+	// built with this mode's configuration.
+	ReadState(r io.Reader) (ShardState, error)
+	// Materialize renders a merged state queryable.
+	Materialize(st ShardState) (*materialized, error)
+	// Execute runs a validated query against a snapshot of this mode.
+	Execute(s *Snapshot, q Query) (*QueryResult, error)
+}
+
+// EngineMode resolves the config to its engine mode: Config.Engine when
+// set ("" defaults to "weighted" iff Weights is configured, else
+// "sketch"), validated against the weight configuration — the weighted
+// mode requires Weights, the other modes refuse it.
+func (c Config) EngineMode() (Mode, error) {
+	name := c.engineName()
+	switch name {
+	case ModeSketch, ModeSieve:
+		if c.Weights != nil {
+			return nil, fmt.Errorf("server: engine %q does not take Weights (use the weighted engine)", name)
+		}
+	case ModeWeighted:
+		if c.Weights == nil {
+			return nil, fmt.Errorf("server: the weighted engine requires Weights")
+		}
+	default:
+		return nil, fmt.Errorf("server: unknown engine %q (known: %q, %q, %q)",
+			name, ModeSketch, ModeWeighted, ModeSieve)
+	}
+	switch name {
+	case ModeWeighted:
+		return weightedMode{
+			numSets: c.NumSets,
+			k:       c.K,
+			opt:     c.WeightedOptions(),
+			fn:      c.Weights.Fn(),
+			sig:     c.Weights.Signature(),
+		}, nil
+	case ModeSieve:
+		return sieveMode{numSets: c.NumSets, k: c.K}, nil
+	}
+	return sketchMode{params: c.Params()}, nil
+}
+
+// engineName resolves the effective mode name without validating it.
+func (c Config) engineName() ModeName {
+	if c.Engine != "" {
+		return c.Engine
+	}
+	if c.Weights != nil {
+		return ModeWeighted
+	}
+	return ModeSketch
+}
+
+// ---- sketch mode (unweighted H≤n sketch, the default) ----
+
+type sketchState struct{ sk *core.Sketch }
+
+func (s sketchState) AddEdges(edges []bipartite.Edge) { s.sk.AddEdges(edges) }
+func (s sketchState) CloneState() ShardState          { return sketchState{s.sk.Clone()} }
+func (s sketchState) Stats() core.Stats               { return s.sk.Stats() }
+func (s sketchState) SetEdgesSeen(n int64)            { s.sk.SetEdgesSeen(n) }
+func (s sketchState) WriteTo(w io.Writer) (int64, error) {
+	return s.sk.WriteTo(w)
+}
+
+func (s sketchState) MergeFrom(other ShardState) error {
+	o, ok := other.(sketchState)
+	if !ok {
+		return fmt.Errorf("server: cannot merge %T state into a sketch engine", other)
+	}
+	return s.sk.Merge(o.sk)
+}
+
+type sketchMode struct{ params core.Params }
+
+func (m sketchMode) Name() ModeName    { return ModeSketch }
+func (m sketchMode) Signature() uint64 { return 0 }
+
+func (m sketchMode) NewShardState() (ShardState, error) {
+	sk, err := core.NewSketch(m.params)
+	if err != nil {
+		return nil, err
+	}
+	return sketchState{sk}, nil
+}
+
+func (m sketchMode) MergeStates(states []ShardState) (ShardState, error) {
+	sketches := make([]*core.Sketch, len(states))
+	for i, st := range states {
+		s, ok := st.(sketchState)
+		if !ok {
+			return nil, fmt.Errorf("server: cannot merge %T state into a sketch engine", st)
+		}
+		sketches[i] = s.sk
+	}
+	// Parallel tree reduction (core.MergeAll); the inputs are read-only.
+	merged, err := core.MergeAll(m.params, sketches...)
+	if err != nil {
+		return nil, err
+	}
+	return sketchState{merged}, nil
+}
+
+func (m sketchMode) ReadState(r io.Reader) (ShardState, error) {
+	sk, err := core.ReadSketch(r)
+	if err != nil {
+		return nil, err
+	}
+	if sk.Params() != m.params {
+		return nil, fmt.Errorf("sketch parameter mismatch (peer built with different options)")
+	}
+	return sketchState{sk}, nil
+}
+
+func (m sketchMode) Materialize(st ShardState) (*materialized, error) {
+	s, ok := st.(sketchState)
+	if !ok {
+		return nil, fmt.Errorf("server: cannot materialize %T state on a sketch engine", st)
+	}
+	g, ids := s.sk.Graph()
+	return &materialized{graph: g, ids: ids}, nil
+}
+
+func (m sketchMode) Execute(snap *Snapshot, q Query) (*QueryResult, error) {
+	var res greedy.Result
+	switch q.Algo {
+	case AlgoKCover:
+		res = greedy.MaxCover(snap.graph, q.K)
+	case AlgoOutliers:
+		// Ceiling, not truncation: a truncated target can leave the
+		// covered fraction strictly below 1−λ (e.g. λ=0.001 over 999
+		// elements truncates 998.001 to 998, i.e. 998/999 < 0.999). The
+		// (1−1e-12) relative tolerance keeps float noise from rounding an
+		// exactly-integral product up (10·0.3 evaluates above 3.0, which
+		// a bare Ceil would turn into a target of 4).
+		target := int(math.Ceil(float64(snap.graph.CoveredElems()) * (1 - q.Lambda) * (1 - 1e-12)))
+		res = greedy.PartialCover(snap.graph, target)
+	case AlgoGreedy:
+		res = greedy.SetCover(snap.graph)
+	}
+	st := snap.state.Stats()
+	return &QueryResult{
+		Algo:              q.Algo,
+		Sets:              res.Sets,
+		SketchCoverage:    res.Covered,
+		EstimatedCoverage: safeEstimate(res.Covered, st.PStar),
+		SampledElements:   st.ElementsKept,
+		PStar:             st.PStar,
+		SnapshotSeq:       snap.Seq,
+		SnapshotEdges:     snap.IngestedEdges,
+	}, nil
+}
+
+// ---- weighted mode (per-weight-class bank, Config.Weights) ----
+
+type bankState struct{ bank *weighted.Bank }
+
+func (s bankState) AddEdges(edges []bipartite.Edge) { s.bank.AddEdges(edges) }
+func (s bankState) CloneState() ShardState          { return bankState{s.bank.Clone()} }
+func (s bankState) Stats() core.Stats               { return s.bank.Stats() }
+func (s bankState) SetEdgesSeen(n int64)            { s.bank.SetEdgesSeen(n) }
+func (s bankState) WriteTo(w io.Writer) (int64, error) {
+	return s.bank.WriteTo(w)
+}
+
+func (s bankState) MergeFrom(other ShardState) error {
+	o, ok := other.(bankState)
+	if !ok {
+		return fmt.Errorf("server: cannot merge %T state into a weighted engine", other)
+	}
+	return s.bank.Merge(o.bank)
+}
+
+type weightedMode struct {
+	numSets, k int
+	opt        weighted.Options
+	fn         func(uint32) float64
+	sig        uint64
+}
+
+func (m weightedMode) Name() ModeName    { return ModeWeighted }
+func (m weightedMode) Signature() uint64 { return m.sig }
+
+func (m weightedMode) NewShardState() (ShardState, error) {
+	bk, err := weighted.NewBank(m.numSets, m.k, m.opt, m.fn)
+	if err != nil {
+		return nil, err
+	}
+	return bankState{bk}, nil
+}
+
+func (m weightedMode) MergeStates(states []ShardState) (ShardState, error) {
+	banks := make([]*weighted.Bank, len(states))
+	for i, st := range states {
+		s, ok := st.(bankState)
+		if !ok {
+			return nil, fmt.Errorf("server: cannot merge %T state into a weighted engine", st)
+		}
+		banks[i] = s.bank
+	}
+	merged, err := weighted.MergeBanks(m.numSets, m.k, m.opt, m.fn, banks...)
+	if err != nil {
+		return nil, err
+	}
+	return bankState{merged}, nil
+}
+
+func (m weightedMode) ReadState(r io.Reader) (ShardState, error) {
+	bk, err := weighted.ReadBank(r, m.numSets, m.k, m.opt, m.fn)
+	if err != nil {
+		return nil, err
+	}
+	return bankState{bk}, nil
+}
+
+func (m weightedMode) Materialize(st ShardState) (*materialized, error) {
+	s, ok := st.(bankState)
+	if !ok {
+		return nil, fmt.Errorf("server: cannot materialize %T state on a weighted engine", st)
+	}
+	in, ids, err := s.bank.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	return &materialized{graph: in.G, ids: ids, weights: in.W}, nil
+}
+
+func (m weightedMode) Execute(snap *Snapshot, q Query) (*QueryResult, error) {
+	res := weighted.MaxCover(weighted.Instance{G: snap.graph, W: snap.weights}, q.K)
+	return &QueryResult{
+		Algo:              q.Algo,
+		Sets:              res.Sets,
+		SketchCoverage:    res.CoveredElems,
+		EstimatedCoverage: res.Covered, // the weighted greedy scales per class already
+		SampledElements:   snap.graph.NumElems(),
+		PStar:             snap.pStar(),
+		Weighted:          true,
+		WeightClasses:     snap.Bank().Classes(),
+		SnapshotSeq:       snap.Seq,
+		SnapshotEdges:     snap.IngestedEdges,
+	}, nil
+}
+
+// ---- sieve mode (constant-memory swap buffer, Config.Engine) ----
+
+type sieveState struct{ buf *sieve.Buffer }
+
+func (s sieveState) AddEdges(edges []bipartite.Edge) { s.buf.AddEdges(edges) }
+func (s sieveState) CloneState() ShardState          { return sieveState{s.buf.Clone()} }
+func (s sieveState) Stats() core.Stats               { return s.buf.Stats() }
+func (s sieveState) SetEdgesSeen(n int64)            { s.buf.SetEdgesSeen(n) }
+func (s sieveState) WriteTo(w io.Writer) (int64, error) {
+	return s.buf.WriteTo(w)
+}
+
+func (s sieveState) MergeFrom(other ShardState) error {
+	o, ok := other.(sieveState)
+	if !ok {
+		return fmt.Errorf("server: cannot merge %T state into a sieve engine", other)
+	}
+	return s.buf.Merge(o.buf)
+}
+
+type sieveMode struct{ numSets, k int }
+
+func (m sieveMode) Name() ModeName    { return ModeSieve }
+func (m sieveMode) Signature() uint64 { return 0 }
+
+func (m sieveMode) NewShardState() (ShardState, error) {
+	buf, err := sieve.NewBuffer(m.numSets, m.k)
+	if err != nil {
+		return nil, err
+	}
+	return sieveState{buf}, nil
+}
+
+func (m sieveMode) MergeStates(states []ShardState) (ShardState, error) {
+	fresh, err := sieve.NewBuffer(m.numSets, m.k)
+	if err != nil {
+		return nil, err
+	}
+	// Canonical fold: each state's kept edges replay through the swap
+	// rule in ascending (set, elem) order, states in shard order. Not
+	// order-invariant over the original streams (the sieve trades that
+	// for its constant buffer) but deterministic, and the single-state
+	// fold reproduces the state exactly — the shards=1 service answer
+	// therefore matches the one-shot sieve.KCover reference.
+	for _, st := range states {
+		s, ok := st.(sieveState)
+		if !ok {
+			return nil, fmt.Errorf("server: cannot merge %T state into a sieve engine", st)
+		}
+		if err := fresh.Merge(s.buf); err != nil {
+			return nil, err
+		}
+	}
+	return sieveState{fresh}, nil
+}
+
+func (m sieveMode) ReadState(r io.Reader) (ShardState, error) {
+	buf, err := sieve.ReadBuffer(r, m.numSets, m.k)
+	if err != nil {
+		return nil, err
+	}
+	return sieveState{buf}, nil
+}
+
+func (m sieveMode) Materialize(st ShardState) (*materialized, error) {
+	s, ok := st.(sieveState)
+	if !ok {
+		return nil, fmt.Errorf("server: cannot materialize %T state on a sieve engine", st)
+	}
+	g, ids := s.buf.Graph()
+	return &materialized{graph: g, ids: ids}, nil
+}
+
+func (m sieveMode) Execute(snap *Snapshot, q Query) (*QueryResult, error) {
+	res := greedy.MaxCover(snap.graph, q.K)
+	return &QueryResult{
+		Algo:           q.Algo,
+		Sets:           res.Sets,
+		SketchCoverage: res.Covered,
+		// The buffer holds true element ids (no subsampling): coverage of
+		// the buffered universe is exact, so the estimate is the count
+		// itself and p* is 1.
+		EstimatedCoverage: float64(res.Covered),
+		SampledElements:   snap.graph.NumElems(),
+		PStar:             1,
+		Engine:            ModeSieve,
+		SnapshotSeq:       snap.Seq,
+		SnapshotEdges:     snap.IngestedEdges,
+	}, nil
+}

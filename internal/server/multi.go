@@ -189,6 +189,10 @@ type NamespaceInfo struct {
 	// Weighted reports whether the namespace serves weighted coverage
 	// (Config.Weights set).
 	Weighted bool `json:"weighted,omitempty"`
+	// Engine names a non-default engine mode (currently only "sieve");
+	// omitted for the sketch and weighted modes, whose listing shape
+	// predates the field.
+	Engine ModeName `json:"engine,omitempty"`
 	// IngestedEdges is the number of edges the namespace has accepted.
 	IngestedEdges int64 `json:"ingested_edges"`
 	// SnapshotSeq is the namespace's current merge sequence number (0
@@ -209,6 +213,7 @@ func infoFor(name string, e *Engine, isDefault bool) NamespaceInfo {
 		Seed:          cfg.Seed,
 		Shards:        cfg.shards(),
 		Weighted:      cfg.Weights != nil,
+		Engine:        nonDefaultEngine(*cfg),
 		IngestedEdges: e.IngestedEdges(),
 	}
 	if snap := e.snap.Load(); snap != nil {

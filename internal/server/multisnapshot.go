@@ -57,6 +57,11 @@ type configFrame struct {
 	MergeEvery  int64         `json:"merge_every_ns,omitempty"`
 	QueryCache  int           `json:"query_cache,omitempty"`
 	Weights     *weightsFrame `json:"weights,omitempty"`
+	// Engine names a non-default engine mode (currently only "sieve").
+	// Omitted for sketch and weighted namespaces, so files written before
+	// the engine-mode plane — and files those modes write today — stay
+	// byte-identical.
+	Engine ModeName `json:"engine,omitempty"`
 }
 
 func frameFromConfig(cfg Config) configFrame {
@@ -73,7 +78,18 @@ func frameFromConfig(cfg Config) configFrame {
 		MergeEvery:  int64(cfg.MergeEvery),
 		QueryCache:  cfg.QueryCache,
 		Weights:     weightsFromConfig(cfg.Weights),
+		Engine:      nonDefaultEngine(cfg),
 	}
+}
+
+// nonDefaultEngine reports the config's engine name when it cannot be
+// re-derived from the frame's other fields ("sketch" is the default,
+// "weighted" is implied by the weights frame).
+func nonDefaultEngine(cfg Config) ModeName {
+	if name := cfg.engineName(); name != ModeSketch && name != ModeWeighted {
+		return name
+	}
+	return ""
 }
 
 func (f configFrame) config() Config {
@@ -90,6 +106,7 @@ func (f configFrame) config() Config {
 		MergeEvery:  time.Duration(f.MergeEvery),
 		QueryCache:  f.QueryCache,
 		Weights:     f.Weights.config(),
+		Engine:      f.Engine,
 	}
 }
 

@@ -1,0 +1,543 @@
+// Package sieve implements a single-pass swap-buffer engine for max
+// k-cover in the style of Badanidiyuru et al., "Streaming Submodular
+// Maximization" (KDD 2014): hold at most k candidate sets, and admit a
+// newcomer only by evicting a buffered candidate whose removal loses
+// less coverage than the newcomer adds. Unlike the paper's H≤n sketch
+// (an order-invariant function of the absorbed edge set), the sieve is
+// order-dependent — it trades the sketch's mergeability-exactness for a
+// hard k-candidate memory footprint: the buffer stores only the element
+// lists of the ≤ k sets it currently holds, nothing per non-candidate
+// set, so a namespace costs O(k · max-set-size) regardless of n.
+//
+// The KDD'14 algorithm streams whole sets; the coverage service streams
+// (set, element) edges, so Buffer adapts the swap rule to edge arrival:
+// an edge for a buffered candidate simply grows that candidate, an edge
+// for an unknown set opens a new candidate while there is room, and
+// once the buffer is full an unknown set's edge is admitted only when
+// it strictly improves coverage — its element is uncovered AND some
+// buffered candidate contributes no unique element (so the swap gains
+// one element and loses none). Ties break deterministically (smallest
+// zero-contribution set id is evicted), so a Buffer's final state is a
+// deterministic function of the edge order.
+//
+// The server integrates a Buffer as its third engine mode ("sieve",
+// internal/server/mode.go) with the same lifecycle verbs as the sketch
+// and the weighted class bank: AddEdges, Clone, Merge, WriteTo /
+// ReadBuffer (magic "SIEV1"), Stats, and Graph materialization into the
+// bipartite graph queries run on. KCover is the one-shot offline
+// reference the service tests pin their answers against.
+package sieve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/greedy"
+	"repro/internal/stream"
+)
+
+// Magic prefixes the serialized buffer format (WriteTo / ReadBuffer).
+const Magic = "SIEV1"
+
+// maxBufferElems bounds the total element count ReadBuffer accepts, so
+// a corrupt or hostile blob fails with a decode error instead of a
+// multi-gigabyte allocation.
+const maxBufferElems = 1 << 27
+
+// Buffer is the swap buffer: at most k candidate sets with their
+// covered elements, plus the inverted owner index that makes the swap
+// rule O(1) amortized per edge. Not safe for concurrent use.
+type Buffer struct {
+	numSets int
+	k       int
+
+	edgesSeen int64
+	peakElems int
+	dupEdges  int64
+	dropSwap  int64 // edges rejected by the swap rule
+
+	// cands[s] is candidate s's element set; owners[e] is the set of
+	// candidates containing element e (len(owners[e]) ≥ 1 while any
+	// candidate holds e); uniq[s] counts elements only s holds — the
+	// candidate's unique contribution, the quantity the swap rule reads.
+	cands  map[uint32]map[uint32]struct{}
+	owners map[uint32]map[uint32]struct{}
+	uniq   map[uint32]int
+}
+
+// NewBuffer returns an empty buffer for sets in [0, numSets) holding at
+// most k candidates.
+func NewBuffer(numSets, k int) (*Buffer, error) {
+	if numSets <= 0 || k <= 0 {
+		return nil, fmt.Errorf("sieve: NewBuffer needs positive numSets and k, got %d and %d", numSets, k)
+	}
+	return &Buffer{
+		numSets: numSets,
+		k:       k,
+		cands:   make(map[uint32]map[uint32]struct{}),
+		owners:  make(map[uint32]map[uint32]struct{}),
+		uniq:    make(map[uint32]int),
+	}, nil
+}
+
+// NumSets reports the set-universe size the buffer was built for.
+func (b *Buffer) NumSets() int { return b.numSets }
+
+// K reports the buffer's candidate capacity.
+func (b *Buffer) K() int { return b.k }
+
+// Candidates reports the number of sets currently buffered (≤ K).
+func (b *Buffer) Candidates() int { return len(b.cands) }
+
+// Elements reports the number of distinct elements the candidates cover.
+func (b *Buffer) Elements() int { return len(b.owners) }
+
+// Edges reports the resident (candidate, element) pairs — the buffer's
+// size in items.
+func (b *Buffer) Edges() int {
+	total := 0
+	for _, elems := range b.cands {
+		total += len(elems)
+	}
+	return total
+}
+
+// EdgesSeen reports the number of edges consumed from the stream.
+func (b *Buffer) EdgesSeen() int64 { return b.edgesSeen }
+
+// SetEdgesSeen overrides the consumed-edge counter, mirroring
+// core.Sketch.SetEdgesSeen: a merged buffer only replays kept edges, so
+// the serving coordinator pins the true ingested total through this.
+func (b *Buffer) SetEdgesSeen(n int64) { b.edgesSeen = n }
+
+// addElem attaches element e to candidate s (which must be buffered),
+// maintaining the owner index and unique-contribution counters. Reports
+// whether the element was new to s.
+func (b *Buffer) addElem(s, e uint32) bool {
+	elems := b.cands[s]
+	if _, ok := elems[e]; ok {
+		return false
+	}
+	elems[e] = struct{}{}
+	own := b.owners[e]
+	if own == nil {
+		own = make(map[uint32]struct{}, 1)
+		b.owners[e] = own
+	}
+	own[s] = struct{}{}
+	switch len(own) {
+	case 1:
+		b.uniq[s]++
+	case 2:
+		// e just lost sole ownership: the previous unique owner's
+		// contribution shrinks.
+		for o := range own {
+			if o != s {
+				b.uniq[o]--
+			}
+		}
+	}
+	return true
+}
+
+// evict removes candidate w entirely, returning sole ownership of
+// shared elements to their remaining owner.
+func (b *Buffer) evict(w uint32) {
+	for e := range b.cands[w] {
+		own := b.owners[e]
+		delete(own, w)
+		switch len(own) {
+		case 0:
+			delete(b.owners, e)
+		case 1:
+			for o := range own {
+				b.uniq[o]++
+			}
+		}
+	}
+	delete(b.cands, w)
+	delete(b.uniq, w)
+}
+
+// victim returns the smallest-id candidate contributing no unique
+// element, or (0, false) when every candidate is load-bearing. Reducing
+// by minimum keeps the choice deterministic despite map iteration.
+func (b *Buffer) victim() (uint32, bool) {
+	var best uint32
+	found := false
+	for s, u := range b.uniq {
+		if u == 0 && (!found || s < best) {
+			best, found = s, true
+		}
+	}
+	return best, found
+}
+
+// Add consumes one stream edge through the swap rule.
+func (b *Buffer) Add(e bipartite.Edge) {
+	b.edgesSeen++
+	if elems, ok := b.cands[e.Set]; ok {
+		if _, dup := elems[e.Elem]; dup {
+			b.dupEdges++
+			return
+		}
+		b.addElem(e.Set, e.Elem)
+		b.bumpPeak()
+		return
+	}
+	if len(b.cands) < b.k {
+		b.admit(e.Set)
+		b.addElem(e.Set, e.Elem)
+		b.bumpPeak()
+		return
+	}
+	// Full buffer: the edge contributes at most one element, so a swap
+	// strictly improves coverage only when that element is uncovered and
+	// some candidate's removal loses nothing.
+	if _, covered := b.owners[e.Elem]; covered {
+		b.dropSwap++
+		return
+	}
+	w, ok := b.victim()
+	if !ok {
+		b.dropSwap++
+		return
+	}
+	b.evict(w)
+	b.admit(e.Set)
+	b.addElem(e.Set, e.Elem)
+	b.bumpPeak()
+}
+
+// admit opens an empty candidate for s, registering its (zero) unique
+// contribution so victim() always sees every candidate.
+func (b *Buffer) admit(s uint32) {
+	b.cands[s] = make(map[uint32]struct{}, 4)
+	b.uniq[s] = 0
+}
+
+func (b *Buffer) bumpPeak() {
+	if n := len(b.owners); n > b.peakElems {
+		b.peakElems = n
+	}
+}
+
+// AddEdges consumes a batch of edges in order.
+func (b *Buffer) AddEdges(edges []bipartite.Edge) {
+	for _, e := range edges {
+		b.Add(e)
+	}
+}
+
+// AddStream drains st into the buffer and returns the number of edges
+// consumed.
+func (b *Buffer) AddStream(st stream.Stream) int {
+	n := 0
+	for {
+		e, ok := st.Next()
+		if !ok {
+			return n
+		}
+		b.Add(e)
+		n++
+	}
+}
+
+// Clone returns a deep copy of the buffer.
+func (b *Buffer) Clone() *Buffer {
+	cp := &Buffer{
+		numSets:   b.numSets,
+		k:         b.k,
+		edgesSeen: b.edgesSeen,
+		peakElems: b.peakElems,
+		dupEdges:  b.dupEdges,
+		dropSwap:  b.dropSwap,
+		cands:     make(map[uint32]map[uint32]struct{}, len(b.cands)),
+		owners:    make(map[uint32]map[uint32]struct{}, len(b.owners)),
+		uniq:      make(map[uint32]int, len(b.uniq)),
+	}
+	for s, elems := range b.cands {
+		ce := make(map[uint32]struct{}, len(elems))
+		for e := range elems {
+			ce[e] = struct{}{}
+		}
+		cp.cands[s] = ce
+	}
+	for e, own := range b.owners {
+		co := make(map[uint32]struct{}, len(own))
+		for s := range own {
+			co[s] = struct{}{}
+		}
+		cp.owners[e] = co
+	}
+	for s, u := range b.uniq {
+		cp.uniq[s] = u
+	}
+	return cp
+}
+
+// sortedCandidates returns the buffered set ids in ascending order —
+// the canonical fold/serialization order.
+func (b *Buffer) sortedCandidates() []uint32 {
+	sets := make([]uint32, 0, len(b.cands))
+	for s := range b.cands {
+		sets = append(sets, s)
+	}
+	sort.Slice(sets, func(i, j int) bool { return sets[i] < sets[j] })
+	return sets
+}
+
+func sortedElems(elems map[uint32]struct{}) []uint32 {
+	out := make([]uint32, 0, len(elems))
+	for e := range elems {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Merge folds other's candidates into b by replaying other's kept edges
+// through the swap rule in canonical order (candidates ascending,
+// elements ascending within each). Unlike the sketch's merge this is
+// not order-invariant over the original streams — the sieve gives up
+// exact mergeability for its constant buffer — but it is deterministic:
+// two nodes folding the same states in the same order agree. b's
+// consumed-edge counter is left untouched (replayed kept edges were
+// already counted by whoever absorbed them), mirroring core.Sketch.Merge.
+// other is read-only.
+func (b *Buffer) Merge(other *Buffer) error {
+	if other == nil {
+		return nil
+	}
+	if b.numSets != other.numSets || b.k != other.k {
+		return fmt.Errorf("sieve: cannot merge buffers with different shapes (numSets %d vs %d, k %d vs %d)",
+			b.numSets, other.numSets, b.k, other.k)
+	}
+	seen := b.edgesSeen
+	for _, s := range other.sortedCandidates() {
+		for _, e := range sortedElems(other.cands[s]) {
+			b.Add(bipartite.Edge{Set: s, Elem: e})
+		}
+	}
+	b.edgesSeen = seen
+	return nil
+}
+
+// Stats reports the buffer's accounting in the engine's uniform
+// core.Stats shape. PStar is 1 (the sieve keeps true element ids, no
+// subsampling), Budget echoes the candidate capacity k, and DropHash
+// counts edges the swap rule rejected (the sieve's analogue of the
+// sketch's hash-filter drop).
+func (b *Buffer) Stats() core.Stats {
+	edges := b.Edges()
+	var bytes int64
+	// Rough resident footprint: one map entry each in cands and owners
+	// per (candidate, element) pair, plus per-candidate headers.
+	bytes = int64(edges)*32 + int64(len(b.cands))*64
+	return core.Stats{
+		EdgesSeen:    b.edgesSeen,
+		EdgesKept:    edges,
+		PeakEdges:    b.peakElems,
+		ElementsKept: len(b.owners),
+		Budget:       b.k,
+		DupEdges:     b.dupEdges,
+		DropHash:     b.dropSwap,
+		PStar:        1,
+		Bytes:        bytes,
+	}
+}
+
+// Graph materializes the buffer as a bipartite graph over its covered
+// elements, renumbered to [0, Elements()); ids maps a graph element id
+// back to the original element. Candidates and elements are emitted in
+// canonical ascending order, so two buffers with equal content
+// materialize to equal graphs.
+func (b *Buffer) Graph() (*bipartite.Graph, []uint32) {
+	elems := make([]uint32, 0, len(b.owners))
+	for e := range b.owners {
+		elems = append(elems, e)
+	}
+	sort.Slice(elems, func(i, j int) bool { return elems[i] < elems[j] })
+	newID := make(map[uint32]uint32, len(elems))
+	for i, e := range elems {
+		newID[e] = uint32(i)
+	}
+	edges := make([]bipartite.Edge, 0, b.Edges())
+	for _, s := range b.sortedCandidates() {
+		for _, e := range sortedElems(b.cands[s]) {
+			edges = append(edges, bipartite.Edge{Set: s, Elem: newID[e]})
+		}
+	}
+	g, err := bipartite.FromEdges(b.numSets, len(elems), edges)
+	if err != nil {
+		panic("sieve: buffer graph construction failed: " + err.Error())
+	}
+	return g, elems
+}
+
+// Solve runs the greedy max-k-cover over the buffered candidates and
+// returns the chosen sets (original ids) and their covered-element
+// count inside the buffer. Coverage here is exact, not an estimate:
+// the buffer holds true element ids.
+func (b *Buffer) Solve(k int) ([]int, int) {
+	g, _ := b.Graph()
+	res := greedy.MaxCover(g, k)
+	return res.Sets, res.Covered
+}
+
+// WriteTo serializes the buffer:
+//
+//	"SIEV1"                         magic (5 bytes)
+//	uint32 numSets, uint32 k
+//	int64  edgesSeen
+//	uint32 candidate count
+//	count × candidate, ids ascending:
+//	  uint32 set, uint32 elem count, elems ascending (uint32 each)
+//
+// All integers little-endian, matching the sketch format. Canonical
+// order makes equal buffers serialize to equal bytes, so the cluster
+// ETag argument (unchanged edge count ⇒ unchanged blob) carries over.
+func (b *Buffer) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+	if _, err := io.WriteString(cw, Magic); err != nil {
+		return cw.n, err
+	}
+	write := func(v interface{}) error {
+		return binary.Write(cw, binary.LittleEndian, v)
+	}
+	for _, v := range []interface{}{uint32(b.numSets), uint32(b.k), b.edgesSeen, uint32(len(b.cands))} {
+		if err := write(v); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, s := range b.sortedCandidates() {
+		elems := sortedElems(b.cands[s])
+		if err := write(s); err != nil {
+			return cw.n, err
+		}
+		if err := write(uint32(len(elems))); err != nil {
+			return cw.n, err
+		}
+		if err := write(elems); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, bw.Flush()
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadBuffer decodes a buffer written by WriteTo. numSets and k must
+// repeat the writing buffer's shape — a mismatch is a config error
+// (cluster peers and restores refuse to fold incompatible buffers).
+func ReadBuffer(r io.Reader, numSets, k int) (*Buffer, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("sieve: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("sieve: bad magic %q (want %q)", magic, Magic)
+	}
+	var (
+		gotSets, gotK, count uint32
+		seen                 int64
+	)
+	for _, v := range []interface{}{&gotSets, &gotK, &seen, &count} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("sieve: reading header: %w", err)
+		}
+	}
+	if int(gotSets) != numSets || int(gotK) != k {
+		return nil, fmt.Errorf("sieve: buffer parameter mismatch (blob numSets=%d k=%d, want numSets=%d k=%d)",
+			gotSets, gotK, numSets, k)
+	}
+	if int(count) > k {
+		return nil, fmt.Errorf("sieve: blob claims %d candidates, capacity is %d", count, k)
+	}
+	b, err := NewBuffer(numSets, k)
+	if err != nil {
+		return nil, err
+	}
+	b.edgesSeen = seen
+	total := 0
+	for i := uint32(0); i < count; i++ {
+		var set, ne uint32
+		if err := binary.Read(br, binary.LittleEndian, &set); err != nil {
+			return nil, fmt.Errorf("sieve: reading candidate %d: %w", i, err)
+		}
+		if int(set) >= numSets {
+			return nil, fmt.Errorf("sieve: candidate set id %d out of range [0,%d)", set, numSets)
+		}
+		if _, dup := b.cands[set]; dup {
+			return nil, fmt.Errorf("sieve: duplicate candidate set %d", set)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &ne); err != nil {
+			return nil, fmt.Errorf("sieve: reading candidate %d size: %w", set, err)
+		}
+		total += int(ne)
+		if total > maxBufferElems {
+			return nil, fmt.Errorf("sieve: blob claims over %d elements", maxBufferElems)
+		}
+		b.admit(set)
+		for j := uint32(0); j < ne; j++ {
+			var e uint32
+			if err := binary.Read(br, binary.LittleEndian, &e); err != nil {
+				return nil, fmt.Errorf("sieve: reading candidate %d elements: %w", set, err)
+			}
+			if !b.addElem(set, e) {
+				return nil, fmt.Errorf("sieve: duplicate element %d in candidate %d", e, set)
+			}
+		}
+	}
+	b.bumpPeak()
+	return b, nil
+}
+
+// Outcome reports a one-shot sieve run.
+type Outcome struct {
+	// Sets is the greedy solution over the final buffer (original ids).
+	Sets []int
+	// Covered is the exact number of buffered elements Sets covers.
+	Covered int
+	// EdgesSeen / EdgesKept / Candidates describe the run's stream and
+	// space accounting.
+	EdgesSeen  int64
+	EdgesKept  int
+	Candidates int
+}
+
+// KCover is the one-shot offline reference: drain the stream through a
+// fresh buffer, then solve greedily over the surviving candidates. The
+// service's sieve mode, fed the same edges in the same order through a
+// single shard, answers identically (the engine tests pin this).
+func KCover(st stream.Stream, numSets, k int) (*Outcome, error) {
+	b, err := NewBuffer(numSets, k)
+	if err != nil {
+		return nil, err
+	}
+	b.AddStream(st)
+	sets, covered := b.Solve(k)
+	return &Outcome{
+		Sets:       sets,
+		Covered:    covered,
+		EdgesSeen:  b.edgesSeen,
+		EdgesKept:  b.Edges(),
+		Candidates: len(b.cands),
+	}, nil
+}

@@ -1,0 +1,255 @@
+package sieve
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+func edge(s, e uint32) bipartite.Edge { return bipartite.Edge{Set: s, Elem: e} }
+
+func mustBuffer(t *testing.T, numSets, k int) *Buffer {
+	t.Helper()
+	b, err := NewBuffer(numSets, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBufferValidation(t *testing.T) {
+	if _, err := NewBuffer(0, 3); err == nil {
+		t.Fatal("numSets 0 accepted")
+	}
+	if _, err := NewBuffer(5, 0); err == nil {
+		t.Fatal("k 0 accepted")
+	}
+}
+
+func TestSwapRule(t *testing.T) {
+	b := mustBuffer(t, 10, 2)
+	// Fill the buffer: sets 0 and 1 admitted on arrival.
+	b.AddEdges([]bipartite.Edge{edge(0, 100), edge(0, 101), edge(1, 101)})
+	if b.Candidates() != 2 {
+		t.Fatalf("candidates = %d, want 2", b.Candidates())
+	}
+	// Set 2 arrives with a covered element: no strict improvement, drop.
+	b.Add(edge(2, 101))
+	if _, ok := b.cands[2]; ok {
+		t.Fatal("covered-element edge admitted into a full buffer")
+	}
+	// Set 1 contributes nothing unique (101 is shared with set 0), so an
+	// uncovered element evicts it.
+	b.Add(edge(2, 200))
+	if _, ok := b.cands[1]; ok {
+		t.Fatal("zero-contribution candidate survived an improving swap")
+	}
+	if _, ok := b.cands[2]; !ok {
+		t.Fatal("improving candidate not admitted")
+	}
+	if b.Elements() != 3 { // 100, 101, 200
+		t.Fatalf("elements = %d, want 3", b.Elements())
+	}
+	// Now both candidates contribute uniquely: a fresh set cannot evict.
+	b.Add(edge(3, 300))
+	if _, ok := b.cands[3]; ok {
+		t.Fatal("swap admitted although every candidate was load-bearing")
+	}
+	st := b.Stats()
+	if st.DropHash != 2 {
+		t.Fatalf("dropped = %d, want 2", st.DropHash)
+	}
+	if st.EdgesSeen != 6 {
+		t.Fatalf("edgesSeen = %d, want 6", st.EdgesSeen)
+	}
+}
+
+func TestVictimTieBreakIsSmallestID(t *testing.T) {
+	b := mustBuffer(t, 10, 3)
+	// Three candidates all sharing element 7: every uniq count is 0.
+	b.AddEdges([]bipartite.Edge{edge(4, 7), edge(2, 7), edge(9, 7)})
+	b.Add(edge(5, 8)) // uncovered element: must evict set 2 (smallest id)
+	if _, ok := b.cands[2]; ok {
+		t.Fatal("smallest-id zero-contribution candidate not evicted")
+	}
+	for _, s := range []uint32{4, 9, 5} {
+		if _, ok := b.cands[s]; !ok {
+			t.Fatalf("candidate %d missing", s)
+		}
+	}
+}
+
+func TestDuplicateEdgesCounted(t *testing.T) {
+	b := mustBuffer(t, 4, 2)
+	b.AddEdges([]bipartite.Edge{edge(0, 1), edge(0, 1), edge(0, 1)})
+	st := b.Stats()
+	if st.DupEdges != 2 || st.EdgesKept != 1 || st.EdgesSeen != 3 {
+		t.Fatalf("dup=%d kept=%d seen=%d, want 2/1/3", st.DupEdges, st.EdgesKept, st.EdgesSeen)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	b := mustBuffer(t, 10, 3)
+	b.AddEdges([]bipartite.Edge{edge(0, 1), edge(1, 2), edge(0, 3)})
+	cp := b.Clone()
+	b.AddEdges([]bipartite.Edge{edge(2, 9), edge(1, 4)})
+	if cp.Edges() != 3 || cp.Candidates() != 2 {
+		t.Fatalf("clone mutated: %d edges, %d candidates", cp.Edges(), cp.Candidates())
+	}
+	var buf1, buf2 bytes.Buffer
+	if _, err := cp.WriteTo(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	cp2 := cp.Clone()
+	if _, err := cp2.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("clone serializes differently from its source")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	inst := workload.Zipf(40, 500, 80, 0.9, 0.7, 7)
+	b := mustBuffer(t, 40, 5)
+	b.AddStream(stream.Shuffled(inst.G, 11))
+	var buf bytes.Buffer
+	n, err := b.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadBuffer(bytes.NewReader(buf.Bytes()), 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if _, err := back.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("round trip changed the serialized bytes")
+	}
+	sets1, cov1 := b.Solve(5)
+	sets2, cov2 := back.Solve(5)
+	if !reflect.DeepEqual(sets1, sets2) || cov1 != cov2 {
+		t.Fatalf("round trip changed the solution: %v/%d vs %v/%d", sets1, cov1, sets2, cov2)
+	}
+}
+
+func TestReadBufferRejectsMismatch(t *testing.T) {
+	b := mustBuffer(t, 10, 3)
+	b.AddEdges([]bipartite.Edge{edge(0, 1)})
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBuffer(bytes.NewReader(buf.Bytes()), 11, 3); err == nil {
+		t.Fatal("numSets mismatch accepted")
+	}
+	if _, err := ReadBuffer(bytes.NewReader(buf.Bytes()), 10, 4); err == nil {
+		t.Fatal("k mismatch accepted")
+	}
+	if _, err := ReadBuffer(bytes.NewReader([]byte("WRONG")), 10, 3); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadBuffer(bytes.NewReader(buf.Bytes()[:8]), 10, 3); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+}
+
+func TestMergeFoldIsCanonical(t *testing.T) {
+	inst := workload.Zipf(30, 400, 60, 0.9, 0.7, 3)
+	b := mustBuffer(t, 30, 4)
+	b.AddStream(stream.Shuffled(inst.G, 5))
+
+	// Folding a single buffer into an empty one reproduces its content
+	// exactly (all ≤ k candidates fit), whatever map iteration did.
+	for trial := 0; trial < 3; trial++ {
+		fresh := mustBuffer(t, 30, 4)
+		if err := fresh.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		fresh.SetEdgesSeen(b.EdgesSeen())
+		var want, got bytes.Buffer
+		if _, err := b.WriteTo(&want); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fresh.WriteTo(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatal("single-state fold changed the buffer content")
+		}
+	}
+}
+
+func TestMergeShapeMismatch(t *testing.T) {
+	a := mustBuffer(t, 10, 3)
+	b := mustBuffer(t, 10, 4)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("k mismatch merged")
+	}
+	c := mustBuffer(t, 11, 3)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("numSets mismatch merged")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("nil merge: %v", err)
+	}
+}
+
+func TestMergeLeavesEdgesSeenUntouched(t *testing.T) {
+	a := mustBuffer(t, 10, 3)
+	a.AddEdges([]bipartite.Edge{edge(0, 1), edge(1, 2)})
+	b := mustBuffer(t, 10, 3)
+	b.AddEdges([]bipartite.Edge{edge(2, 3)})
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.EdgesSeen() != 2 {
+		t.Fatalf("merge changed edgesSeen to %d", a.EdgesSeen())
+	}
+	if a.Candidates() != 3 {
+		t.Fatalf("merge lost candidates: %d", a.Candidates())
+	}
+}
+
+func TestKCoverReferenceDeterminism(t *testing.T) {
+	inst := workload.Zipf(50, 800, 100, 0.9, 0.7, 13)
+	out1, err := KCover(stream.Shuffled(inst.G, 21), 50, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := KCover(stream.Shuffled(inst.G, 21), 50, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out1, out2) {
+		t.Fatalf("same stream order, different outcomes: %+v vs %+v", out1, out2)
+	}
+	if out1.Covered <= 0 || len(out1.Sets) == 0 {
+		t.Fatalf("degenerate outcome: %+v", out1)
+	}
+	if out1.Candidates > 6 {
+		t.Fatalf("buffer exceeded capacity: %d candidates", out1.Candidates)
+	}
+}
+
+func TestSolveCoversBufferedElements(t *testing.T) {
+	b := mustBuffer(t, 10, 2)
+	b.AddEdges([]bipartite.Edge{edge(0, 1), edge(0, 2), edge(1, 3)})
+	sets, covered := b.Solve(2)
+	if covered != 3 {
+		t.Fatalf("covered = %d, want 3", covered)
+	}
+	if len(sets) != 2 {
+		t.Fatalf("sets = %v, want both candidates", sets)
+	}
+}

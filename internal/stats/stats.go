@@ -88,6 +88,12 @@ func Quantile(xs []float64, q float64) float64 {
 	return cp[lo]*(1-frac) + cp[lo+1]*frac
 }
 
+// Median returns the sample median (mean of the two central order
+// statistics for even-sized samples; 0 for an empty one). It is
+// Quantile at 0.5, named for call sites that read better with the
+// statistic than with the quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
 // Summary bundles the usual descriptive statistics of a sample.
 type Summary struct {
 	N            int

@@ -1,0 +1,130 @@
+package tables
+
+// This file implements the mode-comparison experiment: the three engine
+// modes (sketch, weighted with uniform weights, sieve) head to head on
+// the same instance and the same shuffled stream, through the full
+// service path — sharded Ingest, coordinator Refresh, kcover Query.
+// With uniform weights the weighted engine answers the same cardinality
+// question as the sketch, so the coverage columns are directly
+// comparable; the sieve row shows what the constant-memory swap buffer
+// trades for its k-set footprint. `covbench -run mode-comparison -json`
+// produces the BENCH_modes.json trajectory line.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/greedy"
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// modeTimings is one trial's measurements for a given engine mode.
+type modeTimings struct {
+	ingest   time.Duration // sharded ingest + coordinator merge
+	query    time.Duration // kcover on the merged snapshot
+	kept     int           // edges retained in the merged state
+	estimate float64
+	truth    float64
+}
+
+// runModeTrial runs one engine end to end: ingest the whole stream,
+// force a merge, answer kcover, and read the accounting.
+func runModeTrial(cfg server.Config, g *bipartite.Graph, edges []bipartite.Edge, k int) modeTimings {
+	eng, err := server.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	var tm modeTimings
+	start := time.Now()
+	if _, err := eng.Ingest(edges); err != nil {
+		panic(err)
+	}
+	if _, err := eng.Refresh(); err != nil {
+		panic(err)
+	}
+	tm.ingest = time.Since(start)
+
+	start = time.Now()
+	res, err := eng.Query(server.Query{Algo: server.AlgoKCover, K: k})
+	if err != nil {
+		panic(err)
+	}
+	tm.query = time.Since(start)
+	tm.estimate = res.EstimatedCoverage
+	tm.truth = float64(g.Coverage(res.Sets))
+
+	st, err := eng.Stats()
+	if err != nil {
+		panic(err)
+	}
+	tm.kept = st.SnapshotKept
+	return tm
+}
+
+// RunModeComparison benchmarks the pluggable engine modes against each
+// other on one workload: ingest throughput, retained edges (the space
+// actually spent), query latency, and solution quality relative to the
+// offline greedy that sees the whole graph.
+func RunModeComparison(cfg Config) []*stats.Table {
+	n := cfg.pick(200, 60)
+	m := cfg.pick(20000, 4000)
+	k := 10
+	inst := workload.Zipf(n, m, m/8, 0.9, 0.7, cfg.seed())
+	edges := stream.Drain(stream.Shuffled(inst.G, cfg.seed()+1))
+	base := server.Config{
+		NumSets: n, NumElems: m, K: k, Eps: 0.3,
+		Seed: cfg.seed(), EdgeBudget: 40 * n, Shards: 2,
+	}
+	offline := greedy.MaxCover(inst.G, k)
+
+	weightedCfg := base
+	weightedCfg.Weights = &server.WeightConfig{Default: 1}
+	sieveCfg := base
+	sieveCfg.Engine = server.ModeSieve
+
+	rows := []struct {
+		name string
+		cfg  server.Config
+	}{
+		{"sketch", base},
+		{"weighted (uniform)", weightedCfg},
+		{"sieve", sieveCfg},
+	}
+
+	tbl := &stats.Table{
+		Title: fmt.Sprintf("engine modes — %s, %d edges, k=%d, offline greedy %d",
+			inst.Name, len(edges), k, offline.Covered),
+		Cols: []string{"mode", "ingest ms", "ingest edges/sec", "kept edges",
+			"query ms", "est coverage", "true coverage", "ratio vs greedy"},
+		Notes: []string{
+			"same instance and stream for every row; sharded ingest (2 shards) + merge + kcover query",
+			"weighted row runs uniform weight 1, so its coverage is the same cardinality objective",
+			fmt.Sprintf("sieve keeps at most k candidate sets per shard; best of %d trials per row", cfg.trials()),
+		},
+	}
+
+	for _, row := range rows {
+		var best modeTimings
+		for trial := 0; trial < cfg.trials(); trial++ {
+			tm := runModeTrial(row.cfg, inst.G, edges, k)
+			if best.ingest == 0 || tm.ingest+tm.query < best.ingest+best.query {
+				best = tm
+			}
+		}
+		tbl.AddRow(row.name,
+			float64(best.ingest.Milliseconds()),
+			float64(len(edges))/best.ingest.Seconds(),
+			best.kept,
+			float64(best.query.Microseconds())/1000.0,
+			best.estimate,
+			best.truth,
+			ratio(best.truth, float64(offline.Covered)))
+	}
+	return []*stats.Table{tbl}
+}

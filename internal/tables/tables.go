@@ -76,6 +76,7 @@ func Experiments() map[string]Runner {
 		"ingest-throughput":  RunIngestThroughput,
 		"query-throughput":   RunQueryThroughput,
 		"cluster-throughput": RunClusterThroughput,
+		"mode-comparison":    RunModeComparison,
 	}
 }
 

@@ -68,6 +68,7 @@ func serviceConfig(numSets int, opt ServiceOptions) (server.Config, error) {
 		QueueDepth:  opt.BatchQueue,
 		MergeEvery:  opt.MergeEvery,
 		QueryCache:  opt.QueryCache,
+		Engine:      server.ModeName(opt.Engine),
 	}
 	if opt.Weights != nil {
 		// The engine clones the table, so the caller may keep mutating its

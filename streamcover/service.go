@@ -44,6 +44,15 @@ type ServiceOptions struct {
 	// full-greedy queries are not defined on weighted instances and
 	// return an error. NewWeightedService is the explicit constructor.
 	Weights *Weights
+	// Engine selects the engine mode by name: "sketch" (the default;
+	// also implied empty), "weighted" (implied by Weights) or "sieve",
+	// the constant-memory sieve-streaming engine that keeps at most K
+	// candidate sets per shard instead of an edge sample. The sieve
+	// engine answers KCover only (outlier and full-greedy queries return
+	// an error), is single-pass order-dependent rather than
+	// merge-invariant, and its answers are exact over the buffered
+	// candidates. NewSieveService is the explicit constructor.
+	Engine string
 }
 
 // Service is a live, concurrently-ingestible coverage-query service: the
@@ -85,6 +94,18 @@ func NewService(numSets int, opt ServiceOptions) (*Service, error) {
 // weights over the same edges. It is NewService with opt.Weights set.
 func NewWeightedService(numSets int, weights Weights, opt ServiceOptions) (*Service, error) {
 	opt.Weights = &weights
+	return NewService(numSets, opt)
+}
+
+// NewSieveService starts a sieve-streaming coverage service: each shard
+// keeps a swap buffer of at most opt.K candidate sets (constant memory,
+// no edge sampling), admitting a set on arrival while there is room and
+// afterwards swapping out a zero-unique-contribution candidate whenever
+// an uncovered element arrives. KCover answers exactly over the
+// buffered candidates; outlier and full-greedy queries are not defined.
+// It is NewService with opt.Engine = "sieve".
+func NewSieveService(numSets int, opt ServiceOptions) (*Service, error) {
+	opt.Engine = string(server.ModeSieve)
 	return NewService(numSets, opt)
 }
 

@@ -1,0 +1,84 @@
+package streamcover
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/sieve"
+	"repro/internal/stream"
+)
+
+func TestSieveServiceMatchesOfflineSieve(t *testing.T) {
+	const n, m, k = 50, 2500, 5
+	inst := GenerateZipf(n, m, 500, 0.9, 0.7, 11)
+
+	// Drain the stream once so the service and the offline reference see
+	// the identical edge order (the sieve buffer is order-dependent).
+	var edges []Edge
+	st := inst.EdgeStream(3)
+	for {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		edges = append(edges, e)
+	}
+	conv := make([]bipartite.Edge, len(edges))
+	for i, e := range edges {
+		conv[i] = bipartite.Edge{Set: e.Set, Elem: e.Elem}
+	}
+	ref, err := sieve.KCover(stream.NewSlice(conv), n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc, err := NewSieveService(n, ServiceOptions{
+		Options: Options{Seed: 11, NumElems: m},
+		K:       k, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := svc.Ingest(edges); err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.KCover(k, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sets) != len(ref.Sets) {
+		t.Fatalf("service sets %v != offline %v", res.Sets, ref.Sets)
+	}
+	for i := range res.Sets {
+		if res.Sets[i] != ref.Sets[i] {
+			t.Fatalf("service sets %v != offline %v", res.Sets, ref.Sets)
+		}
+	}
+	if int(res.EstimatedCoverage) != ref.Covered {
+		t.Fatalf("service coverage %v != offline %d", res.EstimatedCoverage, ref.Covered)
+	}
+
+	// The sieve service refuses the sketch-only algorithms.
+	if _, err := svc.CoverWithOutliers(0.2, false); err == nil ||
+		!strings.Contains(err.Error(), "sieve") {
+		t.Fatalf("outliers on a sieve service: %v", err)
+	}
+	if _, err := svc.GreedyCover(false); err == nil ||
+		!strings.Contains(err.Error(), "sieve") {
+		t.Fatalf("greedy on a sieve service: %v", err)
+	}
+}
+
+func TestSieveServiceRejectsBadOptions(t *testing.T) {
+	if _, err := NewSieveService(0, ServiceOptions{K: 3}); err == nil {
+		t.Fatal("numSets 0 accepted")
+	}
+	// Engine string routes through the generic constructor too.
+	if _, err := NewService(10, ServiceOptions{
+		Options: Options{NumElems: 100}, K: 3, Engine: "turbo",
+	}); err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("unknown engine: %v", err)
+	}
+}
