@@ -60,15 +60,30 @@
 // instance file against a running server — optionally into a specific
 // namespace via its -ns flag — and verify the answer against the
 // offline single-pass algorithm.
+//
+// With -wal-dir, every namespace additionally runs over a write-ahead
+// log (DESIGN.md §12): accepted batches hit disk before the ingest
+// workers see them (-wal-fsync picks the durability/latency trade-off),
+// and startup recovery replays whatever log tail the snapshot file does
+// not cover — including namespaces created after the last snapshot,
+// which come back from their config sidecar and full log replay.
+// -autosnapshot-every checkpoints all namespaces to -snapshot-file on a
+// period, truncating the logs as it goes. SIGINT/SIGTERM shut the
+// server down gracefully: in-flight requests finish (10s deadline),
+// mailboxes drain, and a final checkpoint is cut when -snapshot-file is
+// set.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
@@ -96,6 +111,11 @@ func main() {
 		peersFlag  = flag.String("peers", "", "comma-separated base URLs of the other cluster nodes (enables cluster mode)")
 		nodeID     = flag.String("node-id", "", "this node's name in cluster headers and stats (default: the listen address)")
 		pullEvery  = flag.Duration("pull-every", 2*time.Second, "anti-entropy pull interval in cluster mode")
+		walDir     = flag.String("wal-dir", "", "write-ahead-log root directory (enables durability; one subdirectory per namespace)")
+		walFsync   = flag.String("wal-fsync", "", "WAL fsync policy: always, interval (default) or off")
+		walFsyncIv = flag.Duration("wal-fsync-interval", 0, "fsync period for -wal-fsync=interval (default 100ms)")
+		walSegSize = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (default 64 MiB)")
+		autosnap   = flag.Duration("autosnapshot-every", 0, "checkpoint all namespaces to -snapshot-file on this period (0 = off)")
 	)
 	flag.Parse()
 	if *n <= 0 {
@@ -128,8 +148,22 @@ func main() {
 		},
 	}
 
+	if *autosnap > 0 && *snapFile == "" {
+		fmt.Fprintln(os.Stderr, "covserved: -autosnapshot-every needs -snapshot-file")
+		os.Exit(2)
+	}
 	multi := server.NewMulti(*nsName)
 	defer multi.Close()
+	if *walDir != "" {
+		// Arm durability before any restore or create: restored namespaces
+		// then replay their WAL tails, and fresh ones log from edge one.
+		multi.SetDurability(&server.WALConfig{
+			Dir:           *walDir,
+			Fsync:         *walFsync,
+			FsyncInterval: *walFsyncIv,
+			SegmentBytes:  *walSegSize,
+		})
+	}
 	if *snapFile != "" {
 		if data, err := os.ReadFile(*snapFile); err == nil {
 			if err := restore(multi, data, &cfg); err != nil {
@@ -148,6 +182,15 @@ func main() {
 			}
 		}
 	}
+	// Namespaces with a WAL but no container frame — created after the
+	// last snapshot, or never snapshotted — come back from log replay.
+	if recovered, err := multi.RecoverNamespaces(); err != nil {
+		fmt.Fprintf(os.Stderr, "covserved: recovering namespaces from %s: %v\n", *walDir, err)
+		os.Exit(1)
+	} else if len(recovered) > 0 {
+		fmt.Fprintf(os.Stderr, "covserved: recovered namespace(s) %s from WAL replay\n",
+			strings.Join(recovered, ", "))
+	}
 	// Bootstrap the flag-configured namespace unless the snapshot already
 	// brought it back (its persisted config then wins over the flags).
 	if _, ok := multi.Get(*nsName); !ok {
@@ -163,6 +206,7 @@ func main() {
 		SnapshotPath:  *snapFile,
 	}
 	var handler http.Handler
+	var node *cluster.Node
 	if *peersFlag != "" {
 		// Cluster mode: ingest stays local, queries answer from the
 		// cluster-wide merged view, and peers exchange serialized state
@@ -171,7 +215,8 @@ func main() {
 		if id == "" {
 			id = *addr
 		}
-		node, err := cluster.NewNode(multi, cluster.Options{
+		var err error
+		node, err = cluster.NewNode(multi, cluster.Options{
 			NodeID:       id,
 			Peers:        strings.Split(*peersFlag, ","),
 			PullInterval: *pullEvery,
@@ -183,13 +228,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "covserved: %v\n", err)
 			os.Exit(2)
 		}
-		defer node.Close()
 		handler = cluster.NewHandler(node, httpOpt)
 		fmt.Fprintf(os.Stderr, "covserved: cluster node %s with %d peer(s), pulling every %s\n",
 			id, len(node.Stats().Peers), *pullEvery)
 	} else {
 		handler = server.NewMultiHandler(multi, httpOpt)
 	}
+	stopAutosnap := func() {}
+	if *autosnap > 0 {
+		stopAutosnap = multi.StartAutosnapshot(*snapFile, *autosnap, func(err error) {
+			fmt.Fprintf(os.Stderr, "covserved: autosnapshot: %v\n", err)
+		})
+		fmt.Fprintf(os.Stderr, "covserved: autosnapshotting to %s every %s\n", *snapFile, *autosnap)
+	}
+
 	fmt.Fprintf(os.Stderr, "covserved: serving ns=%s n=%d k=%d eps=%g shards=%d on %s\n",
 		*nsName, *n, *k, *eps, *shards, *addr)
 	srv := &http.Server{
@@ -197,7 +249,41 @@ func main() {
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "covserved: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, finish in-flight requests (with
+	// a deadline so a stuck client cannot wedge the exit), stop the
+	// background planes, then cut one last durable checkpoint — every
+	// shard mailbox drains into the batch-aligned merge — so a clean stop
+	// restarts without any WAL replay.
+	stopSignals() // a second signal kills the process the hard way
+	fmt.Fprintln(os.Stderr, "covserved: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "covserved: draining requests: %v\n", err)
+	}
+	stopAutosnap()
+	if node != nil {
+		node.Close()
+	}
+	if *snapFile != "" {
+		if err := server.CheckpointMulti(multi, *snapFile); err != nil {
+			fmt.Fprintf(os.Stderr, "covserved: final snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "covserved: persisted %d namespace(s) to %s\n",
+			len(multi.List()), *snapFile)
+	}
+	if err := multi.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "covserved: %v\n", err)
 		os.Exit(1)
 	}

@@ -6,8 +6,13 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/bipartite"
 	"repro/internal/server"
@@ -238,5 +243,103 @@ func TestEndToEndAgainstOfflineKCover(t *testing.T) {
 		if final.Sets[i] != offline.Sets[i] {
 			t.Fatalf("service sets %v != offline %v", final.Sets, offline.Sets)
 		}
+	}
+}
+
+// TestGracefulShutdownCheckpoints runs the real binary: start covserved
+// with a WAL and snapshot file, ingest over HTTP, send SIGTERM, and
+// require a clean exit that left a restorable checkpoint holding every
+// acknowledged edge.
+func TestGracefulShutdownCheckpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the covserved binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "covserved")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building covserved: %v\n%s", err, out)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	snap := filepath.Join(dir, "state.snap")
+	var stderr bytes.Buffer
+	cmd := exec.Command(bin,
+		"-n", "20", "-k", "3", "-eps", "0.4", "-seed", "5", "-shards", "2",
+		"-addr", addr,
+		"-snapshot-file", snap,
+		"-wal-dir", filepath.Join(dir, "wal"),
+		"-wal-fsync", "off",
+	)
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v\n%s", err, stderr.Bytes())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	const edges = 200
+	pairs := make([][2]uint32, edges)
+	for i := range pairs {
+		pairs[i] = [2]uint32{uint32(i % 20), uint32(i % 97)}
+	}
+	body, _ := json.Marshal(map[string]interface{}{"edges": pairs})
+	resp, err := http.Post(base+"/v1/edges", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/edges: %s\n%s", resp.Status, stderr.Bytes())
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- cmd.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Fatalf("covserved exited with %v\n%s", err, stderr.Bytes())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("covserved did not exit after SIGTERM\n%s", stderr.Bytes())
+	}
+
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatalf("no final snapshot: %v\n%s", err, stderr.Bytes())
+	}
+	defer f.Close()
+	m := server.NewMulti(server.DefaultNamespace)
+	defer m.Close()
+	if _, err := m.RestoreAll(f); err != nil {
+		t.Fatalf("final snapshot does not restore: %v", err)
+	}
+	e, ok := m.Get(server.DefaultNamespace)
+	if !ok {
+		t.Fatal("final snapshot lost the bootstrap namespace")
+	}
+	if got := e.IngestedEdges(); got != edges {
+		t.Fatalf("final snapshot holds %d edges, want %d", got, edges)
 	}
 }

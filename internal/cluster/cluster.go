@@ -30,6 +30,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"net/url"
@@ -55,7 +56,10 @@ type Options struct {
 	PullInterval time.Duration
 	// MaxBackoff caps the exponential per-peer retry backoff applied
 	// after consecutive transport failures (default 30s). The first
-	// failure retries after one PullInterval, then 2×, 4×, … up to this.
+	// failure retries after one PullInterval, then 2×, 4×, … up to this;
+	// every window is shortened by a deterministic per-(NodeID, peer)
+	// jitter fraction (< ¼) so nodes that lose the same peer together
+	// retry staggered rather than in lockstep.
 	MaxBackoff time.Duration
 	// Client issues the pull requests (default: a client with a 10s
 	// timeout — never http.DefaultClient, whose zero timeout would let
@@ -112,6 +116,12 @@ type remoteState struct {
 // peer is the per-peer pull bookkeeping.
 type peer struct {
 	url string
+	// jitter is this (node, peer) pair's deterministic backoff jitter
+	// fraction in [0, ¼): each retry window is shortened by that share,
+	// so a cluster of nodes losing the same peer at the same instant
+	// retries staggered instead of in lockstep, yet every schedule is
+	// reproducible (no RNG in the retry path).
+	jitter float64
 
 	mu sync.Mutex
 	ns map[string]*remoteState
@@ -177,9 +187,11 @@ func NewNode(m *server.Multi, opt Options) (*Node, error) {
 		if err != nil || u.Scheme == "" || u.Host == "" {
 			return nil, fmt.Errorf("cluster: bad peer URL %q", raw)
 		}
+		trimmed := strings.TrimRight(raw, "/")
 		peers = append(peers, &peer{
-			url: strings.TrimRight(raw, "/"),
-			ns:  make(map[string]*remoteState),
+			url:    trimmed,
+			jitter: backoffJitter(opt.nodeID(), trimmed),
+			ns:     make(map[string]*remoteState),
 		})
 	}
 	cl := opt.Client
@@ -294,6 +306,18 @@ func isTransport(err error) bool {
 	return errors.As(err, &t)
 }
 
+// backoffJitter derives the deterministic backoff jitter fraction in
+// [0, ¼) for one (node, peer) pair: an FNV-1a hash of the two names,
+// folded into 1024 buckets. Distinct pairs land in distinct buckets
+// with high probability, which is all the decorrelation needs.
+func backoffJitter(nodeID, peerURL string) float64 {
+	h := fnv.New64a()
+	io.WriteString(h, nodeID)
+	h.Write([]byte{0}) // keep ("ab","c") and ("a","bc") distinct
+	io.WriteString(h, peerURL)
+	return float64(h.Sum64()%1024) / 4096
+}
+
 // fail records a pull failure on p and classifies it.
 func (p *peer) fail(err error, transport bool, interval, maxBackoff time.Duration) error {
 	p.mu.Lock()
@@ -312,6 +336,9 @@ func (p *peer) fail(err error, transport bool, interval, maxBackoff time.Duratio
 	if backoff > maxBackoff {
 		backoff = maxBackoff
 	}
+	// Subtract the pair's jitter share so staggered windows never exceed
+	// the documented MaxBackoff cap.
+	backoff -= time.Duration(float64(backoff) * p.jitter)
 	p.nextAttempt = time.Now().Add(backoff)
 	return errTransport{err}
 }

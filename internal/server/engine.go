@@ -40,6 +40,7 @@ import (
 	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/distributed"
+	"repro/internal/wal"
 	"repro/internal/weighted"
 )
 
@@ -94,6 +95,17 @@ type Config struct {
 	// queries run the weighted greedy on it. Outliers and full-greedy
 	// queries are not defined for weighted instances and are rejected.
 	Weights *WeightConfig
+
+	// WAL, when non-nil, makes the engine durable (DESIGN.md §12): every
+	// accepted Ingest batch is appended to a write-ahead log in WAL.Dir
+	// before it is enqueued to the shard mailboxes, and New replays any
+	// log tail the restore state does not cover — through the same
+	// routing path, so the recovered shard states are bit-identical to
+	// the uncrashed engine's. Checkpoint (or CheckpointEngine /
+	// CheckpointMulti) truncates the log behind a durable snapshot. Nil
+	// (the default) keeps the engine purely in-memory with zero logging
+	// overhead.
+	WAL *WALConfig
 
 	// OnRefreshError, when non-nil, is invoked with the first error of
 	// the periodic merge loop (Config.MergeEvery) — at most once per
@@ -338,6 +350,9 @@ type Engine struct {
 	mode   Mode
 	part   distributed.Partitioner
 	shards []*shard
+	// wal is the engine's write-ahead log (nil unless Config.WAL): every
+	// accepted batch is appended before it enters a shard mailbox.
+	wal *wal.Log
 
 	// restored is the ingested-edge total carried in by the Config
 	// restore fields; shard stream counters never see those edges (they
@@ -440,6 +455,19 @@ func New(cfg Config) (*Engine, error) {
 		cache:    newQueryCache(cfg.queryCache()),
 		restored: restoredEdges,
 	}
+	// Recovery: replay the WAL tail the restore state does not cover into
+	// the still-private shard states (no goroutines yet, so the replay is
+	// exactly as deterministic as the original sequential Ingest calls),
+	// then log new batches from the recovered offset.
+	total := restoredEdges
+	if cfg.WAL != nil {
+		wlog, recovered, err := openEngineWAL(cfg, e.part, states, restoredEdges)
+		if err != nil {
+			return nil, err
+		}
+		e.wal = wlog
+		total = recovered
+	}
 	for i := range e.shards {
 		sh := &shard{
 			mail: make(chan shardMsg, cfg.queueDepth()),
@@ -449,8 +477,8 @@ func New(cfg Config) (*Engine, error) {
 		e.shards[i] = sh
 		go sh.run(states[i])
 	}
-	if restoredEdges > 0 {
-		e.ingested.Store(restoredEdges)
+	if total > 0 {
+		e.ingested.Store(total)
 	}
 	if cfg.MergeEvery > 0 {
 		e.stopTicker = make(chan struct{})
@@ -527,6 +555,17 @@ func (e *Engine) Ingest(edges []bipartite.Edge) (int, error) {
 	defer e.ingestMu.RUnlock()
 	if e.closed {
 		return 0, ErrClosed
+	}
+	// Durability first: the batch must be in the log before any shard can
+	// observe it, so a crash never leaves applied-but-unlogged edges. The
+	// fsync policy decides whether "in the log" means stable storage
+	// (always) or the kernel (interval/off) by the time Ingest returns. A
+	// log failure rejects the batch: no shard has seen it, so the engine
+	// stays consistent with the log's acknowledged prefix.
+	if e.wal != nil {
+		if _, err := e.wal.Append(edges); err != nil {
+			return 0, err
+		}
 	}
 	// Route into pooled sub-batch buffers (ownership passes to the shard,
 	// which recycles them after its batched AddEdges pass).
@@ -855,7 +894,15 @@ func safeEstimate(covered int, pStar float64) float64 {
 // merged state only counts the kept edges it replayed), so accounting
 // survives restore.
 func (e *Engine) WriteSnapshot(w io.Writer) (*Snapshot, error) {
-	snap, err := e.Refresh()
+	// A durable engine snapshots through the batch-aligned Checkpoint so
+	// the persisted edge total always lands on a WAL record boundary —
+	// restoring these bytes next to the engine's own WAL must never
+	// split a frame. (Callers wanting truncation too use CheckpointEngine.)
+	snapFn := e.Refresh
+	if e.wal != nil {
+		snapFn = e.Checkpoint
+	}
+	snap, err := snapFn()
 	if err != nil {
 		return nil, err
 	}
@@ -1016,6 +1063,13 @@ func (e *Engine) Close() error {
 	}
 	for _, sh := range e.shards {
 		<-sh.done
+	}
+	if e.wal != nil {
+		// Last: flush the log tail to stable storage. Every accepted batch
+		// is already in the kernel (Append never returns before the write
+		// syscall), so this bounds loss on a clean shutdown to zero even
+		// under the "off" policy.
+		return e.wal.Close()
 	}
 	return nil
 }

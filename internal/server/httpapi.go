@@ -439,16 +439,42 @@ func MethodNotAllowed(w http.ResponseWriter, allowed string) {
 	ErrorJSON(w, http.StatusMethodNotAllowed, "%s required", allowed)
 }
 
-// atomicWrite streams write to a private temp file and renames it over
-// path, so concurrent writers cannot interleave bytes and readers only
-// ever observe a complete file.
+// Indirection points of atomicWrite's durability steps, swapped by the
+// write-path test to assert the ordering (data fsynced before the
+// rename publishes it; directory fsynced after, so the new name itself
+// survives power loss).
+var (
+	syncFile   = (*os.File).Sync
+	renameFile = os.Rename
+	syncDir    = func(dir string) error {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		err = d.Sync()
+		if cerr := d.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+)
+
+// atomicWrite streams write to a private temp file, fsyncs it, renames
+// it over path and fsyncs the parent directory — so concurrent writers
+// cannot interleave bytes, readers only ever observe a complete file,
+// and a power loss after return cannot roll the file back to its old
+// content (rename without the surrounding fsyncs guarantees neither).
 func atomicWrite(path string, write func(io.Writer) error) error {
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
 	err = write(f)
+	if err == nil {
+		err = syncFile(f)
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -456,32 +482,23 @@ func atomicWrite(path string, write func(io.Writer) error) error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := renameFile(tmp, path); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	return syncDir(dir)
 }
 
-// persistSnapshot merges and writes one engine's sketch (format v1)
-// atomically to path.
+// persistSnapshot checkpoints one engine's state (format v1)
+// atomically to path, truncating its WAL behind the durable file.
 func persistSnapshot(e *Engine, path string) (*Snapshot, error) {
-	var snap *Snapshot
-	err := atomicWrite(path, func(w io.Writer) error {
-		var werr error
-		snap, werr = e.WriteSnapshot(w)
-		return werr
-	})
-	if err != nil {
-		return nil, err
-	}
-	return snap, nil
+	return CheckpointEngine(e, path)
 }
 
-// persistMultiSnapshot writes the whole namespace directory as one v2
-// container, atomically.
+// persistMultiSnapshot checkpoints the whole namespace directory as one
+// v2 container, atomically, truncating every namespace's WAL behind it.
 func persistMultiSnapshot(m *Multi, path string) error {
-	return atomicWrite(path, m.WriteSnapshot)
+	return CheckpointMulti(m, path)
 }
 
 // ingestRequest is the POST …/edges body: edges as [set, elem] pairs.

@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 )
@@ -78,6 +79,10 @@ type Multi struct {
 	mu     sync.RWMutex
 	ns     map[string]*Engine
 	closed bool
+	// dur, when non-nil, is the durability template (SetDurability):
+	// Create gives each namespace a WAL in dur.Dir/<name>, and Delete
+	// removes that directory with the namespace.
+	dur *WALConfig
 }
 
 // NewMulti returns an empty namespace directory. defaultName is the
@@ -113,6 +118,12 @@ func (m *Multi) Create(name string, cfg Config) (*Engine, error) {
 	}
 	if taken {
 		return nil, fmt.Errorf("%w: %q", ErrNamespaceExists, name)
+	}
+	// Durability plane armed: the namespace logs (and recovers) in its
+	// own subdirectory of the WAL root. An explicit cfg.WAL wins, so
+	// tests and embedders can still place a log manually.
+	if d := m.durability(); d != nil && cfg.WAL == nil {
+		cfg.WAL = d.namespaceWAL(name)
 	}
 	eng, err := New(cfg)
 	if err != nil {
@@ -168,7 +179,15 @@ func (m *Multi) Delete(name string) error {
 	}
 	// Close drains the shard goroutines; done outside the directory lock
 	// so sibling namespaces keep serving while this one winds down.
-	return e.Close()
+	err := e.Close()
+	// A deleted namespace must not resurrect at the next startup: its WAL
+	// directory (segments + config sidecar) goes with it.
+	if d := m.durability(); d != nil {
+		if rerr := os.RemoveAll(d.namespaceWAL(name).Dir); err == nil {
+			err = rerr
+		}
+	}
+	return err
 }
 
 // NamespaceInfo is a directory entry: the namespace's configuration

@@ -116,6 +116,21 @@ func (f configFrame) config() Config {
 // Config, making the file self-describing: RestoreAll rebuilds every
 // engine without the caller re-supplying parameters.
 func (m *Multi) WriteSnapshot(w io.Writer) error {
+	return m.writeSnapshotWith(w, func(e *Engine) (*Snapshot, error) {
+		// Durable engines cut batch-aligned checkpoints (see
+		// Engine.WriteSnapshot); WriteSnapshot's Refresh does the right
+		// thing either way, minus this container's own buffering.
+		if e.wal != nil {
+			return e.Checkpoint()
+		}
+		return e.Refresh()
+	})
+}
+
+// writeSnapshotWith writes the v2 container, obtaining each namespace's
+// snapshot through snapFor — Refresh for a plain WriteSnapshot,
+// Checkpoint when CheckpointMulti needs batch-aligned, truncatable cuts.
+func (m *Multi) writeSnapshotWith(w io.Writer, snapFor func(*Engine) (*Snapshot, error)) error {
 	infos := m.List()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(MultiSnapshotMagic); err != nil {
@@ -130,8 +145,12 @@ func (m *Multi) WriteSnapshot(w io.Writer) error {
 		if !ok { // deleted since List; skip would corrupt the count
 			return fmt.Errorf("%w: %q (deleted during snapshot)", ErrNamespaceUnknown, info.Name)
 		}
+		snap, err := snapFor(e)
 		blob.Reset()
-		if _, err := e.WriteSnapshot(&blob); err != nil {
+		if err == nil {
+			err = snap.WriteState(&blob)
+		}
+		if err != nil {
 			return fmt.Errorf("server: snapshotting namespace %q: %w", info.Name, err)
 		}
 		cfgJSON, err := json.Marshal(frameFromConfig(e.Config()))

@@ -1,0 +1,123 @@
+package tables
+
+// This file implements the WAL-overhead experiment: what the durability
+// plane (DESIGN.md §12) costs on the ingest hot path, per fsync policy.
+// Each run pushes the dense-degree stream through a fresh sharded
+// engine — no WAL, then a WAL under each policy — and ends in a drain
+// merge so the measurement covers full absorption, not just enqueue.
+// `covbench -run wal-overhead -json` produces the BENCH_wal.json line.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// walMode is one measured durability setting; fsync == "" means no WAL.
+type walMode struct {
+	name  string
+	fsync string
+	wal   bool
+}
+
+// runWALMode builds one fresh engine with cfg, streams edges through it
+// in batches, drains with a merge, and reports the wall time plus the
+// engine's fsync count.
+func runWALMode(cfg server.Config, edges []bipartite.Edge, batch int) (time.Duration, int64, error) {
+	e, err := server.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer e.Close()
+	start := time.Now()
+	for lo := 0; lo < len(edges); lo += batch {
+		hi := lo + batch
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		if _, err := e.Ingest(edges[lo:hi]); err != nil {
+			return 0, 0, err
+		}
+	}
+	if _, err := e.Refresh(); err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	return elapsed, e.WALStats().Syncs, nil
+}
+
+// RunWALOverhead measures ingest throughput (edges/sec) without a WAL
+// and under each WAL fsync policy. The "vs no-WAL" column is the
+// throughput ratio against the first row — the acceptance gate that a
+// disabled WAL costs nothing, and the price list for each durability
+// level.
+func RunWALOverhead(cfg Config) []*stats.Table {
+	n := cfg.pick(200, 60)
+	m := cfg.pick(20000, 4000)
+	inst := workload.LargeSets(n, m, 0.3, cfg.seed())
+	edges := stream.Drain(stream.Shuffled(inst.G, cfg.seed()+1))
+	base := server.Config{
+		NumSets: n, NumElems: m, K: 10, Eps: 0.3,
+		Seed: cfg.seed(), EdgeBudget: 40 * n, Shards: 4,
+	}
+	const batch = 1024
+
+	modes := []walMode{
+		{"no WAL", "", false},
+		{"WAL fsync=off", "off", true},
+		{"WAL fsync=interval", "interval", true},
+		{"WAL fsync=always", "always", true},
+	}
+
+	tbl := &stats.Table{
+		Title: fmt.Sprintf("WAL ingest overhead — %s, %d edges, batch %d",
+			inst.Name, len(edges), batch),
+		Cols: []string{"mode", "ms/run", "edges/sec", "vs no-WAL", "fsyncs"},
+		Notes: []string{
+			"each run is one full pass through a fresh 4-shard engine, ending in a drain merge",
+			fmt.Sprintf("best of %d trials per mode; vs no-WAL is the throughput ratio against the first row", cfg.trials()),
+		},
+	}
+
+	baseline := 0.0
+	for _, mode := range modes {
+		best := time.Duration(0)
+		var syncs int64
+		for trial := 0; trial < cfg.trials(); trial++ {
+			c := base
+			if mode.wal {
+				dir, err := os.MkdirTemp("", "covbench-wal-*")
+				if err != nil {
+					panic(fmt.Sprintf("tables: wal-overhead: %v", err))
+				}
+				c.WAL = &server.WALConfig{Dir: dir, Fsync: mode.fsync}
+			}
+			elapsed, s, err := runWALMode(c, edges, batch)
+			if c.WAL != nil {
+				os.RemoveAll(c.WAL.Dir)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("tables: wal-overhead %s: %v", mode.name, err))
+			}
+			if best == 0 || elapsed < best {
+				best, syncs = elapsed, s
+			}
+		}
+		eps := float64(len(edges)) / best.Seconds()
+		if baseline == 0 {
+			baseline = eps
+		}
+		tbl.AddRow(mode.name,
+			float64(best.Milliseconds()),
+			eps,
+			ratio(eps, baseline),
+			fmt.Sprintf("%d", syncs))
+	}
+	return []*stats.Table{tbl}
+}

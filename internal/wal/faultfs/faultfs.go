@@ -1,0 +1,114 @@
+// Package faultfs injects storage faults into the WAL write path for
+// crash-recovery testing. An Injector hands out wal.WriteFile
+// implementations that count every byte written across all files it
+// opened and, once a configured byte limit is crossed, tear the write
+// in progress: the chunk that crosses the limit is written only up to
+// the limit (a torn frame on disk, exactly what a power loss leaves)
+// and the write returns ErrCrashed; every later write and fsync fails
+// the same way. Sweeping the limit across a workload's full byte range
+// simulates a crash at every possible frame boundary and mid-frame
+// position.
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// ErrCrashed is returned by writes and syncs after the injector's byte
+// limit is crossed — the process is considered dead from that point.
+var ErrCrashed = errors.New("faultfs: injected crash")
+
+// Injector opens fault-injecting files. The zero value is unusable; use
+// NewInjector.
+type Injector struct {
+	mu      sync.Mutex
+	limit   int64 // total bytes allowed across all opened files; <0 = unlimited
+	written int64
+	crashed bool
+}
+
+// NewInjector returns an injector that lets limit bytes through across
+// every file it opens, tears the write that crosses the limit, and
+// fails everything afterwards. A negative limit never crashes (useful
+// to measure a workload's total byte volume via Written).
+func NewInjector(limit int64) *Injector {
+	return &Injector{limit: limit}
+}
+
+// Written reports the total bytes successfully written so far.
+func (in *Injector) Written() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.written
+}
+
+// Crashed reports whether the byte limit has been crossed.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// OpenWrite opens path for appending with fault injection; it has the
+// signature of wal.Options.OpenWrite.
+func (in *Injector) OpenWrite(path string) (wal.WriteFile, error) {
+	in.mu.Lock()
+	crashed := in.crashed
+	in.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{in: in, f: f}, nil
+}
+
+type faultFile struct {
+	in *Injector
+	f  *os.File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	in := ff.in
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	allow := len(p)
+	if in.limit >= 0 && in.written+int64(allow) > in.limit {
+		allow = int(in.limit - in.written)
+		in.crashed = true
+	}
+	in.written += int64(allow)
+	in.mu.Unlock()
+
+	n, err := ff.f.Write(p[:allow])
+	if err != nil {
+		return n, err
+	}
+	if allow < len(p) {
+		// The torn portion must be what a real crash leaves behind:
+		// flushed to the file, then nothing more.
+		ff.f.Sync()
+		return n, ErrCrashed
+	}
+	return n, nil
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.in.Crashed() {
+		return ErrCrashed
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	return ff.f.Close()
+}

@@ -1,0 +1,117 @@
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bipartite"
+)
+
+// segFile is a discovered on-disk segment.
+type segFile struct {
+	path string
+	seq  uint64
+}
+
+// listSegments returns dir's segment files in sequence order.
+func listSegments(dir string) ([]segFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading log dir: %w", err)
+	}
+	var segs []segFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segExt) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(name, segExt), 10, 64)
+		if err != nil {
+			continue // not a segment of ours
+		}
+		segs = append(segs, segFile{path: filepath.Join(dir, name), seq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// scanSegment reads one segment, calling fn for every intact frame in
+// order, and returns the offset past the last intact frame (0 when the
+// segment holds none). Per the torn-tail rule it stops cleanly — nil
+// error — at the first frame that is short, oversized, or fails its
+// CRC; only fn's errors and I/O errors other than EOF propagate.
+func scanSegment(path string, fn func(offset int64, edges []bipartite.Edge) error) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return 0, nil // shorter than the header: torn at creation
+	}
+	if string(magic) != segMagic {
+		return 0, fmt.Errorf("not a WAL segment (bad magic %q)", magic)
+	}
+
+	var (
+		end    int64
+		header [frameHeader]byte
+		body   []byte
+		edges  []bipartite.Edge
+	)
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return end, nil
+			}
+			return end, err
+		}
+		length := getU32(header[0:])
+		if length < 8 || length%8 != 0 || length > maxFrameBody {
+			return end, nil // implausible length: torn tail
+		}
+		if cap(body) < int(length) {
+			body = make([]byte, length)
+		}
+		body = body[:length]
+		if _, err := io.ReadFull(f, body); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return end, nil
+			}
+			return end, err
+		}
+		if crc32.Checksum(body, castagnoli) != getU32(header[4:]) {
+			return end, nil
+		}
+		off := int64(getU64(body))
+		n := (len(body) - 8) / 8
+		if cap(edges) < n {
+			edges = make([]bipartite.Edge, n)
+		}
+		edges = edges[:n]
+		for i := range edges {
+			edges[i].Set = getU32(body[8+8*i:])
+			edges[i].Elem = getU32(body[12+8*i:])
+		}
+		if err := fn(off, edges); err != nil {
+			return end, err
+		}
+		end = off + int64(n)
+	}
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b)) | uint64(getU32(b[4:]))<<32
+}

@@ -1,0 +1,440 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bipartite"
+)
+
+func edgeBatch(start, n int) []bipartite.Edge {
+	b := make([]bipartite.Edge, n)
+	for i := range b {
+		b[i] = bipartite.Edge{Set: uint32(start + i), Elem: uint32(2*start + 3*i)}
+	}
+	return b
+}
+
+// replayAll opens the log at seed and collects every replayed frame.
+func replayAll(t *testing.T, opts Options, seed int64) (*Log, []int64, [][]bipartite.Edge) {
+	t.Helper()
+	var offs []int64
+	var frames [][]bipartite.Edge
+	l, err := Open(opts, seed, func(off int64, edges []bipartite.Edge) error {
+		offs = append(offs, off)
+		frames = append(frames, append([]bipartite.Edge(nil), edges...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, offs, frames
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Policy: SyncOff}
+	l, err := Open(opts, 0, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var want [][]bipartite.Edge
+	next := int64(0)
+	for i := 0; i < 7; i++ {
+		b := edgeBatch(i*10, 3+i)
+		off, err := l.Append(b)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if off != next {
+			t.Fatalf("Append offset = %d, want %d", off, next)
+		}
+		next += int64(len(b))
+		want = append(want, b)
+	}
+	if got := l.NextOffset(); got != next {
+		t.Fatalf("NextOffset = %d, want %d", got, next)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, offs, frames := replayAll(t, opts, 0)
+	defer l2.Close()
+	if !reflect.DeepEqual(frames, want) {
+		t.Fatalf("replayed frames differ:\n got %v\nwant %v", frames, want)
+	}
+	run := int64(0)
+	for i, off := range offs {
+		if off != run {
+			t.Fatalf("frame %d offset = %d, want %d", i, off, run)
+		}
+		run += int64(len(frames[i]))
+	}
+	if got := l2.NextOffset(); got != next {
+		t.Fatalf("recovered NextOffset = %d, want %d", got, next)
+	}
+}
+
+func TestReplaySkipsSeededFrames(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Policy: SyncOff}
+	l, err := Open(opts, 0, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append(edgeBatch(i, 5)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	l.Close()
+
+	// Seed on a frame boundary: replay starts at the next frame.
+	l2, offs, _ := replayAll(t, opts, 10)
+	l2.Close()
+	if !reflect.DeepEqual(offs, []int64{10, 15}) {
+		t.Fatalf("replayed offsets = %v, want [10 15]", offs)
+	}
+
+	// Seed past the log: nothing to replay, next stays at seed... but a
+	// seed beyond the end with surviving earlier frames is fine (they
+	// are all covered).
+	l3, offs3, _ := replayAll(t, opts, 20)
+	l3.Close()
+	if len(offs3) != 0 {
+		t.Fatalf("replayed offsets = %v, want none", offs3)
+	}
+
+	// Seed mid-frame: checkpoint cuts are batch-aligned, so this means
+	// corruption and must error.
+	if _, err := Open(opts, 12, nil); err == nil {
+		t.Fatalf("Open with straddling seed succeeded, want error")
+	}
+}
+
+func TestTornTailStopsCleanly(t *testing.T) {
+	for _, cut := range []int{1, 4, frameHeader, frameHeader + 3, frameHeader + 8} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			opts := Options{Dir: dir, Policy: SyncOff}
+			l, err := Open(opts, 0, nil)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			if _, err := l.Append(edgeBatch(0, 4)); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			if _, err := l.Append(edgeBatch(4, 2)); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			l.Close()
+
+			// Tear the second frame: keep the first frame plus cut bytes
+			// of the second.
+			segs, err := listSegments(dir)
+			if err != nil || len(segs) != 1 {
+				t.Fatalf("listSegments = %v, %v", segs, err)
+			}
+			keep := int64(len(segMagic)) + int64(frameHeader+8+8*4) + int64(cut)
+			if err := os.Truncate(segs[0].path, keep); err != nil {
+				t.Fatalf("Truncate: %v", err)
+			}
+
+			l2, offs, frames := replayAll(t, opts, 0)
+			defer l2.Close()
+			if !reflect.DeepEqual(offs, []int64{0}) || len(frames) != 1 || len(frames[0]) != 4 {
+				t.Fatalf("after torn tail: offsets %v, frames %v", offs, frames)
+			}
+			if got := l2.NextOffset(); got != 4 {
+				t.Fatalf("NextOffset = %d, want 4", got)
+			}
+		})
+	}
+}
+
+func TestBitFlipStopsSegment(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Policy: SyncOff}
+	l, err := Open(opts, 0, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	l.Append(edgeBatch(0, 4))
+	l.Append(edgeBatch(4, 4))
+	l.Close()
+
+	segs, _ := listSegments(dir)
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	// Flip a payload bit in the second frame.
+	data[len(segMagic)+(frameHeader+8+8*4)+frameHeader+10] ^= 0x40
+	if err := os.WriteFile(segs[0].path, data, 0o666); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	l2, offs, _ := replayAll(t, opts, 0)
+	l2.Close()
+	if !reflect.DeepEqual(offs, []int64{0}) {
+		t.Fatalf("replayed offsets = %v, want [0] (stop at bad CRC)", offs)
+	}
+}
+
+func TestBadMagicIsError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, fmt.Sprintf("%020d%s", 1, segExt))
+	if err := os.WriteFile(path, []byte("NOTAWAL!\x00\x00\x00\x00"), 0o666); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := Open(Options{Dir: dir, Policy: SyncOff}, 0, nil); err == nil {
+		t.Fatalf("Open over bad magic succeeded, want error")
+	}
+}
+
+func TestMissingSegmentIsGapError(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Policy: SyncOff, SegmentBytes: 1} // rotate every append
+	l, err := Open(opts, 0, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(edgeBatch(i, 2)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	l.Close()
+	segs, _ := listSegments(dir)
+	if len(segs) < 3 {
+		t.Fatalf("want ≥3 segments, got %d", len(segs))
+	}
+	// Delete a middle segment holding acknowledged frames.
+	if err := os.Remove(segs[1].path); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := Open(opts, 0, nil); err == nil {
+		t.Fatalf("Open over missing middle segment succeeded, want gap error")
+	}
+}
+
+func TestRotationAndTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Policy: SyncOff, SegmentBytes: 200}
+	l, err := Open(opts, 0, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	total := int64(0)
+	for i := 0; i < 20; i++ {
+		b := edgeBatch(i, 6)
+		if _, err := l.Append(b); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		total += int64(len(b))
+	}
+	st := l.Stats()
+	if st.Rotations == 0 || st.Segments < 2 {
+		t.Fatalf("expected rotations, got %+v", st)
+	}
+
+	// Checkpoint covering half the stream: all fully covered sealed
+	// segments go away, the rest stays replayable.
+	if err := l.TruncateBefore(total / 2); err != nil {
+		t.Fatalf("TruncateBefore: %v", err)
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) >= st.Segments+1 { // rotate-on-truncate adds ≤1
+		t.Fatalf("truncation removed nothing: %d segments", len(segs))
+	}
+	l.Close()
+
+	l2, offs, _ := replayAll(t, opts, total/2)
+	defer l2.Close()
+	if got := l2.NextOffset(); got != total {
+		t.Fatalf("recovered NextOffset = %d, want %d", got, total)
+	}
+	if len(offs) == 0 {
+		t.Fatalf("no frames replayed after truncation")
+	}
+
+	// A checkpoint covering everything empties the log.
+	if err := l2.TruncateBefore(total); err != nil {
+		t.Fatalf("TruncateBefore(all): %v", err)
+	}
+	l2.Close()
+	l3, offs3, _ := replayAll(t, opts, total)
+	defer l3.Close()
+	if len(offs3) != 0 {
+		t.Fatalf("replayed %d frames after full truncation, want 0", len(offs3))
+	}
+}
+
+// TestTruncationMarkerRefusesUnseededRecovery pins the truncation
+// marker: once a checkpoint has truncated away the whole log, a
+// recovery that forgot the covering snapshot (seed 0) must fail loudly
+// instead of silently coming up empty — an empty truncated log and a
+// genuinely empty log are otherwise indistinguishable.
+func TestTruncationMarkerRefusesUnseededRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Policy: SyncOff}
+	l, err := Open(opts, 0, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	total := int64(0)
+	for i := 0; i < 10; i++ {
+		b := edgeBatch(i, 4)
+		if _, err := l.Append(b); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		total += int64(len(b))
+	}
+
+	// A partial checkpoint: the single sealed segment straddles the cut,
+	// so every frame survives, and the marker alone must not refuse a
+	// seed-0 recovery that still accounts for the whole stream.
+	if err := l.TruncateBefore(total / 2); err != nil {
+		t.Fatalf("TruncateBefore(half): %v", err)
+	}
+	l.Close()
+	l2, offs, _ := replayAll(t, opts, 0)
+	if got := l2.NextOffset(); got != total || len(offs) == 0 {
+		t.Fatalf("recovered NextOffset = %d (frames %d), want %d", got, len(offs), total)
+	}
+
+	// A checkpoint covering everything deletes every frame; seed 0 can
+	// no longer be accounted for and recovery must refuse.
+	if err := l2.TruncateBefore(total); err != nil {
+		t.Fatalf("TruncateBefore(all): %v", err)
+	}
+	l2.Close()
+	if _, err := Open(opts, 0, nil); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("Open(seed 0) after full truncation = %v, want truncation error", err)
+	}
+
+	// Restoring the covering snapshot (seed == checkpoint offset)
+	// recovers, and the log keeps appending from there.
+	l3, err := Open(opts, total, nil)
+	if err != nil {
+		t.Fatalf("Open(seed %d): %v", total, err)
+	}
+	defer l3.Close()
+	if got := l3.NextOffset(); got != total {
+		t.Fatalf("NextOffset after seeded recovery = %d, want %d", got, total)
+	}
+
+	// A corrupt marker is a loud error, not a silent zero.
+	if err := os.WriteFile(filepath.Join(dir, truncName), []byte("junk"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	l3.Close()
+	if _, err := Open(opts, total, nil); err == nil || !strings.Contains(err.Error(), "marker") {
+		t.Fatalf("Open with corrupt marker = %v, want marker error", err)
+	}
+}
+
+func TestConcurrentAppendSyncAlways(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Policy: SyncAlways}
+	l, err := Open(opts, 0, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := l.Append(edgeBatch(w*100+i, 2)); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	want := int64(workers * perWorker * 2)
+	if st.NextOffset != want {
+		t.Fatalf("NextOffset = %d, want %d", st.NextOffset, want)
+	}
+	if st.SyncedOffset != want {
+		t.Fatalf("SyncedOffset = %d, want %d (SyncAlways must be durable on return)", st.SyncedOffset, want)
+	}
+	if st.Syncs > st.Appends {
+		t.Fatalf("more syncs (%d) than appends (%d)", st.Syncs, st.Appends)
+	}
+	l.Close()
+
+	// Every acknowledged frame must replay, and offsets must be
+	// contiguous (Open checks that itself).
+	l2, offs, _ := replayAll(t, opts, 0)
+	defer l2.Close()
+	if len(offs) != workers*perWorker {
+		t.Fatalf("replayed %d frames, want %d", len(offs), workers*perWorker)
+	}
+}
+
+func TestSyncEveryFlushesOnTimer(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Policy: SyncEvery, Interval: 5 * time.Millisecond}
+	l, err := Open(opts, 0, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if _, err := l.Append(edgeBatch(0, 3)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().SyncedOffset < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("interval sync never caught up: %+v", l.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestClosedLogRejectsOperations(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Policy: SyncOff}, 0, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append(edgeBatch(0, 1)); err != ErrClosed {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := l.Sync(); err != ErrClosed {
+		t.Fatalf("Sync after Close = %v, want ErrClosed", err)
+	}
+	if err := l.TruncateBefore(0); err != ErrClosed {
+		t.Fatalf("TruncateBefore after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, good := range []string{"", "always", "interval", "off"} {
+		if _, err := ParsePolicy(good); err != nil {
+			t.Errorf("ParsePolicy(%q): %v", good, err)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Errorf("ParsePolicy accepted junk")
+	}
+}

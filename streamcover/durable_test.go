@@ -1,0 +1,199 @@
+package streamcover
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func durableEdges(n, m, count int) []Edge {
+	out := make([]Edge, count)
+	state := uint64(0xabcdef12345)
+	for i := range out {
+		state = state*6364136223846793005 + 1442695040888963407
+		out[i] = Edge{Set: uint32(state>>33) % uint32(n), Elem: uint32(state>>13) % uint32(m)}
+	}
+	return out
+}
+
+// TestDurableServiceSurvivesRestart pins the public Service surface of
+// the durability plane: a durable service restarted over the same log
+// directory (without any explicit snapshot) serializes to exactly the
+// bytes of the original.
+func TestDurableServiceSurvivesRestart(t *testing.T) {
+	const n, m = 30, 400
+	opt := ServiceOptions{
+		Options:    Options{Eps: 0.4, Seed: 7, NumElems: m, EdgeBudget: 40 * n},
+		K:          5,
+		Shards:     3,
+		Durability: &Durability{Dir: t.TempDir(), Fsync: "off"},
+	}
+	svc, err := NewService(n, opt)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	edges := durableEdges(n, m, 500)
+	for i := 0; i < len(edges); i += 50 {
+		if err := svc.Ingest(edges[i : i+50]); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+	}
+	var want bytes.Buffer
+	if err := svc.WriteSnapshot(&want); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	svc.Close()
+
+	svc2, err := NewService(n, opt)
+	if err != nil {
+		t.Fatalf("NewService(restart): %v", err)
+	}
+	defer svc2.Close()
+	var got bytes.Buffer
+	if err := svc2.WriteSnapshot(&got); err != nil {
+		t.Fatalf("WriteSnapshot(restart): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("restarted durable service state differs")
+	}
+}
+
+// TestDurableServiceCheckpointAndTail pins Checkpoint + tail replay: a
+// mid-stream Checkpoint truncates the log, and a restart restoring that
+// snapshot over the remaining log tail reproduces the full state.
+func TestDurableServiceCheckpointAndTail(t *testing.T) {
+	const n, m = 30, 400
+	dir := t.TempDir()
+	snap := filepath.Join(t.TempDir(), "svc.snap")
+	opt := ServiceOptions{
+		Options:    Options{Eps: 0.4, Seed: 7, NumElems: m, EdgeBudget: 40 * n},
+		K:          5,
+		Shards:     3,
+		Durability: &Durability{Dir: dir, Fsync: "off"},
+	}
+	svc, err := NewService(n, opt)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	edges := durableEdges(n, m, 400)
+	if err := svc.Ingest(edges[:200]); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if err := svc.Checkpoint(snap); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := svc.Ingest(edges[200:]); err != nil {
+		t.Fatalf("Ingest(tail): %v", err)
+	}
+	var want bytes.Buffer
+	if err := svc.WriteSnapshot(&want); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	svc.Close()
+
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatalf("opening checkpoint: %v", err)
+	}
+	svc2, err := RestoreService(f, n, opt)
+	f.Close()
+	if err != nil {
+		t.Fatalf("RestoreService: %v", err)
+	}
+	defer svc2.Close()
+	var got bytes.Buffer
+	if err := svc2.WriteSnapshot(&got); err != nil {
+		t.Fatalf("WriteSnapshot(restored): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("checkpoint+tail restore differs from pre-restart state")
+	}
+}
+
+// TestDurableHubRecovery pins the Hub surface: autosnapshot-style
+// Checkpoint plus RecoverNamespaces rebuild both a snapshotted
+// namespace (with log tail) and a namespace that was never snapshotted.
+func TestDurableHubRecovery(t *testing.T) {
+	const n, m = 30, 400
+	walRoot := t.TempDir()
+	snap := filepath.Join(t.TempDir(), "hub.snap")
+	d := &Durability{Dir: walRoot, Fsync: "off"}
+	opt := ServiceOptions{
+		Options: Options{Eps: 0.4, Seed: 7, NumElems: m, EdgeBudget: 40 * n},
+		K:       5,
+		Shards:  2,
+	}
+
+	h := NewHub()
+	h.SetDurability(d)
+	a, err := h.OpenNamespace("alpha", n, opt)
+	if err != nil {
+		t.Fatalf("OpenNamespace(alpha): %v", err)
+	}
+	edges := durableEdges(n, m, 300)
+	if err := a.Ingest(edges[:150]); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if err := h.Checkpoint(snap); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := a.Ingest(edges[150:]); err != nil {
+		t.Fatalf("Ingest(tail): %v", err)
+	}
+	b, err := h.OpenNamespace("beta", n, opt)
+	if err != nil {
+		t.Fatalf("OpenNamespace(beta): %v", err)
+	}
+	if err := b.Ingest(edges[:100]); err != nil {
+		t.Fatalf("Ingest(beta): %v", err)
+	}
+	var wantA, wantB bytes.Buffer
+	if err := a.WriteSnapshot(&wantA); err != nil {
+		t.Fatalf("WriteSnapshot(alpha): %v", err)
+	}
+	if err := b.WriteSnapshot(&wantB); err != nil {
+		t.Fatalf("WriteSnapshot(beta): %v", err)
+	}
+	h.Close()
+
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatalf("opening hub snapshot: %v", err)
+	}
+	defer f.Close()
+	h2 := NewHub()
+	h2.SetDurability(d)
+	defer h2.Close()
+	if _, err := h2.Multi().RestoreAll(f); err != nil {
+		t.Fatalf("RestoreAll: %v", err)
+	}
+	recovered, err := h2.RecoverNamespaces()
+	if err != nil {
+		t.Fatalf("RecoverNamespaces: %v", err)
+	}
+	if len(recovered) != 1 || recovered[0] != "beta" {
+		t.Fatalf("RecoverNamespaces = %v, want [beta]", recovered)
+	}
+	a2, ok := h2.Namespace("alpha")
+	if !ok {
+		t.Fatalf("alpha missing after recovery")
+	}
+	b2, ok := h2.Namespace("beta")
+	if !ok {
+		t.Fatalf("beta missing after recovery")
+	}
+	var gotA, gotB bytes.Buffer
+	if err := a2.WriteSnapshot(&gotA); err != nil {
+		t.Fatalf("WriteSnapshot(alpha2): %v", err)
+	}
+	if err := b2.WriteSnapshot(&gotB); err != nil {
+		t.Fatalf("WriteSnapshot(beta2): %v", err)
+	}
+	if !bytes.Equal(gotA.Bytes(), wantA.Bytes()) {
+		t.Fatalf("alpha state differs after recovery")
+	}
+	if !bytes.Equal(gotB.Bytes(), wantB.Bytes()) {
+		t.Fatalf("beta state differs after recovery")
+	}
+}

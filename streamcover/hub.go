@@ -69,6 +69,7 @@ func serviceConfig(numSets int, opt ServiceOptions) (server.Config, error) {
 		MergeEvery:  opt.MergeEvery,
 		QueryCache:  opt.QueryCache,
 		Engine:      server.ModeName(opt.Engine),
+		WAL:         opt.Durability.walConfig(),
 	}
 	if opt.Weights != nil {
 		// The engine clones the table, so the caller may keep mutating its

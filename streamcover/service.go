@@ -53,6 +53,13 @@ type ServiceOptions struct {
 	// merge-invariant, and its answers are exact over the buffered
 	// candidates. NewSieveService is the explicit constructor.
 	Engine string
+	// Durability, when non-nil, gives the service a write-ahead log:
+	// accepted batches are logged before the ingest workers see them, and
+	// construction replays any log tail a restored snapshot does not
+	// cover. See Durability for the fsync policies, Service.Checkpoint
+	// for snapshot + log truncation. Nil (the default) keeps the service
+	// purely in-memory.
+	Durability *Durability
 }
 
 // Service is a live, concurrently-ingestible coverage-query service: the
