@@ -34,6 +34,17 @@
 //	       -file inst.txt -k 10 -eps 0.4 -seed 7 -budget 10000 \
 //	       -weights mod:16 -compare
 //
+// With -wire, covcli replays the instance over covserved's binary wire
+// ingest protocol (-wire-addr; DESIGN.md §13) instead of JSON posts: one
+// persistent connection streams CRC-framed batches with pipelined acks,
+// typically an order of magnitude faster (see covbench wire-throughput).
+// Queries and -compare still go over HTTP via -server:
+//
+//	covserved -n 200 -k 10 -eps 0.4 -seed 7 -budget 10000 \
+//	          -wire-addr 127.0.0.1:9090 &
+//	covcli -server http://127.0.0.1:8080 -wire 127.0.0.1:9090 \
+//	       -file inst.txt -k 10 -eps 0.4 -seed 7 -budget 10000 -compare
+//
 // With -fanout, covcli replays against a whole cluster (covserved
 // -peers …): batches are partitioned round-robin across the listed
 // node URLs, the first node is asked to pull its peers
@@ -103,6 +114,7 @@ func main() {
 		weightsFl = flag.String("weights", "", `weighted-coverage profile ("mod:<p>" or "geo:<c>"); requires -create-ns, queries the weighted kcover route`)
 		engineFl  = flag.String("engine", "", `engine mode for the created namespace ("sketch" or "sieve"); requires -create-ns`)
 		fanout    = flag.String("fanout", "", "comma-separated cluster node URLs: partition the replay across them, pull, then query the first (overrides -server)")
+		wireFlag  = flag.String("wire", "", "covserved wire listener address (-wire-addr): replay over the binary ingest protocol instead of JSON posts")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -127,6 +139,10 @@ func main() {
 	}
 	if *engineFl == "sieve" && *compare {
 		fmt.Fprintln(os.Stderr, "covcli: -compare is not defined for -engine sieve (the sharded sieve replay has no bit-identical offline reference)")
+		os.Exit(2)
+	}
+	if *wireFlag != "" && *fanout != "" {
+		fmt.Fprintln(os.Stderr, "covcli: -wire and -fanout are mutually exclusive (the wire replay targets one node)")
 		os.Exit(2)
 	}
 	f, err := os.Open(*file)
@@ -198,47 +214,70 @@ func main() {
 	start := time.Now()
 	sent, batches := 0, 0
 	st := inst.EdgeStream(*seed)
-	pairs := make([][2]uint32, 0, *batch)
-	// Batches round-robin across the nodes — with -fanout every node
-	// ingests only its partition, and the final answer still has to
-	// account for every edge (mergeability over the wire).
-	flush := func() error {
-		if len(pairs) == 0 {
+	if *wireFlag != "" {
+		// One persistent wire connection: batches are framed, pipelined
+		// and acked with the ingested-edge watermark; Close flushes and
+		// waits for the final ack, so every edge is in the engine (and in
+		// the WAL on a durable server) before the query below runs.
+		hello := streamcover.WireHello{Namespace: *ns, Engine: *engineFl}
+		conn, err := streamcover.DialIngest(*wireFlag, hello)
+		if err != nil {
+			fatal(err)
+		}
+		total, err := conn.SendStream(st, *batch)
+		if err != nil {
+			fatal(err)
+		}
+		if err := conn.Close(); err != nil {
+			fatal(err)
+		}
+		sent = int(total)
+		batches = int((total + int64(*batch) - 1) / int64(*batch))
+		fmt.Fprintf(os.Stderr, "covcli: ingested %d edges in %d wire batches (%v)\n",
+			sent, batches, time.Since(start).Round(time.Millisecond))
+	} else {
+		pairs := make([][2]uint32, 0, *batch)
+		// Batches round-robin across the nodes — with -fanout every node
+		// ingests only its partition, and the final answer still has to
+		// account for every edge (mergeability over the wire).
+		flush := func() error {
+			if len(pairs) == 0 {
+				return nil
+			}
+			base := apiBase(nodes[batches%len(nodes)])
+			body, _ := json.Marshal(map[string]interface{}{"edges": pairs})
+			resp, err := client.Post(base+"/edges", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(resp.Body)
+				return fmt.Errorf("POST %s/edges: %s: %s", base, resp.Status, bytes.TrimSpace(msg))
+			}
+			sent += len(pairs)
+			batches++
+			pairs = pairs[:0]
 			return nil
 		}
-		base := apiBase(nodes[batches%len(nodes)])
-		body, _ := json.Marshal(map[string]interface{}{"edges": pairs})
-		resp, err := client.Post(base+"/edges", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return err
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			msg, _ := io.ReadAll(resp.Body)
-			return fmt.Errorf("POST %s/edges: %s: %s", base, resp.Status, bytes.TrimSpace(msg))
-		}
-		sent += len(pairs)
-		batches++
-		pairs = pairs[:0]
-		return nil
-	}
-	for {
-		e, ok := st.Next()
-		if !ok {
-			break
-		}
-		pairs = append(pairs, [2]uint32{e.Set, e.Elem})
-		if len(pairs) == *batch {
-			if err := flush(); err != nil {
-				fatal(err)
+		for {
+			e, ok := st.Next()
+			if !ok {
+				break
+			}
+			pairs = append(pairs, [2]uint32{e.Set, e.Elem})
+			if len(pairs) == *batch {
+				if err := flush(); err != nil {
+					fatal(err)
+				}
 			}
 		}
+		if err := flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "covcli: ingested %d edges in %d batches across %d node(s) (%v)\n",
+			sent, batches, len(nodes), time.Since(start).Round(time.Millisecond))
 	}
-	if err := flush(); err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "covcli: ingested %d edges in %d batches across %d node(s) (%v)\n",
-		sent, batches, len(nodes), time.Since(start).Round(time.Millisecond))
 
 	queryBase := apiBase(nodes[0])
 	if len(nodes) > 1 {

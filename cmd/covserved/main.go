@@ -39,6 +39,21 @@
 //	GET    /v1/ns/{name}/stats      namespace-scoped accounting
 //	POST   /v1/ns/{name}/snapshot   merge namespace (+persist all)
 //	GET    …/snapshot               local merged state, as bytes (+ETag)
+//	GET    /metrics                 Prometheus text exposition: per-
+//	                                namespace engine counters plus the
+//	                                wire-plane counters when -wire-addr
+//	                                is set
+//
+// With -wire-addr, covserved additionally serves the binary wire ingest
+// protocol (internal/wire, DESIGN.md §13) on a second listener:
+// persistent connections stream CRC-framed edge batches straight into
+// the engine's pooled ingest buffers, with backpressure via TCP flow
+// control when shard mailboxes fill and periodic acks carrying the
+// ingested-edge watermark, so producers get an order of magnitude more
+// throughput than JSON posts (BENCH_wire.json) without losing the
+// exactly-once contract — named streams resume from the acknowledged
+// watermark after a reconnect. covcli -wire and covbench wire-throughput
+// drive it.
 //
 // With -peers, covserved runs as a cluster node (internal/cluster):
 // each node ingests its own stream partition, pulls its peers'
@@ -79,6 +94,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -88,6 +104,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -116,6 +133,7 @@ func main() {
 		walFsyncIv = flag.Duration("wal-fsync-interval", 0, "fsync period for -wal-fsync=interval (default 100ms)")
 		walSegSize = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (default 64 MiB)")
 		autosnap   = flag.Duration("autosnapshot-every", 0, "checkpoint all namespaces to -snapshot-file on this period (0 = off)")
+		wireAddr   = flag.String("wire-addr", "", "listen address for the binary wire ingest protocol (empty = disabled)")
 	)
 	flag.Parse()
 	if *n <= 0 {
@@ -234,6 +252,37 @@ func main() {
 	} else {
 		handler = server.NewMultiHandler(multi, httpOpt)
 	}
+
+	// The wire ingest plane: a second listener speaking the binary
+	// protocol, sharing the HTTP plane's namespace directory (and batch
+	// cap). Its counters ride the /metrics endpoint.
+	var wireSrv *wire.Server
+	var metricsSources []server.MetricsSource
+	if *wireAddr != "" {
+		wireSrv = wire.NewServer(multi, wire.Options{
+			MaxBatchEdges: *maxBatch,
+			OnError: func(err error) {
+				fmt.Fprintf(os.Stderr, "covserved: wire: %v\n", err)
+			},
+		})
+		metricsSources = append(metricsSources, wireSrv)
+		wireLn, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "covserved: wire listener: %v\n", err)
+			os.Exit(1)
+		}
+		go func() {
+			if err := wireSrv.Serve(wireLn); err != nil {
+				fmt.Fprintf(os.Stderr, "covserved: wire listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "covserved: wire ingest on %s\n", wireLn.Addr())
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", server.NewMetricsHandler(multi, metricsSources...))
+	mux.Handle("/", handler)
+	handler = mux
+
 	stopAutosnap := func() {}
 	if *autosnap > 0 {
 		stopAutosnap = multi.StartAutosnapshot(*snapFile, *autosnap, func(err error) {
@@ -270,6 +319,12 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "covserved: draining requests: %v\n", err)
+	}
+	if wireSrv != nil {
+		// Stop the wire listeners and drain the per-connection goroutines
+		// before the final checkpoint, so every acked edge is in an engine
+		// when the snapshot is cut.
+		wireSrv.Close()
 	}
 	stopAutosnap()
 	if node != nil {

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
 	"testing"
@@ -341,5 +343,155 @@ func TestGracefulShutdownCheckpoints(t *testing.T) {
 	}
 	if got := e.IngestedEdges(); got != edges {
 		t.Fatalf("final snapshot holds %d edges, want %d", got, edges)
+	}
+}
+
+// TestWireIngestAndMetricsEndToEnd runs the real binary with a wire
+// listener: edges go in over the binary protocol (with a mid-stream
+// reconnect), a scrape of GET /metrics must expose the namespace and
+// wire-plane counters, and the HTTP query plane must account for every
+// wire-ingested edge.
+func TestWireIngestAndMetricsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the covserved binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "covserved")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building covserved: %v\n%s", err, out)
+	}
+
+	reserve := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr
+	}
+	addr, wireAddr := reserve(), reserve()
+
+	var stderr bytes.Buffer
+	cmd := exec.Command(bin,
+		"-n", "20", "-k", "3", "-eps", "0.4", "-seed", "5", "-shards", "2",
+		"-addr", addr,
+		"-wire-addr", wireAddr,
+	)
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v\n%s", err, stderr.Bytes())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Wire ingest on a named stream, killed partway and resumed — the
+	// real server must carry the watermark across the reconnect.
+	edges := make([]streamcover.Edge, 300)
+	for i := range edges {
+		edges[i] = streamcover.Edge{Set: uint32(i % 20), Elem: uint32(i % 97)}
+	}
+	hello := streamcover.WireHello{Stream: "smoke", Engine: "sketch"}
+	conn, err := streamcover.DialIngest(wireAddr, hello)
+	if err != nil {
+		t.Fatalf("DialIngest: %v\n%s", err, stderr.Bytes())
+	}
+	if err := conn.Send(edges[:150]); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	conn.Abort()
+	redial := time.Now().Add(5 * time.Second)
+	for {
+		conn, err = streamcover.DialIngest(wireAddr, hello)
+		if err == nil {
+			break
+		}
+		if time.Now().After(redial) {
+			t.Fatalf("reconnect: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := conn.ResumeOffset(); got != 150 {
+		t.Fatalf("resumed at %d, want 150", got)
+	}
+	if err := conn.Send(edges[150:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The HTTP plane sees every wire-ingested edge.
+	resp, err := http.Get(base + "/v1/query?algo=kcover&k=3&refresh=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q server.QueryResult
+	if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if q.SnapshotEdges != int64(len(edges)) {
+		t.Fatalf("query snapshot at %d of %d wire edges", q.SnapshotEdges, len(edges))
+	}
+
+	// /metrics exposes namespace and wire families in text format.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s\n%s", resp.Status, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE covserved_namespaces gauge",
+		"# TYPE covserved_ingested_edges_total counter",
+		`covserved_ingested_edges_total{ns="default"} 300`,
+		`covserved_queries_total{ns="default"} 1`,
+		// Exact connection counts are timing-dependent (the reconnect
+		// can race the server noticing the aborted stream and retry),
+		// so only the families and the exact edge total are pinned.
+		"# TYPE covserved_wire_connections_total counter",
+		"covserved_wire_edges_total 300",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics scrape missing %q:\n%s", want, body)
+		}
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- cmd.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Fatalf("covserved exited with %v\n%s", err, stderr.Bytes())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("covserved did not exit after SIGTERM\n%s", stderr.Bytes())
 	}
 }

@@ -369,6 +369,10 @@ type Engine struct {
 	ingested atomic.Int64
 	batches  atomic.Int64
 	queries  atomic.Int64
+	// ingestStalls counts shard-mailbox sends that found the mailbox
+	// full and had to wait — the engine's backpressure events. The wire
+	// ingest plane surfaces them as its stall metric.
+	ingestStalls atomic.Int64
 
 	cache     *queryCache // nil when disabled
 	cacheHits atomic.Int64
@@ -584,7 +588,16 @@ func (e *Engine) Ingest(edges []bipartite.Edge) (int, error) {
 	e.ingested.Add(int64(len(edges)))
 	e.batches.Add(1)
 	for w, b := range buckets {
-		if b != nil {
+		if b == nil {
+			continue
+		}
+		// Fast path: the mailbox has room. A full mailbox is counted as a
+		// backpressure stall before the blocking send — the signal the
+		// wire plane and /metrics surface as ingest_stalls.
+		select {
+		case e.shards[w].mail <- shardMsg{batch: b}:
+		default:
+			e.ingestStalls.Add(1)
 			e.shards[w].mail <- shardMsg{batch: b}
 		}
 	}
@@ -710,6 +723,51 @@ func (e *Engine) RefreshErrors() int64 { return e.refreshErrors.Load() }
 // Stats it is a single atomic load — no message rides the shard
 // mailboxes — so it is safe to call at directory-listing frequency.
 func (e *Engine) IngestedEdges() int64 { return e.ingested.Load() }
+
+// IngestStalls reports the number of shard-mailbox sends that found the
+// mailbox full and had to wait (backpressure events). A single atomic
+// load, safe at any frequency.
+func (e *Engine) IngestStalls() int64 { return e.ingestStalls.Load() }
+
+// Counters is the cheap subset of Stats: every field is an atomic read,
+// no message rides the shard mailboxes, so a metrics scrape can collect
+// it per namespace at high frequency without perturbing ingest.
+type Counters struct {
+	// IngestedEdges / Batches / IngestStalls account the ingest plane.
+	IngestedEdges int64
+	Batches       int64
+	IngestStalls  int64
+	// Queries / QueryCacheHits account the query plane.
+	Queries        int64
+	QueryCacheHits int64
+	// Refreshes / RefreshSkips / RefreshErrors account the merge plane.
+	Refreshes     int64
+	RefreshSkips  int64
+	RefreshErrors int64
+	// SnapshotSeq / SnapshotEdges identify the published snapshot (zero
+	// before the first merge).
+	SnapshotSeq   uint64
+	SnapshotEdges int64
+}
+
+// Counters returns the engine's cheap counters (see Counters).
+func (e *Engine) Counters() Counters {
+	c := Counters{
+		IngestedEdges:  e.ingested.Load(),
+		Batches:        e.batches.Load(),
+		IngestStalls:   e.ingestStalls.Load(),
+		Queries:        e.queries.Load(),
+		QueryCacheHits: e.cacheHits.Load(),
+		Refreshes:      e.refreshes.Load(),
+		RefreshSkips:   e.refreshSkips.Load(),
+		RefreshErrors:  e.refreshErrors.Load(),
+	}
+	if snap := e.snap.Load(); snap != nil {
+		c.SnapshotSeq = snap.Seq
+		c.SnapshotEdges = snap.IngestedEdges
+	}
+	return c
+}
 
 // Algo identifies a query algorithm.
 type Algo string
@@ -963,6 +1021,10 @@ type Stats struct {
 	IngestedEdges int64 `json:"ingested_edges"`
 	// Batches is the number of Ingest calls that delivered edges.
 	Batches int64 `json:"batches"`
+	// IngestStalls counts shard-mailbox sends that found the mailbox
+	// full and had to wait — backpressure events, the signal the wire
+	// ingest plane propagates to producers by pausing socket reads.
+	IngestStalls int64 `json:"ingest_stalls"`
 	// Queries is the number of queries served (cache hits included).
 	Queries int64 `json:"queries"`
 	// QueryCacheHits counts queries answered from the memoized result
@@ -1014,6 +1076,7 @@ func (e *Engine) Stats() (*Stats, error) {
 		Shards:         len(e.shards),
 		IngestedEdges:  e.ingested.Load(),
 		Batches:        e.batches.Load(),
+		IngestStalls:   e.ingestStalls.Load(),
 		Queries:        e.queries.Load(),
 		QueryCacheHits: e.cacheHits.Load(),
 		Refreshes:      e.refreshes.Load(),

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// This file is the observability plane: GET /metrics in the Prometheus
+// text exposition format (v0.0.4), surfacing every namespace's cheap
+// engine counters (Engine.Counters — atomic reads only, so a scraper
+// cannot perturb ingest by riding the shard mailboxes) plus any number
+// of extra sources (the wire ingest server contributes its connection,
+// frame and backpressure-stall counters).
+
+// MetricsWriter accumulates one scrape in the Prometheus text format.
+// Metric families (HELP/TYPE headers) are emitted once, on the first
+// sample of each name, so several sources and namespaces can share a
+// family as long as their label sets differ.
+type MetricsWriter struct {
+	buf  bytes.Buffer
+	seen map[string]bool
+}
+
+// Label is one metric label pair.
+type Label struct{ Name, Value string }
+
+func (w *MetricsWriter) sample(name, help, typ string, labels []Label, v float64) {
+	if w.seen == nil {
+		w.seen = make(map[string]bool)
+	}
+	if !w.seen[name] {
+		w.seen[name] = true
+		w.buf.WriteString("# HELP ")
+		w.buf.WriteString(name)
+		w.buf.WriteByte(' ')
+		w.buf.WriteString(help)
+		w.buf.WriteString("\n# TYPE ")
+		w.buf.WriteString(name)
+		w.buf.WriteByte(' ')
+		w.buf.WriteString(typ)
+		w.buf.WriteByte('\n')
+	}
+	w.buf.WriteString(name)
+	if len(labels) > 0 {
+		w.buf.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.buf.WriteByte(',')
+			}
+			w.buf.WriteString(l.Name)
+			w.buf.WriteString(`="`)
+			// Namespace names are [A-Za-z0-9._-] so no escaping is ever
+			// needed for them; escape anyway so arbitrary sources are safe.
+			for _, r := range l.Value {
+				switch r {
+				case '\\', '"':
+					w.buf.WriteByte('\\')
+					w.buf.WriteRune(r)
+				case '\n':
+					w.buf.WriteString(`\n`)
+				default:
+					w.buf.WriteRune(r)
+				}
+			}
+			w.buf.WriteByte('"')
+		}
+		w.buf.WriteByte('}')
+	}
+	w.buf.WriteByte(' ')
+	w.buf.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	w.buf.WriteByte('\n')
+}
+
+// Counter emits one sample of a counter family.
+func (w *MetricsWriter) Counter(name, help string, labels []Label, v float64) {
+	w.sample(name, help, "counter", labels, v)
+}
+
+// Gauge emits one sample of a gauge family.
+func (w *MetricsWriter) Gauge(name, help string, labels []Label, v float64) {
+	w.sample(name, help, "gauge", labels, v)
+}
+
+// MetricsSource contributes samples to a /metrics scrape. Sources are
+// invoked once per scrape, in registration order, on a writer shared
+// with the namespace metrics.
+type MetricsSource interface {
+	AppendMetrics(w *MetricsWriter)
+}
+
+// appendMultiMetrics writes the per-namespace engine counters.
+func appendMultiMetrics(w *MetricsWriter, m *Multi) {
+	infos := m.List()
+	w.Gauge("covserved_namespaces", "Live namespaces in the directory.", nil, float64(len(infos)))
+	// Collect the engines under their (sorted) names; List already
+	// sorts, and Get may race with deletion, so skip vanished ones.
+	names := make([]string, 0, len(infos))
+	for _, info := range infos {
+		names = append(names, info.Name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e, ok := m.Get(name)
+		if !ok {
+			continue
+		}
+		c := e.Counters()
+		ns := []Label{{"ns", name}}
+		w.Counter("covserved_ingested_edges_total", "Edges accepted by Ingest.", ns, float64(c.IngestedEdges))
+		w.Counter("covserved_ingest_batches_total", "Ingest calls that delivered edges.", ns, float64(c.Batches))
+		w.Counter("covserved_ingest_stalls_total", "Shard-mailbox sends that found the mailbox full (backpressure).", ns, float64(c.IngestStalls))
+		w.Counter("covserved_queries_total", "Queries served (cache hits included).", ns, float64(c.Queries))
+		w.Counter("covserved_query_cache_hits_total", "Queries answered from the memoized result cache.", ns, float64(c.QueryCacheHits))
+		w.Counter("covserved_refreshes_total", "Coordinator merges that actually ran.", ns, float64(c.Refreshes))
+		w.Counter("covserved_refresh_skips_total", "Refresh calls satisfied by the idle short-circuit.", ns, float64(c.RefreshSkips))
+		w.Counter("covserved_refresh_errors_total", "Background merge failures.", ns, float64(c.RefreshErrors))
+		w.Gauge("covserved_snapshot_seq", "Current merged snapshot sequence number.", ns, float64(c.SnapshotSeq))
+		w.Gauge("covserved_snapshot_edges", "Ingested-edge count the current snapshot reflects.", ns, float64(c.SnapshotEdges))
+	}
+}
+
+// NewMetricsHandler serves GET /metrics over a namespace directory plus
+// any extra sources. Scrapes read only atomic counters (no shard
+// mailbox traffic), so a tight scrape interval cannot perturb ingest or
+// queries.
+func NewMetricsHandler(m *Multi, sources ...MetricsSource) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			MethodNotAllowed(rw, "GET, HEAD")
+			return
+		}
+		var w MetricsWriter
+		appendMultiMetrics(&w, m)
+		for _, src := range sources {
+			if src != nil {
+				src.AppendMetrics(&w)
+			}
+		}
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		rw.Header().Set("Content-Length", strconv.Itoa(w.buf.Len()))
+		rw.WriteHeader(http.StatusOK)
+		if r.Method != http.MethodHead {
+			rw.Write(w.buf.Bytes())
+		}
+	})
+}

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"bufio"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bipartite"
+)
+
+// metricsScrape is one parsed text-format exposition: sample line →
+// value, family name → TYPE.
+type metricsScrape struct {
+	samples map[string]float64
+	types   map[string]string
+	helps   map[string]int // family → number of HELP lines (must be 1)
+}
+
+func parseMetrics(t *testing.T, body string) *metricsScrape {
+	t.Helper()
+	s := &metricsScrape{
+		samples: make(map[string]float64),
+		types:   make(map[string]string),
+		helps:   make(map[string]int),
+	}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(fields) != 2 || fields[1] == "" {
+				t.Fatalf("HELP line without text: %q", line)
+			}
+			s.helps[fields[0]]++
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if fields[1] != "counter" && fields[1] != "gauge" {
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			if prev, dup := s.types[fields[0]]; dup {
+				t.Fatalf("family %s typed twice (%s, %s)", fields[0], prev, fields[1])
+			}
+			s.types[fields[0]] = fields[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line: %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("sample %q: %v", line, err)
+		}
+		key := line[:sp]
+		if _, dup := s.samples[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		s.samples[key] = v
+		family := key
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
+		if _, ok := s.types[family]; !ok {
+			t.Fatalf("sample %q before its TYPE line", key)
+		}
+	}
+	for family, n := range s.helps {
+		if n != 1 {
+			t.Fatalf("family %s has %d HELP lines", family, n)
+		}
+		if _, ok := s.types[family]; !ok {
+			t.Fatalf("family %s has HELP but no TYPE", family)
+		}
+	}
+	return s
+}
+
+func (s *metricsScrape) value(t *testing.T, key string) float64 {
+	t.Helper()
+	v, ok := s.samples[key]
+	if !ok {
+		t.Fatalf("metric %q missing from scrape", key)
+	}
+	return v
+}
+
+type extraSource struct{ calls int }
+
+func (x *extraSource) AppendMetrics(w *MetricsWriter) {
+	x.calls++
+	w.Counter("covserved_test_extra_total", "Extra source sample.", []Label{{"src", `quo"te`}}, 3)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	m := NewMulti("")
+	defer m.Close()
+	cfg := Config{NumSets: 32, K: 4, Eps: 0.5, Seed: 1, Shards: 2}
+	for _, ns := range []string{"alpha", "beta"} {
+		if _, err := m.Create(ns, cfg); err != nil {
+			t.Fatalf("Create(%q): %v", ns, err)
+		}
+	}
+	extra := &extraSource{}
+	h := NewMetricsHandler(m, extra)
+
+	scrape := func() *metricsScrape {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET /metrics: status %d", rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("content type %q", ct)
+		}
+		return parseMetrics(t, rec.Body.String())
+	}
+
+	// Scripted activity on alpha: ingest, two identical queries (second
+	// hits the cache), an explicit refresh.
+	alpha, _ := m.Get("alpha")
+	edges := make([]bipartite.Edge, 200)
+	for i := range edges {
+		edges[i] = bipartite.Edge{Set: uint32(i % 32), Elem: uint32(i)}
+	}
+	if _, err := alpha.Ingest(edges); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if _, err := alpha.Query(Query{Algo: AlgoKCover, K: 3, Refresh: true}); err != nil {
+		t.Fatalf("Query 1: %v", err)
+	}
+	if _, err := alpha.Query(Query{Algo: AlgoKCover, K: 3}); err != nil {
+		t.Fatalf("Query 2: %v", err)
+	}
+	if _, err := alpha.Refresh(); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+
+	s1 := scrape()
+
+	// Expected families, with their types.
+	wantTypes := map[string]string{
+		"covserved_namespaces":             "gauge",
+		"covserved_ingested_edges_total":   "counter",
+		"covserved_ingest_batches_total":   "counter",
+		"covserved_ingest_stalls_total":    "counter",
+		"covserved_queries_total":          "counter",
+		"covserved_query_cache_hits_total": "counter",
+		"covserved_refreshes_total":        "counter",
+		"covserved_refresh_skips_total":    "counter",
+		"covserved_refresh_errors_total":   "counter",
+		"covserved_snapshot_seq":           "gauge",
+		"covserved_snapshot_edges":         "gauge",
+		"covserved_test_extra_total":       "counter",
+	}
+	for family, typ := range wantTypes {
+		if got := s1.types[family]; got != typ {
+			t.Fatalf("family %s: type %q, want %q", family, got, typ)
+		}
+	}
+
+	if got := s1.value(t, "covserved_namespaces"); got != 2 {
+		t.Fatalf("namespaces = %v, want 2", got)
+	}
+	if got := s1.value(t, `covserved_ingested_edges_total{ns="alpha"}`); got != 200 {
+		t.Fatalf("alpha ingested = %v, want 200", got)
+	}
+	if got := s1.value(t, `covserved_ingested_edges_total{ns="beta"}`); got != 0 {
+		t.Fatalf("beta ingested = %v, want 0", got)
+	}
+	if got := s1.value(t, `covserved_queries_total{ns="alpha"}`); got != 2 {
+		t.Fatalf("alpha queries = %v, want 2", got)
+	}
+	if got := s1.value(t, `covserved_query_cache_hits_total{ns="alpha"}`); got != 1 {
+		t.Fatalf("alpha cache hits = %v, want 1", got)
+	}
+	if got := s1.value(t, `covserved_snapshot_edges{ns="alpha"}`); got != 200 {
+		t.Fatalf("alpha snapshot edges = %v, want 200", got)
+	}
+	// Label values are escaped.
+	if _, ok := s1.samples[`covserved_test_extra_total{src="quo\"te"}`]; !ok {
+		t.Fatalf("escaped extra-source sample missing; have %v", s1.samples)
+	}
+
+	// More activity, then a second scrape: every counter is monotone
+	// non-decreasing, and the touched ones strictly grew.
+	if _, err := alpha.Ingest(edges[:50]); err != nil {
+		t.Fatalf("Ingest 2: %v", err)
+	}
+	if _, err := alpha.Query(Query{Algo: AlgoKCover, K: 2, Refresh: true}); err != nil {
+		t.Fatalf("Query 3: %v", err)
+	}
+	s2 := scrape()
+	for key, v1 := range s1.samples {
+		family := key
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
+		if s1.types[family] != "counter" {
+			continue
+		}
+		if v2 := s2.value(t, key); v2 < v1 {
+			t.Fatalf("counter %s went backwards: %v → %v", key, v1, v2)
+		}
+	}
+	if got := s2.value(t, `covserved_ingested_edges_total{ns="alpha"}`); got != 250 {
+		t.Fatalf("alpha ingested after second scrape = %v, want 250", got)
+	}
+	if got := s2.value(t, `covserved_queries_total{ns="alpha"}`); got != 3 {
+		t.Fatalf("alpha queries after second scrape = %v, want 3", got)
+	}
+	if extra.calls != 2 {
+		t.Fatalf("extra source invoked %d times, want 2", extra.calls)
+	}
+
+	// Method handling: POST is refused, HEAD answers headers only.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST /metrics: status %d, want 405", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("HEAD", "/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Fatalf("HEAD /metrics: status %d, body %d bytes", rec.Code, rec.Body.Len())
+	}
+	if cl := rec.Header().Get("Content-Length"); cl == "" || cl == "0" {
+		t.Fatalf("HEAD Content-Length = %q", cl)
+	}
+}

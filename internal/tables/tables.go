@@ -78,6 +78,7 @@ func Experiments() map[string]Runner {
 		"cluster-throughput": RunClusterThroughput,
 		"mode-comparison":    RunModeComparison,
 		"wal-overhead":       RunWALOverhead,
+		"wire-throughput":    RunWireThroughput,
 	}
 }
 

@@ -1,0 +1,166 @@
+package tables
+
+// This file implements the wire-throughput experiment: end-to-end
+// ingest rate of the binary wire protocol (internal/wire, DESIGN.md
+// §13) against the HTTP JSON plane, on the dense-degree workload whose
+// raw sketch rate BENCH_ingest.json records. The JSON plane pays
+// per-request setup, base-10 number encoding and [set, elem] array
+// decoding on every batch; the wire plane streams length-prefixed
+// little-endian frames over one persistent connection and decodes into
+// a reusable buffer, so the gap is the protocol overhead isolated from
+// the (shared) engine behind both. `covbench -run wire-throughput
+// -json` produces the BENCH_wire.json trajectory line.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// wireBenchConfig builds the engine config both planes share.
+func wireBenchConfig(cfg Config, n, m int) server.Config {
+	return server.Config{
+		NumSets: n, NumElems: m, K: 10, Eps: 0.3,
+		Seed: cfg.seed(), EdgeBudget: 40 * n,
+		Shards: 4,
+	}
+}
+
+// runWireJSONTrial ingests edges through the multi-tenant HTTP handler
+// in batches of batch and returns the wall time of the full replay.
+func runWireJSONTrial(cfg Config, n, m, batch int, edges []bipartite.Edge) time.Duration {
+	multi := server.NewMulti("")
+	defer multi.Close()
+	if _, err := multi.Create(server.DefaultNamespace, wireBenchConfig(cfg, n, m)); err != nil {
+		panic(err)
+	}
+	srv := httptest.NewServer(server.NewMultiHandler(multi, server.HTTPOptions{}))
+	defer srv.Close()
+
+	client := srv.Client()
+	pairs := make([][2]uint32, 0, batch)
+	body := &bytes.Buffer{}
+	start := time.Now()
+	for lo := 0; lo < len(edges); lo += batch {
+		hi := lo + batch
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		pairs = pairs[:0]
+		for _, e := range edges[lo:hi] {
+			pairs = append(pairs, [2]uint32{e.Set, e.Elem})
+		}
+		body.Reset()
+		if err := json.NewEncoder(body).Encode(map[string]interface{}{"edges": pairs}); err != nil {
+			panic(err)
+		}
+		resp, err := client.Post(srv.URL+"/v1/edges", "application/json", body)
+		if err != nil {
+			panic(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("tables: wire experiment JSON ingest: %s", resp.Status))
+		}
+	}
+	elapsed := time.Since(start)
+	eng, _ := multi.Get(server.DefaultNamespace)
+	if eng.IngestedEdges() != int64(len(edges)) {
+		panic("tables: wire experiment JSON plane lost edges")
+	}
+	return elapsed
+}
+
+// runWireTrial ingests edges through a wire listener in batches of
+// batch and returns the wall time of the full replay (including the
+// final flush, so every edge is in the engine when the clock stops).
+func runWireTrial(cfg Config, n, m, batch int, edges []bipartite.Edge) time.Duration {
+	multi := server.NewMulti("")
+	defer multi.Close()
+	if _, err := multi.Create(server.DefaultNamespace, wireBenchConfig(cfg, n, m)); err != nil {
+		panic(err)
+	}
+	ws := wire.NewServer(multi, wire.Options{})
+	defer ws.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go ws.Serve(ln)
+
+	conn, err := wire.Dial(ln.Addr().String(), wire.Hello{Namespace: server.DefaultNamespace})
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	for lo := 0; lo < len(edges); lo += batch {
+		hi := lo + batch
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		if err := conn.Send(edges[lo:hi]); err != nil {
+			panic(err)
+		}
+	}
+	if err := conn.Flush(); err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+	conn.Close()
+	eng, _ := multi.Get(server.DefaultNamespace)
+	if eng.IngestedEdges() != int64(len(edges)) {
+		panic("tables: wire experiment wire plane lost edges")
+	}
+	return elapsed
+}
+
+// RunWireThroughput measures end-to-end ingest throughput (edges/sec)
+// of the HTTP JSON plane vs the binary wire plane at several batch
+// sizes, over loopback TCP into identical engines. The speedup column
+// is relative to the JSON row of the same batch size.
+func RunWireThroughput(cfg Config) []*stats.Table {
+	n := cfg.pick(200, 60)
+	m := cfg.pick(20000, 4000)
+	inst := workload.LargeSets(n, m, 0.3, cfg.seed())
+	edges := stream.Drain(stream.Shuffled(inst.G, cfg.seed()+1))
+
+	tbl := &stats.Table{
+		Title: fmt.Sprintf("wire vs HTTP ingest throughput — %s, %d edges", inst.Name, len(edges)),
+		Cols:  []string{"plane", "batch", "ms/replay", "edges/sec", "speedup vs JSON"},
+		Notes: []string{
+			"loopback TCP; identical sharded engines behind both planes",
+			fmt.Sprintf("best of %d trials per row; speedup is vs the JSON row at the same batch size", cfg.trials()),
+			"wire replay time includes the final flush (all edges acked by the engine)",
+		},
+	}
+
+	for _, batch := range []int{256, 1024, 4096} {
+		best := func(run func() time.Duration) time.Duration {
+			var b time.Duration
+			for t := 0; t < cfg.trials(); t++ {
+				if d := run(); b == 0 || d < b {
+					b = d
+				}
+			}
+			return b
+		}
+		jsonBest := best(func() time.Duration { return runWireJSONTrial(cfg, n, m, batch, edges) })
+		wireBest := best(func() time.Duration { return runWireTrial(cfg, n, m, batch, edges) })
+		jsonRate := float64(len(edges)) / jsonBest.Seconds()
+		wireRate := float64(len(edges)) / wireBest.Seconds()
+		tbl.AddRow("http-json", batch, float64(jsonBest.Milliseconds()), jsonRate, 1.0)
+		tbl.AddRow("wire", batch, float64(wireBest.Milliseconds()), wireRate, ratio(wireRate, jsonRate))
+	}
+	return []*stats.Table{tbl}
+}

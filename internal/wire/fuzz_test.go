@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/bipartite"
+)
+
+// wireErrors is the closed set of typed protocol errors: every decode
+// failure on arbitrary input must wrap one of these (or be io.EOF on a
+// clean empty stream) — never a panic, never an untyped error.
+var wireErrors = []error{ErrBadMagic, ErrFrameTooLarge, ErrChecksum, ErrTruncated, ErrBadFrame}
+
+func isTypedWireError(err error) bool {
+	for _, want := range wireErrors {
+		if errors.Is(err, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzDecodeFrame feeds arbitrary bytes to the frame reader and every
+// body decoder: no input may panic, over-allocate past the declared
+// cap, or fail with anything but a typed protocol error.
+func FuzzDecodeFrame(f *testing.F) {
+	// Well-formed seeds for every frame type...
+	hello, _ := AppendHello(nil, Hello{Namespace: "default", Stream: "s", Engine: "sketch", CheckWeights: true, WeightSig: 42})
+	f.Add(AppendFrame(nil, FrameHello, hello))
+	f.Add(AppendFrame(nil, FrameHelloAck, AppendHelloAck(nil, HelloAck{Watermark: 7, NamespaceEdges: 9, Engine: "sieve", WeightSig: 1})))
+	batch, _ := AppendBatch(nil, 128, []bipartite.Edge{{Set: 1, Elem: 2}, {Set: 3, Elem: 4}})
+	f.Add(AppendFrame(nil, FrameBatch, batch))
+	f.Add(AppendFrame(nil, FrameAck, AppendAck(nil, 1<<40)))
+	f.Add(AppendFrame(nil, FrameFlush, nil))
+	f.Add(AppendFrame(nil, FrameError, AppendError(nil, CodeGap, "gap")))
+	// ... and structurally hostile ones.
+	f.Add([]byte{})
+	f.Add([]byte{FrameBatch})
+	f.Add([]byte{FrameBatch, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0}, frameHeader))
+	trunc := AppendFrame(nil, FrameBatch, batch)
+	f.Add(trunc[:len(trunc)-3])
+	corrupt := AppendFrame(nil, FrameHello, hello)
+	corrupt[len(corrupt)-1] ^= 0x40
+	f.Add(corrupt)
+
+	const maxBody = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var buf []byte
+		var edges []bipartite.Edge
+		for {
+			typ, body, err := ReadFrame(r, buf, maxBody)
+			if err != nil {
+				if err != io.EOF && !isTypedWireError(err) {
+					t.Fatalf("untyped frame error: %v", err)
+				}
+				return
+			}
+			if len(body) > maxBody {
+				t.Fatalf("body of %d bytes exceeds declared cap %d", len(body), maxBody)
+			}
+			// Decode the body as every shape it could claim to be: none
+			// may panic, and failures must be typed.
+			decoders := []func() error{
+				func() error { _, err := DecodeHello(body); return err },
+				func() error { _, err := DecodeHelloAck(body); return err },
+				func() error { _, err := DecodeBatch(body, &edges); return err },
+				func() error { _, err := DecodeAck(body); return err },
+				func() error { _, err := DecodeError(body); return err },
+			}
+			for i, dec := range decoders {
+				if err := dec(); err != nil && !isTypedWireError(err) {
+					t.Fatalf("decoder %d: untyped error on frame type %d: %v", i, typ, err)
+				}
+			}
+			if cap(edges) > maxBody/8+1 {
+				t.Fatalf("edge buffer grew to %d entries for %d-byte bodies", cap(edges), maxBody)
+			}
+			buf = body[:0]
+		}
+	})
+}
+
+// FuzzFrameRoundTrip encodes arbitrary hello/batch/ack content and
+// verifies decode(encode(x)) == x, including through the framed reader.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add("default", "stream-1", "sketch", true, uint64(42), int64(1000), uint16(2), []byte{1, 0, 0, 0, 2, 0, 0, 0})
+	f.Add("", "", "", false, uint64(0), int64(0), uint16(0), []byte{})
+	f.Add("ns.a-b_c", "loader/7", "weighted", true, ^uint64(0), int64(1)<<62, uint16(7), bytes.Repeat([]byte{0xA5}, 80))
+	f.Fuzz(func(t *testing.T, ns, stream, engine string, checkW bool, sig uint64, offset int64, code uint16, raw []byte) {
+		// Hello round trip (encode refuses overlong strings; skip those).
+		h := Hello{Namespace: ns, Stream: stream, Engine: engine, CheckWeights: checkW, WeightSig: sig}
+		if body, err := AppendHello(nil, h); err == nil {
+			got, err := DecodeHello(body)
+			if err != nil {
+				t.Fatalf("DecodeHello(AppendHello(%+v)): %v", h, err)
+			}
+			if got != h {
+				t.Fatalf("hello round trip: %+v != %+v", got, h)
+			}
+		} else if !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("AppendHello: untyped error %v", err)
+		}
+
+		// Hello-ack round trip (negative counters are not encodable
+		// distinctly; the decoder rejects the >MaxInt64 patterns).
+		if offset >= 0 {
+			a := HelloAck{Watermark: offset, NamespaceEdges: offset / 2, Engine: engine, WeightSig: sig}
+			if len(engine) <= maxHelloString {
+				got, err := DecodeHelloAck(AppendHelloAck(nil, a))
+				if err != nil {
+					t.Fatalf("hello-ack: %v", err)
+				}
+				if got != a {
+					t.Fatalf("hello-ack round trip: %+v != %+v", got, a)
+				}
+			}
+		}
+
+		// Batch round trip through a full frame: raw bytes become edges
+		// (truncated to whole pairs), framed, read back, decoded.
+		edges := make([]bipartite.Edge, 0, len(raw)/8)
+		for i := 0; i+8 <= len(raw); i += 8 {
+			edges = append(edges, bipartite.Edge{
+				Set:  uint32(raw[i]) | uint32(raw[i+1])<<8 | uint32(raw[i+2])<<16 | uint32(raw[i+3])<<24,
+				Elem: uint32(raw[i+4]) | uint32(raw[i+5])<<8 | uint32(raw[i+6])<<16 | uint32(raw[i+7])<<24,
+			})
+		}
+		body, err := AppendBatch(nil, offset, edges)
+		if err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("AppendBatch: untyped error %v", err)
+			}
+			if offset >= 0 && len(edges) <= MaxBatchEdges {
+				t.Fatalf("AppendBatch refused valid input: %v", err)
+			}
+			return
+		}
+		framed := AppendFrame(nil, FrameBatch, body)
+		typ, gotBody, err := ReadFrame(bytes.NewReader(framed), nil, 0)
+		if err != nil || typ != FrameBatch {
+			t.Fatalf("ReadFrame(framed batch): typ=%d err=%v", typ, err)
+		}
+		var gotEdges []bipartite.Edge
+		gotOffset, err := DecodeBatch(gotBody, &gotEdges)
+		if err != nil {
+			t.Fatalf("DecodeBatch: %v", err)
+		}
+		if gotOffset != offset || len(gotEdges) != len(edges) {
+			t.Fatalf("batch round trip: offset %d→%d, %d→%d edges", offset, gotOffset, len(edges), len(gotEdges))
+		}
+		for i := range edges {
+			if gotEdges[i] != edges[i] {
+				t.Fatalf("edge %d: %v != %v", i, gotEdges[i], edges[i])
+			}
+		}
+
+		// Ack and error round trips.
+		if offset >= 0 {
+			if wm, err := DecodeAck(AppendAck(nil, offset)); err != nil || wm != offset {
+				t.Fatalf("ack round trip: %d, %v", wm, err)
+			}
+		}
+		msg := string(raw)
+		werr, err := DecodeError(AppendError(nil, code, msg))
+		if err != nil {
+			t.Fatalf("error round trip: %v", err)
+		}
+		if werr.Code != code {
+			t.Fatalf("error code %d != %d", werr.Code, code)
+		}
+		wantMsg := msg
+		if len(wantMsg) > maxHelloString {
+			wantMsg = wantMsg[:maxHelloString]
+		}
+		if werr.Message != wantMsg {
+			t.Fatalf("error message round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package streamcover
+
+import (
+	"net"
+	"sync"
+
+	"repro/internal/bipartite"
+	"repro/internal/wire"
+)
+
+// This file threads the binary wire ingest plane (internal/wire,
+// DESIGN.md §13) through the public API: DialIngest opens a
+// persistent-connection producer that streams edge batches to a
+// covserved wire listener an order of magnitude faster than HTTP JSON
+// posts (BENCH_wire.json), and Hub.WireServer exposes a hub's
+// namespaces on such a listener in-process.
+
+// WireHello configures a wire ingest connection: which namespace (and
+// resumable stream) to feed, and the engine configuration the producer
+// expects the namespace to run — mismatches are rejected at the
+// handshake, exactly like the cluster plane rejects mismatched peers.
+type WireHello struct {
+	// Namespace is the target namespace name; empty selects "default".
+	Namespace string
+	// Stream, when non-empty, names a resumable stream: its acknowledged
+	// watermark survives reconnects, and a new connection resumes sending
+	// at ResumeOffset with server-side deduplication of any overlap.
+	Stream string
+	// Engine, when non-empty, must match the namespace's engine mode
+	// ("sketch", "weighted", "sieve") or the handshake is rejected.
+	Engine string
+	// CheckWeights makes the handshake compare WeightSig against the
+	// namespace's weight signature.
+	CheckWeights bool
+	// WeightSig is the expected weight-table signature (with CheckWeights).
+	WeightSig uint64
+}
+
+// IngestConn is a client-side wire ingest connection. Sends are
+// pipelined (no per-batch round trip); Flush blocks until the server
+// acknowledges everything sent, at which point every edge is in the
+// engine — and in the WAL on a durable namespace. Safe for one sender
+// goroutine; concurrent Send calls are serialized.
+type IngestConn struct {
+	c *wire.Conn
+
+	mu   sync.Mutex
+	conv []bipartite.Edge
+}
+
+// DialIngest connects to a covserved wire listener (-wire-addr) and
+// performs the handshake. A configuration mismatch or unknown namespace
+// surfaces as *wire.WireError.
+func DialIngest(addr string, h WireHello) (*IngestConn, error) {
+	ns := h.Namespace
+	if ns == "" {
+		ns = "default"
+	}
+	c, err := wire.Dial(addr, wire.Hello{
+		Namespace:    ns,
+		Stream:       h.Stream,
+		Engine:       h.Engine,
+		CheckWeights: h.CheckWeights,
+		WeightSig:    h.WeightSig,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &IngestConn{c: c}, nil
+}
+
+// ResumeOffset returns the stream offset the connection resumed at: the
+// server's acknowledged watermark from the handshake (0 for a fresh or
+// anonymous stream). A reconnecting producer restarts its stream from
+// this edge index.
+func (c *IngestConn) ResumeOffset() int64 { return c.c.Handshake().Watermark }
+
+// Engine returns the namespace's actual engine mode name, as reported
+// by the handshake.
+func (c *IngestConn) Engine() string { return c.c.Handshake().Engine }
+
+// Watermark returns the server's latest acknowledged edge watermark.
+func (c *IngestConn) Watermark() int64 { return c.c.Watermark() }
+
+// Send streams one edge batch (pipelined; the slice is reusable on
+// return).
+func (c *IngestConn) Send(edges []Edge) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conv := c.conv[:0]
+	if cap(conv) < len(edges) {
+		conv = make([]bipartite.Edge, 0, len(edges))
+	}
+	for _, e := range edges {
+		conv = append(conv, bipartite.Edge{Set: e.Set, Elem: e.Elem})
+	}
+	c.conv = conv
+	return c.c.Send(conv)
+}
+
+// SendStream drains st over the connection in batches of batchSize
+// (default 1024) and returns the number of edges sent.
+func (c *IngestConn) SendStream(st Stream, batchSize int) (int64, error) {
+	if batchSize < 1 {
+		batchSize = 1024
+	}
+	buf := make([]Edge, 0, batchSize)
+	var total int64
+	for {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		buf = append(buf, e)
+		if len(buf) == batchSize {
+			if err := c.Send(buf); err != nil {
+				return total, err
+			}
+			total += int64(len(buf))
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if err := c.Send(buf); err != nil {
+			return total, err
+		}
+		total += int64(len(buf))
+	}
+	return total, nil
+}
+
+// Flush blocks until the server has acknowledged every edge sent so
+// far.
+func (c *IngestConn) Flush() error { return c.c.Flush() }
+
+// Close flushes and closes the connection.
+func (c *IngestConn) Close() error { return c.c.Close() }
+
+// Abort drops the connection without flushing; a reconnect on the same
+// named stream resumes exactly from the acknowledged watermark.
+func (c *IngestConn) Abort() error { return c.c.Abort() }
+
+// WireServer returns a wire ingest server over the hub's namespaces.
+// Call Serve with a listener (it blocks accepting connections) and
+// Close to stop:
+//
+//	srv := hub.WireServer(wire.Options{})
+//	go srv.Serve(ln)
+//	defer srv.Close()
+func (h *Hub) WireServer(opt wire.Options) *wire.Server {
+	return wire.NewServer(h.multi, opt)
+}
+
+// ServeWire is the one-call form: it starts a wire ingest server on ln
+// and returns it (already serving in the background).
+func (h *Hub) ServeWire(ln net.Listener, opt wire.Options) *wire.Server {
+	srv := wire.NewServer(h.multi, opt)
+	go srv.Serve(ln)
+	return srv
+}
