@@ -45,6 +45,18 @@
 //	covcli -server http://127.0.0.1:8080 -wire 127.0.0.1:9090 \
 //	       -file inst.txt -k 10 -eps 0.4 -seed 7 -budget 10000 -compare
 //
+// With -delete-frac, covcli exercises the dynamic (insert/delete)
+// engine: after the full replay it retracts the first ⌈frac·edges⌉
+// edges of the same deterministic order — over DELETE /edges on the
+// JSON path, or op batches (DESIGN.md §14) on the wire path, where the
+// hello negotiates the op plane so a non-dynamic namespace rejects the
+// session at the handshake. -delete-frac 1 deletes the whole stream
+// and the query must come back empty:
+//
+//	covserved -n 200 -k 10 -engine dynamic &
+//	covcli -server http://127.0.0.1:8080 -ns dyn -create-ns \
+//	       -engine dynamic -file inst.txt -k 10 -delete-frac 0.5
+//
 // With -fanout, covcli replays against a whole cluster (covserved
 // -peers …): batches are partitioned round-robin across the listed
 // node URLs, the first node is asked to pull its peers
@@ -112,7 +124,8 @@ func main() {
 		ns        = flag.String("ns", "", "target namespace (empty = the server's default dataset)")
 		createNS  = flag.Bool("create-ns", false, "create -ns on the server first, from the instance dimensions and sketch flags")
 		weightsFl = flag.String("weights", "", `weighted-coverage profile ("mod:<p>" or "geo:<c>"); requires -create-ns, queries the weighted kcover route`)
-		engineFl  = flag.String("engine", "", `engine mode for the created namespace ("sketch" or "sieve"); requires -create-ns`)
+		engineFl  = flag.String("engine", "", `engine mode for the created namespace ("sketch", "sieve" or "dynamic"); requires -create-ns`)
+		delFrac   = flag.Float64("delete-frac", 0, "after the replay, delete this fraction of the stream again (the first ⌈frac·edges⌉ in replay order); needs a dynamic-engine namespace")
 		fanout    = flag.String("fanout", "", "comma-separated cluster node URLs: partition the replay across them, pull, then query the first (overrides -server)")
 		wireFlag  = flag.String("wire", "", "covserved wire listener address (-wire-addr): replay over the binary ingest protocol instead of JSON posts")
 	)
@@ -141,9 +154,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "covcli: -compare is not defined for -engine sieve (the sharded sieve replay has no bit-identical offline reference)")
 		os.Exit(2)
 	}
+	if *engineFl == "dynamic" && *compare {
+		fmt.Fprintln(os.Stderr, "covcli: -compare is not defined for -engine dynamic (the dynamic engine answers from the L0 sampler's recovered stream, not the H≤n sketch)")
+		os.Exit(2)
+	}
 	if *wireFlag != "" && *fanout != "" {
 		fmt.Fprintln(os.Stderr, "covcli: -wire and -fanout are mutually exclusive (the wire replay targets one node)")
 		os.Exit(2)
+	}
+	if *delFrac < 0 || *delFrac > 1 {
+		fmt.Fprintln(os.Stderr, "covcli: -delete-frac must be in [0, 1]")
+		os.Exit(2)
+	}
+	if *delFrac > 0 {
+		if *compare {
+			fmt.Fprintln(os.Stderr, "covcli: -delete-frac and -compare are mutually exclusive (the offline single-pass reference has no delete plane)")
+			os.Exit(2)
+		}
+		if *fanout != "" {
+			fmt.Fprintln(os.Stderr, "covcli: -delete-frac and -fanout are mutually exclusive (a delete must land on the node that ingested the insert)")
+			os.Exit(2)
+		}
+		if *createNS && *engineFl != "dynamic" {
+			fmt.Fprintln(os.Stderr, "covcli: -delete-frac needs -engine dynamic (the append-only engines reject deletes)")
+			os.Exit(2)
+		}
 	}
 	f, err := os.Open(*file)
 	if err != nil {
@@ -213,13 +248,20 @@ func main() {
 	}
 	start := time.Now()
 	sent, batches := 0, 0
+	// The delete pass retracts a deterministic prefix of the replay
+	// order: re-streaming with the same seed reproduces the exact edges
+	// that went in, so the server's net state is the stream's suffix.
+	delCount := int(math.Round(*delFrac * float64(inst.NumEdges())))
 	st := inst.EdgeStream(*seed)
 	if *wireFlag != "" {
 		// One persistent wire connection: batches are framed, pipelined
 		// and acked with the ingested-edge watermark; Close flushes and
 		// waits for the final ack, so every edge is in the engine (and in
-		// the WAL on a durable server) before the query below runs.
-		hello := streamcover.WireHello{Namespace: *ns, Engine: *engineFl}
+		// the WAL on a durable server) before the query below runs. With
+		// -delete-frac the hello negotiates the op plane up front, so a
+		// non-dynamic namespace rejects the session at the handshake
+		// instead of mid-replay.
+		hello := streamcover.WireHello{Namespace: *ns, Engine: *engineFl, Ops: delCount > 0}
 		conn, err := streamcover.DialIngest(*wireFlag, hello)
 		if err != nil {
 			fatal(err)
@@ -227,6 +269,21 @@ func main() {
 		total, err := conn.SendStream(st, *batch)
 		if err != nil {
 			fatal(err)
+		}
+		if delCount > 0 {
+			deleted, delBatches := 0, 0
+			if err := streamDeletes(inst, *seed, delCount, *batch, func(edges []streamcover.Edge) error {
+				ops := make([]streamcover.Op, len(edges))
+				for i, e := range edges {
+					ops[i] = streamcover.Op{Delete: true, Edge: e}
+				}
+				deleted += len(ops)
+				delBatches++
+				return conn.SendOps(ops)
+			}); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "covcli: deleted %d edges in %d wire op batches\n", deleted, delBatches)
 		}
 		if err := conn.Close(); err != nil {
 			fatal(err)
@@ -277,6 +334,38 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "covcli: ingested %d edges in %d batches across %d node(s) (%v)\n",
 			sent, batches, len(nodes), time.Since(start).Round(time.Millisecond))
+		if delCount > 0 {
+			// -fanout is excluded above, so nodes[0] holds every insert.
+			base := apiBase(nodes[0])
+			deleted, delBatches := 0, 0
+			if err := streamDeletes(inst, *seed, delCount, *batch, func(edges []streamcover.Edge) error {
+				pairs := make([][2]uint32, len(edges))
+				for i, e := range edges {
+					pairs[i] = [2]uint32{e.Set, e.Elem}
+				}
+				body, _ := json.Marshal(map[string]interface{}{"edges": pairs})
+				req, err := http.NewRequest(http.MethodDelete, base+"/edges", bytes.NewReader(body))
+				if err != nil {
+					return err
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					return err
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					msg, _ := io.ReadAll(resp.Body)
+					return fmt.Errorf("DELETE %s/edges: %s: %s", base, resp.Status, bytes.TrimSpace(msg))
+				}
+				deleted += len(pairs)
+				delBatches++
+				return nil
+			}); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "covcli: deleted %d edges in %d DELETE batches\n", deleted, delBatches)
+		}
 	}
 
 	queryBase := apiBase(nodes[0])
@@ -396,6 +485,31 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("covcli: server answer matches the offline single-pass run")
+}
+
+// streamDeletes replays the first delCount edges of the instance's
+// deterministic edge order (the same order the ingest pass used) in
+// batches of batchSize, handing each batch to send for retraction.
+func streamDeletes(inst *streamcover.Instance, seed uint64, delCount, batchSize int, send func([]streamcover.Edge) error) error {
+	st := inst.EdgeStream(seed)
+	buf := make([]streamcover.Edge, 0, batchSize)
+	for i := 0; i < delCount; i++ {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		buf = append(buf, e)
+		if len(buf) == batchSize {
+			if err := send(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		return send(buf)
+	}
+	return nil
 }
 
 func sameSets(a, b []int) bool {

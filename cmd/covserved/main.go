@@ -22,10 +22,15 @@
 // other. -engine sieve (or POST /v1/ns with "engine": "sieve") selects
 // the constant-memory sieve-streaming engine instead of the sketch: at
 // most k candidate sets are buffered per shard and kcover answers
-// exactly over them (outliers/greedy are rejected). See the README for
-// the full endpoint reference:
+// exactly over them (outliers/greedy are rejected). -engine dynamic
+// selects the insert/delete L0-sampler engine (DESIGN.md §14): the only
+// mode that accepts delete ops — DELETE /v1/…/edges, POST bodies with
+// "ops", and wire op batches retract edges; the other modes reject them
+// with 409. See the README for the full endpoint reference:
 //
-//	POST   /v1/edges                bulk ingest (default namespace)
+//	POST   /v1/edges                bulk ingest (default namespace;
+//	                                "ops" bodies carry deletes)
+//	DELETE /v1/edges                bulk retract (dynamic engine only)
 //	GET    /v1/query?algo=kcover&k=10[&refresh=1]
 //	GET    /v1/stats                engine accounting
 //	POST   /v1/snapshot             merge (+persist all namespaces)
@@ -35,6 +40,7 @@
 //	GET    /v1/ns/{name}            namespace directory entry
 //	DELETE /v1/ns/{name}            delete a namespace
 //	POST   /v1/ns/{name}/edges      namespace-scoped ingest
+//	DELETE /v1/ns/{name}/edges      namespace-scoped retract
 //	GET    /v1/ns/{name}/query      namespace-scoped query
 //	GET    /v1/ns/{name}/stats      namespace-scoped accounting
 //	POST   /v1/ns/{name}/snapshot   merge namespace (+persist all)
@@ -120,7 +126,7 @@ func main() {
 		shards     = flag.Int("shards", 4, "ingest worker shards")
 		queue      = flag.Int("queue", 64, "per-shard queue depth, in batches")
 		mergeEvery = flag.Duration("merge-every", 0, "periodic snapshot merge (0 = on demand only)")
-		engine     = flag.String("engine", "", "engine mode for the bootstrap namespace: sketch (default), sieve")
+		engine     = flag.String("engine", "", "engine mode for the bootstrap namespace: sketch (default), sieve, dynamic")
 		nsName     = flag.String("ns", server.DefaultNamespace, "bootstrap namespace the sketch flags configure (and the unprefixed routes serve)")
 		snapFile   = flag.String("snapshot-file", "", "persist/restore all namespaces here (v2; v1 files restore into -ns)")
 		maxBatch   = flag.Int("max-batch", 1<<20, "largest accepted ingest batch, in edges")

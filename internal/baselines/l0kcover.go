@@ -4,9 +4,7 @@ import (
 	"math"
 
 	"repro/internal/bipartite"
-	"repro/internal/hashing"
 	"repro/internal/l0"
-	"repro/internal/stats"
 	"repro/internal/stream"
 )
 
@@ -70,67 +68,41 @@ func L0KCover(st stream.Stream, numSets, k int, opt L0Options) L0KCoverOutcome {
 	}
 	t := l0.TForEpsilon(eps)
 
-	sketches := make([][]*l0.KMV, numSets)
-	for s := range sketches {
-		sketches[s] = make([]*l0.KMV, reps)
-		for r := 0; r < reps; r++ {
-			sketches[s][r] = l0.NewKMV(t, hashing.Mix2(opt.Seed, uint64(r)+1))
-		}
-	}
+	// The sketch family and its union oracle live in internal/l0 (the
+	// same implementation the dynamic engine mode's package exports);
+	// this baseline only adds the solver loops on top.
+	family := l0.NewFamily(numSets, reps, t, opt.Seed)
 	for {
 		e, ok := st.Next()
 		if !ok {
 			break
 		}
-		for r := 0; r < reps; r++ {
-			sketches[int(e.Set)][r].Add(e.Elem)
-		}
+		family.Add(int(e.Set), e.Elem)
 	}
 
 	out := L0KCoverOutcome{RepsUsed: reps}
-	for s := range sketches {
-		for r := 0; r < reps; r++ {
-			out.SketchValues += sketches[s][r].Size()
-		}
-	}
+	out.SketchValues = family.Values()
 	out.Space = SpaceStats{PeakItems: out.SketchValues, Bytes: int64(out.SketchValues) * 8}
 
-	// The (1±ε) union-size oracle: median across repetitions of merged
-	// per-rep estimates.
-	estimates := make([]float64, reps)
 	unionEstimate := func(sets []int) float64 {
 		out.OracleQueries++
-		for r := 0; r < reps; r++ {
-			acc := sketches[sets[0]][r].Clone()
-			for _, s := range sets[1:] {
-				if err := acc.Merge(sketches[s][r]); err != nil {
-					panic("baselines: L0KCover merge: " + err.Error())
-				}
-			}
-			estimates[r] = acc.Estimate()
-		}
-		return stats.Median(estimates)
+		return family.UnionEstimate(sets)
 	}
 
 	if opt.Exhaustive {
 		out.Sets, out.Estimate = l0Exhaustive(numSets, k, unionEstimate)
 		return out
 	}
-	out.Sets, out.Estimate = l0Greedy(numSets, k, reps, sketches, &out)
+	out.Sets, out.Estimate = l0Greedy(numSets, k, family, &out)
 	return out
 }
 
-// l0Greedy runs greedy with the noisy oracle, reusing a running merged
-// sketch per repetition so each round costs O(n·reps) merges.
-func l0Greedy(numSets, k, reps int, sketches [][]*l0.KMV, out *L0KCoverOutcome) ([]int, float64) {
-	current := make([]*l0.KMV, reps)
-	for r := range current {
-		// Empty running sketch with the same hash seed as repetition r.
-		current[r] = l0.NewKMV(sketches[0][r].T(), sketches[0][r].Seed())
-	}
+// l0Greedy runs greedy with the noisy oracle, reusing the family's
+// running-union accumulator so each round costs O(n·reps) merges.
+func l0Greedy(numSets, k int, family *l0.Family, out *L0KCoverOutcome) ([]int, float64) {
+	acc := family.NewAccumulator()
 	chosen := make([]int, 0, k)
 	used := make([]bool, numSets)
-	scratch := make([]float64, reps)
 	best := 0.0
 	for len(chosen) < k {
 		bestSet, bestVal := -1, best
@@ -139,14 +111,7 @@ func l0Greedy(numSets, k, reps int, sketches [][]*l0.KMV, out *L0KCoverOutcome) 
 				continue
 			}
 			out.OracleQueries++
-			for r := 0; r < reps; r++ {
-				acc := current[r].Clone()
-				if err := acc.Merge(sketches[s][r]); err != nil {
-					panic("baselines: L0KCover merge: " + err.Error())
-				}
-				scratch[r] = acc.Estimate()
-			}
-			if v := stats.Median(scratch); v > bestVal {
+			if v := acc.EstimateWith(s); v > bestVal {
 				bestVal, bestSet = v, s
 			}
 		}
@@ -155,11 +120,7 @@ func l0Greedy(numSets, k, reps int, sketches [][]*l0.KMV, out *L0KCoverOutcome) 
 		}
 		used[bestSet] = true
 		chosen = append(chosen, bestSet)
-		for r := 0; r < reps; r++ {
-			if err := current[r].Merge(sketches[bestSet][r]); err != nil {
-				panic("baselines: L0KCover merge: " + err.Error())
-			}
-		}
+		acc.Absorb(bestSet)
 		best = bestVal
 	}
 	return chosen, best

@@ -1,0 +1,70 @@
+package bipartite
+
+// OpKind distinguishes the two mutations an operation stream can carry.
+type OpKind uint8
+
+const (
+	// OpInsert adds one (set, elem) incidence to the stream's multiset.
+	OpInsert OpKind = 0
+	// OpDelete retracts one previously inserted incidence. A stream is
+	// valid when every prefix has at least as many inserts as deletes
+	// for each distinct edge (the turnstile "strict" condition).
+	OpDelete OpKind = 1
+)
+
+// String returns the wire/JSON spelling of the kind.
+func (k OpKind) String() string {
+	if k == OpDelete {
+		return "delete"
+	}
+	return "insert"
+}
+
+// Op is one element of an operation stream: an edge plus whether it is
+// being inserted or deleted. Insert-only streams are exactly the edge
+// streams the append-only sketches consume.
+type Op struct {
+	Kind OpKind
+	Edge Edge
+}
+
+// Inserts wraps a batch of edges as insert ops.
+func Inserts(edges []Edge) []Op {
+	ops := make([]Op, len(edges))
+	for i, e := range edges {
+		ops[i] = Op{Kind: OpInsert, Edge: e}
+	}
+	return ops
+}
+
+// Deletes wraps a batch of edges as delete ops.
+func Deletes(edges []Edge) []Op {
+	ops := make([]Op, len(edges))
+	for i, e := range edges {
+		ops[i] = Op{Kind: OpDelete, Edge: e}
+	}
+	return ops
+}
+
+// HasDeletes reports whether any op in the batch is a delete.
+func HasDeletes(ops []Op) bool {
+	for i := range ops {
+		if ops[i].Kind == OpDelete {
+			return true
+		}
+	}
+	return false
+}
+
+// InsertEdges extracts the edges of an insert-only batch into dst
+// (reusing its capacity). It must only be called when HasDeletes is
+// false; delete ops are skipped defensively.
+func InsertEdges(dst []Edge, ops []Op) []Edge {
+	dst = dst[:0]
+	for i := range ops {
+		if ops[i].Kind == OpInsert {
+			dst = append(dst, ops[i].Edge)
+		}
+	}
+	return dst
+}

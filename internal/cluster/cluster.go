@@ -450,6 +450,8 @@ func stateNoun(mode server.ModeName) string {
 		return "bank"
 	case server.ModeSieve:
 		return "sieve buffer"
+	case server.ModeDynamic:
+		return "sampler"
 	}
 	return "sketch"
 }

@@ -1,0 +1,129 @@
+package l0
+
+import (
+	"fmt"
+
+	"repro/internal/hashing"
+	"repro/internal/stats"
+)
+
+// Family maintains the Appendix D sketch family: one KMV ℓ0 sketch per
+// set per repetition, all repetitions sharing a hash seed derived from
+// the base seed, plus the median-across-repetitions union-size oracle
+// built on top. It is the streaming half of the L0KCover baseline,
+// promoted here so the offline baseline and any online caller share
+// one implementation of the maintenance loop.
+type Family struct {
+	numSets int
+	reps    int
+	t       int
+	seed    uint64
+	// sketches[set][rep]
+	sketches [][]*KMV
+}
+
+// NewFamily builds an empty family of numSets × reps KMV sketches with
+// capacity t; repetition r hashes with seed Mix2(seed, r+1).
+func NewFamily(numSets, reps, t int, seed uint64) *Family {
+	if numSets < 1 || reps < 1 {
+		panic(fmt.Sprintf("l0: bad family shape %d×%d", numSets, reps))
+	}
+	f := &Family{numSets: numSets, reps: reps, t: t, seed: seed}
+	f.sketches = make([][]*KMV, numSets)
+	for s := range f.sketches {
+		f.sketches[s] = make([]*KMV, reps)
+		for r := 0; r < reps; r++ {
+			f.sketches[s][r] = NewKMV(t, hashing.Mix2(seed, uint64(r)+1))
+		}
+	}
+	return f
+}
+
+// NumSets returns the number of sets tracked.
+func (f *Family) NumSets() int { return f.numSets }
+
+// Reps returns the number of repetitions per set.
+func (f *Family) Reps() int { return f.reps }
+
+// Add records one (set, elem) stream edge in every repetition.
+func (f *Family) Add(set int, elem uint32) {
+	for r := 0; r < f.reps; r++ {
+		f.sketches[set][r].Add(elem)
+	}
+}
+
+// Sketch exposes one underlying KMV sketch (set-major, rep-minor).
+func (f *Family) Sketch(set, rep int) *KMV { return f.sketches[set][rep] }
+
+// Values returns the total number of stored hash values across the
+// family — the baseline's space in items.
+func (f *Family) Values() int {
+	n := 0
+	for s := range f.sketches {
+		for r := 0; r < f.reps; r++ {
+			n += f.sketches[s][r].Size()
+		}
+	}
+	return n
+}
+
+// UnionEstimate is the (1±ε) union-size oracle: per repetition, merge
+// the chosen sets' sketches and estimate; return the median across
+// repetitions.
+func (f *Family) UnionEstimate(sets []int) float64 {
+	if len(sets) == 0 {
+		return 0
+	}
+	ests := make([]float64, f.reps)
+	for r := 0; r < f.reps; r++ {
+		acc := f.sketches[sets[0]][r].Clone()
+		for _, s := range sets[1:] {
+			if err := acc.Merge(f.sketches[s][r]); err != nil {
+				panic("l0: family union merge: " + err.Error())
+			}
+		}
+		ests[r] = acc.Estimate()
+	}
+	return stats.Median(ests)
+}
+
+// Accumulator is a running union over chosen sets, one merged sketch
+// per repetition — the structure greedy needs so each candidate probe
+// costs one clone+merge per repetition rather than re-merging the
+// whole prefix.
+type Accumulator struct {
+	f       *Family
+	current []*KMV
+	scratch []float64
+}
+
+// NewAccumulator returns an empty running union for the family.
+func (f *Family) NewAccumulator() *Accumulator {
+	a := &Accumulator{f: f, current: make([]*KMV, f.reps), scratch: make([]float64, f.reps)}
+	for r := range a.current {
+		a.current[r] = NewKMV(f.t, f.sketches[0][r].Seed())
+	}
+	return a
+}
+
+// EstimateWith returns the median estimated size of (current union) ∪
+// set without modifying the accumulator.
+func (a *Accumulator) EstimateWith(set int) float64 {
+	for r := 0; r < a.f.reps; r++ {
+		acc := a.current[r].Clone()
+		if err := acc.Merge(a.f.sketches[set][r]); err != nil {
+			panic("l0: accumulator merge: " + err.Error())
+		}
+		a.scratch[r] = acc.Estimate()
+	}
+	return stats.Median(a.scratch)
+}
+
+// Absorb folds set into the running union.
+func (a *Accumulator) Absorb(set int) {
+	for r := 0; r < a.f.reps; r++ {
+		if err := a.current[r].Merge(a.f.sketches[set][r]); err != nil {
+			panic("l0: accumulator merge: " + err.Error())
+		}
+	}
+}

@@ -1,0 +1,450 @@
+package l0
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/bits"
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/hashing"
+)
+
+// This file implements the turnstile-stream edge sampler behind the
+// "dynamic" engine mode, after Chakrabarti–McGregor–Wirth: maximum
+// coverage under insert/delete streams reduces to ℓ0-sampling the edge
+// multiset at geometrically decreasing rates. Levels subsample by
+// *element* hash (level ℓ keeps elements whose hash has ≥ ℓ leading
+// zero bits, i.e. probability 2^−ℓ), so the recovered edge set at a
+// level is the exact incidence list of a p-sample of elements — the
+// same "coverage of the sample / p" estimator shape as the paper's
+// sketch (Lemma 2.2). Each level stores the surviving edges in an
+// invertible (IBLT-style) cell array; deletions subtract exactly what
+// insertions added, so a fully cancelled stream leaves all-zero cells
+// and level 0 decodes to the empty graph.
+//
+// The structure is linear in the update stream: every verb the engine
+// needs (Merge across shards, Clone for snapshots, byte serialization)
+// is cell-wise arithmetic, making the recovered sample — and therefore
+// the published answer — a deterministic function of the net op
+// multiset, independent of shard count, batch boundaries, or op order.
+
+// SamplerParams sizes a Sampler. Two samplers interoperate (Merge,
+// state restore) only when all three fields match.
+type SamplerParams struct {
+	// Levels is the number of geometric subsampling levels; level ℓ
+	// samples elements with probability 2^−ℓ.
+	Levels int
+	// Cells is the number of IBLT cells per level (a multiple of 3 —
+	// the decoder uses three partitioned hash rows). A level decodes
+	// reliably while it holds at most about Cells/2 distinct edges.
+	Cells int
+	// Seed drives every hash function in the structure.
+	Seed uint64
+}
+
+const (
+	maxLevels       = 48
+	maxCellsTotal   = 1 << 24 // read-side allocation cap (512 MiB of cells)
+	samplerMagic    = "L0SAMP1\n"
+	samplerRowCount = 3
+
+	levelSalt = 0x9e3779b97f4a7c15
+	fpSalt    = 0xc2b2ae3d27d4eb4f
+	rowSalt   = 0x165667b19e3779f9
+)
+
+// Normalize clamps the parameters into their legal ranges, rounding
+// Cells up to a multiple of the row count.
+func (p SamplerParams) Normalize() SamplerParams {
+	if p.Levels < 1 {
+		p.Levels = 1
+	}
+	if p.Levels > maxLevels {
+		p.Levels = maxLevels
+	}
+	if p.Cells < 2*samplerRowCount {
+		p.Cells = 2 * samplerRowCount
+	}
+	if r := p.Cells % samplerRowCount; r != 0 {
+		p.Cells += samplerRowCount - r
+	}
+	return p
+}
+
+func (p SamplerParams) validate() error {
+	if p.Levels < 1 || p.Levels > maxLevels {
+		return fmt.Errorf("l0: levels %d out of range [1,%d]", p.Levels, maxLevels)
+	}
+	if p.Cells < 2*samplerRowCount || p.Cells%samplerRowCount != 0 {
+		return fmt.Errorf("l0: cells %d must be a positive multiple of %d", p.Cells, samplerRowCount)
+	}
+	if p.Levels*p.Cells > maxCellsTotal {
+		return fmt.Errorf("l0: levels*cells %d exceeds cap %d", p.Levels*p.Cells, maxCellsTotal)
+	}
+	return nil
+}
+
+// cell is one IBLT bucket: the count, 128-bit key sum and fingerprint
+// sum of every edge currently hashed into it. The 128-bit key sum makes
+// multiplicity-m decoding an exact integer division (a 64-bit sum would
+// wrap and require modular inverses).
+type cell struct {
+	count int64
+	keyLo uint64
+	keyHi uint64
+	fpSum uint64
+}
+
+func (c *cell) zero() bool {
+	return c.count == 0 && c.keyLo == 0 && c.keyHi == 0 && c.fpSum == 0
+}
+
+// Sampler is a leveled invertible sketch over edges, supporting
+// inserts, deletes, merge, clone and deterministic serialization.
+// It is not safe for concurrent mutation.
+type Sampler struct {
+	p         SamplerParams
+	levelSeed uint64
+	fpSeed    uint64
+	rowSeeds  [samplerRowCount]uint64
+	// cells holds Levels consecutive blocks of p.Cells cells.
+	cells []cell
+}
+
+// NewSampler builds an empty sampler; params are normalized first.
+func NewSampler(params SamplerParams) *Sampler {
+	p := params.Normalize()
+	s := &Sampler{p: p, cells: make([]cell, p.Levels*p.Cells)}
+	s.deriveSeeds()
+	return s
+}
+
+func (s *Sampler) deriveSeeds() {
+	s.levelSeed = hashing.Mix2(s.p.Seed, levelSalt)
+	s.fpSeed = hashing.Mix2(s.p.Seed, fpSalt)
+	for r := 0; r < samplerRowCount; r++ {
+		s.rowSeeds[r] = hashing.Mix2(s.p.Seed, rowSalt+uint64(r))
+	}
+}
+
+// Params returns the sampler's (normalized) parameters.
+func (s *Sampler) Params() SamplerParams { return s.p }
+
+// Bytes returns the allocated cell-array footprint.
+func (s *Sampler) Bytes() int { return len(s.cells) * 32 }
+
+// NonZeroCells counts cells with any live content — the serialized
+// (sparse) state size is proportional to it.
+func (s *Sampler) NonZeroCells() int {
+	n := 0
+	for i := range s.cells {
+		if !s.cells[i].zero() {
+			n++
+		}
+	}
+	return n
+}
+
+func edgeKey(set, elem uint32) uint64 { return uint64(set)<<32 | uint64(elem) }
+
+// elemLevel returns the deepest level the element participates in:
+// the number of leading zero bits of its hash, capped at Levels−1.
+func (s *Sampler) elemLevel(elem uint32) int {
+	h := hashing.Mix2(s.levelSeed, uint64(elem))
+	l := bits.LeadingZeros64(h | 1)
+	if l >= s.p.Levels {
+		l = s.p.Levels - 1
+	}
+	return l
+}
+
+func (s *Sampler) fp(key uint64) uint64 { return hashing.Mix2(s.fpSeed, key) }
+
+// rowPos returns the in-level cell index for (level, row, key). Rows
+// partition the level's cells into three disjoint ranges, so a key's
+// three cells are always distinct.
+func (s *Sampler) rowPos(level, row int, key uint64) int {
+	w := s.p.Cells / samplerRowCount
+	h := hashing.Mix2(s.rowSeeds[row]+uint64(level)*0x9e37, key)
+	return row*w + int(h%uint64(w))
+}
+
+// Update applies one op: delta must be +1 (insert) or −1 (delete).
+func (s *Sampler) Update(set, elem uint32, delta int64) {
+	key := edgeKey(set, elem)
+	fp := s.fp(key)
+	top := s.elemLevel(elem)
+	for l := 0; l <= top; l++ {
+		base := l * s.p.Cells
+		for r := 0; r < samplerRowCount; r++ {
+			c := &s.cells[base+s.rowPos(l, r, key)]
+			c.count += delta
+			if delta > 0 {
+				var carry uint64
+				c.keyLo, carry = bits.Add64(c.keyLo, key, 0)
+				c.keyHi += carry
+				c.fpSum += fp
+			} else {
+				var borrow uint64
+				c.keyLo, borrow = bits.Sub64(c.keyLo, key, 0)
+				c.keyHi -= borrow
+				c.fpSum -= fp
+			}
+		}
+	}
+}
+
+// Apply consumes a batch of ops.
+func (s *Sampler) Apply(ops []bipartite.Op) {
+	for i := range ops {
+		delta := int64(1)
+		if ops[i].Kind == bipartite.OpDelete {
+			delta = -1
+		}
+		s.Update(ops[i].Edge.Set, ops[i].Edge.Elem, delta)
+	}
+}
+
+// AddEdges inserts a batch of edges.
+func (s *Sampler) AddEdges(edges []bipartite.Edge) {
+	for i := range edges {
+		s.Update(edges[i].Set, edges[i].Elem, 1)
+	}
+}
+
+// Merge folds other into s cell-wise; the samplers must share params.
+// Because the structure is linear, merging shard-local samplers yields
+// exactly the sampler of the concatenated op streams.
+func (s *Sampler) Merge(other *Sampler) error {
+	if other.p != s.p {
+		return fmt.Errorf("l0: cannot merge samplers with different params (%+v vs %+v)", s.p, other.p)
+	}
+	for i := range s.cells {
+		a, b := &s.cells[i], &other.cells[i]
+		a.count += b.count
+		var carry uint64
+		a.keyLo, carry = bits.Add64(a.keyLo, b.keyLo, 0)
+		a.keyHi += b.keyHi + carry
+		a.fpSum += b.fpSum
+	}
+	return nil
+}
+
+// Clone returns an independent deep copy.
+func (s *Sampler) Clone() *Sampler {
+	c := &Sampler{p: s.p, levelSeed: s.levelSeed, fpSeed: s.fpSeed, rowSeeds: s.rowSeeds}
+	c.cells = append(make([]cell, 0, len(s.cells)), s.cells...)
+	return c
+}
+
+// ErrNoDecode reports that no level of the sampler peeled completely —
+// the stream is too dense for the configured cells, or (for invalid
+// streams that delete edges never inserted) no consistent sample
+// exists.
+var ErrNoDecode = errors.New("l0: sampler recovery failed at every level")
+
+// RecoverResult is a decoded sample: the distinct surviving edges at
+// the shallowest decodable level, and that level's sampling rate.
+type RecoverResult struct {
+	// Edges lists the distinct edges of the level's sample, sorted by
+	// (Set, Elem) — deterministic for a given cell state.
+	Edges []bipartite.Edge
+	// Level is the decoded level; the element-sampling probability is
+	// PStar = 2^−Level.
+	Level int
+	// PStar = 2^−Level, the probability each element survived into the
+	// decoded sample.
+	PStar float64
+}
+
+// Recover peels the levels shallowest-first and returns the first one
+// that decodes completely. Level 0 holds everything, so on streams
+// small enough to fit it the result is the exact live edge set — in
+// particular a fully cancelled stream decodes at level 0 to no edges.
+func (s *Sampler) Recover() (RecoverResult, error) {
+	for l := 0; l < s.p.Levels; l++ {
+		edges, ok := s.peelLevel(l)
+		if !ok {
+			continue
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].Set != edges[j].Set {
+				return edges[i].Set < edges[j].Set
+			}
+			return edges[i].Elem < edges[j].Elem
+		})
+		return RecoverResult{Edges: edges, Level: l, PStar: levelP(l)}, nil
+	}
+	return RecoverResult{}, ErrNoDecode
+}
+
+func levelP(level int) float64 {
+	return 1.0 / float64(uint64(1)<<uint(level))
+}
+
+// peelLevel runs IBLT peeling over a copy of one level's cells.
+func (s *Sampler) peelLevel(level int) ([]bipartite.Edge, bool) {
+	base := level * s.p.Cells
+	work := append(make([]cell, 0, s.p.Cells), s.cells[base:base+s.p.Cells]...)
+	w := s.p.Cells / samplerRowCount
+
+	var keys []uint64
+	// Every productive round decodes at least one distinct key and a
+	// decodable level holds at most Cells keys, so Cells+8 rounds
+	// suffice; the cap also bounds ghost-decode cascades on garbage.
+	for round := 0; round < s.p.Cells+8; round++ {
+		progress := false
+		for pos := range work {
+			c := &work[pos]
+			if c.zero() || c.count <= 0 {
+				continue
+			}
+			m := uint64(c.count)
+			if c.keyHi >= m {
+				continue // key sum can't be m·key for any 64-bit key
+			}
+			key, rem := bits.Div64(c.keyHi, c.keyLo, m)
+			if rem != 0 || c.fpSum != m*s.fp(key) {
+				continue
+			}
+			elem := uint32(key)
+			if s.elemLevel(elem) < level {
+				continue // decoded key doesn't belong at this level
+			}
+			row := pos / w
+			if s.rowPos(level, row, key) != pos {
+				continue // decoded key doesn't hash to this cell
+			}
+			// Pure cell: remove m copies of key from its three cells.
+			mhi, mlo := bits.Mul64(m, key)
+			mfp := m * s.fp(key)
+			for r := 0; r < samplerRowCount; r++ {
+				t := &work[s.rowPos(level, r, key)]
+				t.count -= int64(m)
+				var borrow uint64
+				t.keyLo, borrow = bits.Sub64(t.keyLo, mlo, 0)
+				t.keyHi -= mhi + borrow
+				t.fpSum -= mfp
+			}
+			keys = append(keys, key)
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	for i := range work {
+		if !work[i].zero() {
+			return nil, false
+		}
+	}
+	// Distinct keys only: a ghost decode could in principle repeat a
+	// key; dedupe after sorting keeps the output a set.
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	edges := make([]bipartite.Edge, 0, len(keys))
+	for i, k := range keys {
+		if i > 0 && keys[i-1] == k {
+			continue
+		}
+		edges = append(edges, bipartite.Edge{Set: uint32(k >> 32), Elem: uint32(k)})
+	}
+	return edges, true
+}
+
+// ErrCorruptSampler reports an undecodable serialized sampler state.
+var ErrCorruptSampler = errors.New("l0: corrupt sampler state")
+
+// WriteTo serializes the sampler deterministically: a fixed header,
+// the non-zero cells in ascending index order, and a CRC. Equal cell
+// states — and by linearity, equal net op multisets — produce
+// byte-identical output regardless of how the state was assembled.
+func (s *Sampler) WriteTo(wr io.Writer) (int64, error) {
+	nnz := s.NonZeroCells()
+	buf := make([]byte, 0, len(samplerMagic)+24+8+nnz*36+4)
+	buf = append(buf, samplerMagic...)
+	payload := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.p.Levels))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.p.Cells))
+	buf = binary.LittleEndian.AppendUint64(buf, s.p.Seed)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(nnz))
+	for i := range s.cells {
+		c := &s.cells[i]
+		if c.zero() {
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(i))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c.count))
+		buf = binary.LittleEndian.AppendUint64(buf, c.keyLo)
+		buf = binary.LittleEndian.AppendUint64(buf, c.keyHi)
+		buf = binary.LittleEndian.AppendUint64(buf, c.fpSum)
+	}
+	crc := crc32.Checksum(buf[payload:], crcTable)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	n, err := wr.Write(buf)
+	return int64(n), err
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ReadSampler decodes a sampler serialized by WriteTo. Corruption
+// yields a typed error (wrapping ErrCorruptSampler), never a panic,
+// and allocation is bounded by the validated header.
+func ReadSampler(rd io.Reader) (*Sampler, error) {
+	var magic [len(samplerMagic)]byte
+	if _, err := io.ReadFull(rd, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrCorruptSampler, err)
+	}
+	if string(magic[:]) != samplerMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptSampler, magic[:])
+	}
+	var hdr [24]byte
+	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrCorruptSampler, err)
+	}
+	crc := crc32.Checksum(hdr[:], crcTable)
+	p := SamplerParams{
+		Levels: int(binary.LittleEndian.Uint32(hdr[0:4])),
+		Cells:  int(binary.LittleEndian.Uint32(hdr[4:8])),
+		Seed:   binary.LittleEndian.Uint64(hdr[8:16]),
+	}
+	if err := p.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptSampler, err)
+	}
+	nnz := binary.LittleEndian.Uint64(hdr[16:24])
+	if nnz > uint64(p.Levels*p.Cells) {
+		return nil, fmt.Errorf("%w: %d non-zero cells exceed capacity %d", ErrCorruptSampler, nnz, p.Levels*p.Cells)
+	}
+	s := &Sampler{p: p, cells: make([]cell, p.Levels*p.Cells)}
+	s.deriveSeeds()
+	var ent [36]byte
+	prev := -1
+	for i := uint64(0); i < nnz; i++ {
+		if _, err := io.ReadFull(rd, ent[:]); err != nil {
+			return nil, fmt.Errorf("%w: reading cell %d: %v", ErrCorruptSampler, i, err)
+		}
+		crc = crc32.Update(crc, crcTable, ent[:])
+		idx := int(binary.LittleEndian.Uint32(ent[0:4]))
+		if idx <= prev || idx >= len(s.cells) {
+			return nil, fmt.Errorf("%w: cell index %d out of order or range", ErrCorruptSampler, idx)
+		}
+		prev = idx
+		s.cells[idx] = cell{
+			count: int64(binary.LittleEndian.Uint64(ent[4:12])),
+			keyLo: binary.LittleEndian.Uint64(ent[12:20]),
+			keyHi: binary.LittleEndian.Uint64(ent[20:28]),
+			fpSum: binary.LittleEndian.Uint64(ent[28:36]),
+		}
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(rd, tail[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading checksum: %v", ErrCorruptSampler, err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != crc {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %08x want %08x)", ErrCorruptSampler, got, crc)
+	}
+	return s, nil
+}

@@ -74,27 +74,36 @@ func openEngineWAL(cfg Config, part distributed.Partitioner, states []ShardState
 	if err != nil {
 		return nil, 0, fmt.Errorf("server: Config.WAL: %w", err)
 	}
-	buckets := make([][]bipartite.Edge, len(states))
-	wlog, err := wal.Open(wal.Options{
+	buckets := make([][]bipartite.Op, len(states))
+	wlog, err := wal.OpenOps(wal.Options{
 		Dir:          d.Dir,
 		Policy:       policy,
 		Interval:     d.FsyncInterval,
 		SegmentBytes: d.SegmentBytes,
 		OpenWrite:    d.OpenWrite,
-	}, seed, func(off int64, edges []bipartite.Edge) error {
+	}, seed, func(off int64, ops []bipartite.Op) error {
 		for i := range buckets {
 			buckets[i] = buckets[i][:0]
 		}
-		for _, ed := range edges {
-			if int(ed.Set) >= cfg.NumSets {
-				return fmt.Errorf("edge set id %d out of range [0,%d)", ed.Set, cfg.NumSets)
+		for _, op := range ops {
+			if int(op.Edge.Set) >= cfg.NumSets {
+				return fmt.Errorf("edge set id %d out of range [0,%d)", op.Edge.Set, cfg.NumSets)
 			}
-			w := part.Route(ed)
-			buckets[w] = append(buckets[w], ed)
+			w := part.Route(op.Edge)
+			buckets[w] = append(buckets[w], op)
 		}
 		for i, b := range buckets {
-			if len(b) > 0 {
-				states[i].AddEdges(b)
+			if len(b) == 0 {
+				continue
+			}
+			// Insert-only batches reach AddEdges through the states' own
+			// ApplyOps adapters, preserving the exact per-shard sub-batch
+			// boundaries of the original Ingest calls; a delete frame
+			// replayed into an append-only engine fails recovery with the
+			// typed ErrDeletesUnsupported (the WAL belongs to a dynamic
+			// engine — a config mismatch, not data loss).
+			if err := states[i].ApplyOps(b); err != nil {
+				return err
 			}
 		}
 		return nil
@@ -175,8 +184,7 @@ func (e *Engine) Checkpoint() (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.snap.Store(snap)
-	e.refreshes.Add(1)
+	e.publish(snap)
 	return snap, nil
 }
 

@@ -1,0 +1,262 @@
+package server
+
+// The dynamic engine mode: insert/delete (turnstile) streams served by
+// the leveled L0 edge sampler of internal/l0 (see sampler.go there for
+// the structure; DESIGN.md §14 for the contract). The sampler is linear
+// in the op stream, so every lifecycle verb the mode plane needs is
+// cell-wise arithmetic: shard states merge into exactly the sampler of
+// the concatenated streams, clones are plain copies, and serialization
+// is a deterministic function of the net op multiset — the property the
+// crash-recovery and cluster suites pin bit-for-bit.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/greedy"
+	"repro/internal/l0"
+)
+
+// DynamicParams derives the L0 sampler geometry from the config: the
+// per-level cell count tracks the Algorithm 3 edge budget (two cells
+// per budgeted edge — a level decodes while it holds about Cells/2
+// distinct edges), capped so the Levels×Cells cell matrix stays a
+// bounded multiple of the sketch's footprint. Exported for the cluster
+// layer, which must build samplers with exactly the local geometry.
+func (c Config) DynamicParams() l0.SamplerParams {
+	cells := 2 * c.Params().EffectiveEdgeBudget()
+	if cells > maxDynamicCells {
+		cells = maxDynamicCells
+	}
+	if cells < minDynamicCells {
+		cells = minDynamicCells
+	}
+	return l0.SamplerParams{Levels: dynamicLevels, Cells: cells, Seed: c.Seed}.Normalize()
+}
+
+const (
+	// dynamicLevels geometric levels decode streams of up to about
+	// Cells/2 · 2^(Levels−1) distinct edges — far past any stream the
+	// budget-driven cell count is provisioned for.
+	dynamicLevels   = 16
+	minDynamicCells = 96
+	maxDynamicCells = 1 << 14
+)
+
+// dynamicState is the per-shard (and merged-snapshot) state of the
+// dynamic mode: the sampler plus op accounting. Pointer receivers —
+// unlike the legacy wrapper states it carries its own counters.
+type dynamicState struct {
+	sam *l0.Sampler
+	// opsSeen counts ops applied (the EdgesSeen analog — deletes
+	// included, matching the engine's op-counted offsets).
+	opsSeen int64
+	// deletes counts delete ops applied.
+	deletes int64
+
+	// Recovery accounting, filled once by Materialize on a merged
+	// snapshot state and immutable afterwards (snapshots are published
+	// through an atomic pointer, so readers observe the filled values).
+	recEdges, recElems int
+	recPStar           float64
+	materialized       bool
+}
+
+func (d *dynamicState) AddEdges(edges []bipartite.Edge) {
+	d.sam.AddEdges(edges)
+	d.opsSeen += int64(len(edges))
+}
+
+func (d *dynamicState) ApplyOps(ops []bipartite.Op) error {
+	d.sam.Apply(ops)
+	d.opsSeen += int64(len(ops))
+	for i := range ops {
+		if ops[i].Kind == bipartite.OpDelete {
+			d.deletes++
+		}
+	}
+	return nil
+}
+
+func (d *dynamicState) CloneState() ShardState {
+	return &dynamicState{sam: d.sam.Clone(), opsSeen: d.opsSeen, deletes: d.deletes}
+}
+
+func (d *dynamicState) MergeFrom(other ShardState) error {
+	o, ok := other.(*dynamicState)
+	if !ok {
+		return fmt.Errorf("server: cannot merge %T state into a dynamic engine", other)
+	}
+	if err := d.sam.Merge(o.sam); err != nil {
+		return err
+	}
+	// The consumed-op counter is left untouched per the ShardState
+	// contract (the coordinator pins true totals); the delete counter is
+	// content accounting and folds in.
+	d.deletes += o.deletes
+	return nil
+}
+
+func (d *dynamicState) Stats() core.Stats {
+	st := core.Stats{
+		EdgesSeen: d.opsSeen,
+		Budget:    d.sam.Params().Cells,
+		Bytes:     int64(d.sam.Bytes()),
+	}
+	if d.materialized {
+		st.EdgesKept = d.recEdges
+		st.ElementsKept = d.recElems
+		st.PStar = d.recPStar
+	}
+	return st
+}
+
+func (d *dynamicState) SetEdgesSeen(n int64) { d.opsSeen = n }
+
+// dynMagic frames the dynamic state: op counters, then the sampler's
+// own self-checksummed bytes.
+const dynMagic = "L0DYNS1\n"
+
+func (d *dynamicState) WriteTo(w io.Writer) (int64, error) {
+	hdr := make([]byte, 0, len(dynMagic)+20)
+	hdr = append(hdr, dynMagic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(d.opsSeen))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(d.deletes))
+	crc := crc32.Checksum(hdr[len(dynMagic):], dynCRCTable)
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc)
+	n, err := w.Write(hdr)
+	if err != nil {
+		return int64(n), err
+	}
+	sn, err := d.sam.WriteTo(w)
+	return int64(n) + sn, err
+}
+
+var dynCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// dynamicMode implements Mode for ModeDynamic.
+type dynamicMode struct {
+	numSets int
+	params  l0.SamplerParams
+}
+
+func (m dynamicMode) Name() ModeName        { return ModeDynamic }
+func (m dynamicMode) SupportsDeletes() bool { return true }
+func (m dynamicMode) Signature() uint64     { return 0 }
+
+func (m dynamicMode) NewShardState() (ShardState, error) {
+	return &dynamicState{sam: l0.NewSampler(m.params)}, nil
+}
+
+func (m dynamicMode) MergeStates(states []ShardState) (ShardState, error) {
+	merged := &dynamicState{sam: l0.NewSampler(m.params)}
+	for _, st := range states {
+		s, ok := st.(*dynamicState)
+		if !ok {
+			return nil, fmt.Errorf("server: cannot merge %T state into a dynamic engine", st)
+		}
+		if err := merged.sam.Merge(s.sam); err != nil {
+			return nil, err
+		}
+		merged.opsSeen += s.opsSeen
+		merged.deletes += s.deletes
+	}
+	return merged, nil
+}
+
+func (m dynamicMode) ReadState(r io.Reader) (ShardState, error) {
+	hdr := make([]byte, len(dynMagic)+20)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("decoding dynamic state header: %w", err)
+	}
+	if string(hdr[:len(dynMagic)]) != dynMagic {
+		return nil, fmt.Errorf("decoding dynamic state: bad magic %q", hdr[:len(dynMagic)])
+	}
+	body := hdr[len(dynMagic):]
+	if got, want := binary.LittleEndian.Uint32(body[16:20]), crc32.Checksum(body[:16], dynCRCTable); got != want {
+		return nil, fmt.Errorf("decoding dynamic state: header checksum mismatch (got %08x want %08x)", got, want)
+	}
+	sam, err := l0.ReadSampler(r)
+	if err != nil {
+		return nil, err
+	}
+	if sam.Params() != m.params {
+		return nil, fmt.Errorf("dynamic sampler parameter mismatch (peer built with different options)")
+	}
+	return &dynamicState{
+		sam:     sam,
+		opsSeen: int64(binary.LittleEndian.Uint64(body[0:8])),
+		deletes: int64(binary.LittleEndian.Uint64(body[8:16])),
+	}, nil
+}
+
+func (m dynamicMode) Materialize(st ShardState) (*materialized, error) {
+	d, ok := st.(*dynamicState)
+	if !ok {
+		return nil, fmt.Errorf("server: cannot materialize %T state on a dynamic engine", st)
+	}
+	rec, err := d.sam.Recover()
+	if err != nil {
+		return nil, fmt.Errorf("server: dynamic engine: %w", err)
+	}
+	// Renumber the sample's elements densely (ascending original id, as
+	// deterministic as the recovery itself).
+	ids := make([]uint32, 0, len(rec.Edges))
+	for _, e := range rec.Edges {
+		ids = append(ids, e.Elem)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids = compactU32(ids)
+	idx := make(map[uint32]uint32, len(ids))
+	for i, el := range ids {
+		idx[el] = uint32(i)
+	}
+	edges := make([]bipartite.Edge, len(rec.Edges))
+	for i, e := range rec.Edges {
+		edges[i] = bipartite.Edge{Set: e.Set, Elem: idx[e.Elem]}
+	}
+	g, err := bipartite.FromEdges(m.numSets, len(ids), edges)
+	if err != nil {
+		return nil, fmt.Errorf("server: dynamic engine: building sample graph: %w", err)
+	}
+	d.recEdges = len(rec.Edges)
+	d.recElems = len(ids)
+	d.recPStar = rec.PStar
+	d.materialized = true
+	return &materialized{graph: g, ids: ids}, nil
+}
+
+// compactU32 dedupes a sorted slice in place.
+func compactU32(xs []uint32) []uint32 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || xs[i-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (m dynamicMode) Execute(snap *Snapshot, q Query) (*QueryResult, error) {
+	res := greedy.MaxCover(snap.graph, q.K)
+	st := snap.state.Stats()
+	return &QueryResult{
+		Algo:           q.Algo,
+		Sets:           res.Sets,
+		SketchCoverage: res.Covered,
+		// The recovered sample is the exact incidence list of a
+		// p*-sample of elements, so the Lemma 2.2 estimate covered/p*
+		// applies unchanged.
+		EstimatedCoverage: safeEstimate(res.Covered, st.PStar),
+		SampledElements:   st.ElementsKept,
+		PStar:             st.PStar,
+		Engine:            ModeDynamic,
+		SnapshotSeq:       snap.Seq,
+		SnapshotEdges:     snap.IngestedEdges,
+	}, nil
+}

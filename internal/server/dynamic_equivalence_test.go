@@ -1,0 +1,173 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/bipartite"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// The insert-only equivalence suite for the dynamic mode: on streams
+// small enough that both structures are exact — the sketch keeps every
+// edge below its budget, the sampler decodes at level 0 — the two
+// engines answer from the same full incidence graph, so their kcover
+// answers must agree exactly: same sets, same covered count, same
+// estimate. This is the regime contract NewDynamicService documents,
+// pinned across workload generators × shard counts, through both the
+// AddEdges and the ApplyOps ingest paths, and across a snapshot
+// write/restore round trip.
+
+// eqWorkloads are small-instance generators: every one keeps the total
+// edge count within both exact regimes (sketch budget 60·n, sampler
+// level-0 capacity ≈ cells/2 = 60·n).
+func eqWorkloads() []workload.Instance {
+	return []workload.Instance{
+		workload.Uniform(50, 300, 0.04, 11),
+		workload.Zipf(50, 300, 60, 0.9, 0.7, 12),
+		workload.PlantedKCover(40, 300, 5, 0.8, 12, 13),
+		workload.UniformFixedSize(30, 300, 20, 14),
+	}
+}
+
+func eqConfig(n, m, shards int) Config {
+	return Config{
+		NumSets:    n,
+		K:          5,
+		Eps:        0.4,
+		Seed:       9,
+		NumElems:   m,
+		EdgeBudget: 60 * n,
+		Shards:     shards,
+	}
+}
+
+// eqAnswer ingests edges into a fresh engine of the given config (via
+// IngestOps when ops is set, Ingest otherwise) and answers kcover.
+func eqAnswer(t *testing.T, cfg Config, edges []bipartite.Edge, ops bool) (*QueryResult, []byte) {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if ops {
+		if _, err := e.IngestOps(bipartite.Inserts(edges)); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if _, err := e.Ingest(edges); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := e.Query(Query{Algo: AlgoKCover, K: cfg.K, Refresh: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, stateBytes(t, e)
+}
+
+func assertSameAnswer(t *testing.T, label string, got, want *QueryResult) {
+	t.Helper()
+	if fmt.Sprint(got.Sets) != fmt.Sprint(want.Sets) {
+		t.Fatalf("%s: sets %v != %v", label, got.Sets, want.Sets)
+	}
+	if got.SketchCoverage != want.SketchCoverage {
+		t.Fatalf("%s: covered %d != %d", label, got.SketchCoverage, want.SketchCoverage)
+	}
+	if got.EstimatedCoverage != want.EstimatedCoverage {
+		t.Fatalf("%s: estimate %v != %v", label, got.EstimatedCoverage, want.EstimatedCoverage)
+	}
+}
+
+func TestDynamicInsertOnlyMatchesSketch(t *testing.T) {
+	for _, inst := range eqWorkloads() {
+		inst := inst
+		t.Run(inst.Name, func(t *testing.T) {
+			n, m := inst.G.NumSets(), inst.G.NumElems()
+			edges := stream.Drain(stream.Shuffled(inst.G, 7))
+
+			// The single-shard sketch answer anchors the whole matrix.
+			ref, _ := eqAnswer(t, eqConfig(n, m, 1), edges, false)
+			if len(ref.Sets) == 0 {
+				t.Fatal("reference answer is empty; the workload tests nothing")
+			}
+
+			for _, shards := range []int{1, 3, 5} {
+				cfg := eqConfig(n, m, shards)
+				sketch, _ := eqAnswer(t, cfg, edges, false)
+				assertSameAnswer(t, fmt.Sprintf("sketch shards=%d vs ref", shards), sketch, ref)
+
+				dynCfg := cfg
+				dynCfg.Engine = ModeDynamic
+				dyn, dynState := eqAnswer(t, dynCfg, edges, true)
+				assertSameAnswer(t, fmt.Sprintf("dynamic shards=%d vs sketch", shards), dyn, ref)
+				if dyn.Engine != ModeDynamic {
+					t.Fatalf("dynamic answer reports engine %q", dyn.Engine)
+				}
+
+				// The AddEdges path (edge ingest into a dynamic engine) must
+				// land in the same sampler state as the op path: linearity
+				// again, pinned as byte equality of the canonical snapshot.
+				_, viaEdges := eqAnswer(t, dynCfg, edges, false)
+				if !bytes.Equal(dynState, viaEdges) {
+					t.Fatalf("shards=%d: IngestOps and Ingest leave different dynamic states", shards)
+				}
+
+				// Snapshot write/restore round trip: the restored engine
+				// re-serializes byte-identically and answers identically.
+				rcfg, err := ReadRestore(dynCfg, bytes.NewReader(dynState))
+				if err != nil {
+					t.Fatalf("shards=%d: ReadRestore: %v", shards, err)
+				}
+				rec, err := New(rcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := stateBytes(t, rec); !bytes.Equal(got, dynState) {
+					rec.Close()
+					t.Fatalf("shards=%d: restored dynamic state re-serializes differently", shards)
+				}
+				res, err := rec.Query(Query{Algo: AlgoKCover, K: dynCfg.K, Refresh: true})
+				rec.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameAnswer(t, fmt.Sprintf("restored dynamic shards=%d", shards), res, ref)
+			}
+		})
+	}
+}
+
+// TestDynamicMatchesOfflineL0KCover compares the dynamic engine against
+// the offline Appendix-D baseline in the regime where both are exact:
+// with per-set KMV capacity t ≥ m every union estimate is an exact
+// count, so the baseline's greedy walks exactly the marginal-gain
+// sequence the engine's greedy walks, and the answers coincide.
+func TestDynamicMatchesOfflineL0KCover(t *testing.T) {
+	for _, inst := range eqWorkloads() {
+		inst := inst
+		t.Run(inst.Name, func(t *testing.T) {
+			n, m := inst.G.NumSets(), inst.G.NumElems()
+			edges := stream.Drain(stream.Shuffled(inst.G, 7))
+
+			dynCfg := eqConfig(n, m, 3)
+			dynCfg.Engine = ModeDynamic
+			dyn, _ := eqAnswer(t, dynCfg, edges, true)
+
+			// Eps 0.1 → t = 301 ≥ m = 300: exact sketches, exact unions.
+			out := baselines.L0KCover(stream.NewSlice(edges), n, dynCfg.K, baselines.L0Options{
+				Eps: 0.1, Seed: 9, Reps: 2,
+			})
+			if fmt.Sprint(out.Sets) != fmt.Sprint(dyn.Sets) {
+				t.Fatalf("l0kcover sets %v != dynamic %v", out.Sets, dyn.Sets)
+			}
+			if int(out.Estimate) != dyn.SketchCoverage {
+				t.Fatalf("l0kcover estimate %v != dynamic covered %d", out.Estimate, dyn.SketchCoverage)
+			}
+		})
+	}
+}

@@ -183,12 +183,17 @@ func (c Config) WeightedOptions() weighted.Options {
 // ErrClosed is returned by every engine operation after Close.
 var ErrClosed = errors.New("server: engine closed")
 
-// shardMsg is a mailbox entry: either an edge batch or a state request.
+// shardMsg is a mailbox entry: an edge batch, an op batch, or a state
+// request.
 type shardMsg struct {
 	// batch is a pooled per-shard buffer owned by the message: the shard
 	// returns it to the engine's pool after applying it, so steady-state
 	// ingest recycles buffers instead of allocating per submission.
 	batch *[]bipartite.Edge
+	// ops is the op-batch analog of batch (IngestOps routes through it
+	// when the batch carries deletes); exactly one of batch/ops/reply is
+	// set.
+	ops   *[]bipartite.Op
 	reply chan shardReply // non-nil: respond with the shard's state
 	// wantClone asks for a deep copy of the state (a merge is coming);
 	// stats-only requests leave it false and skip the O(budget) copy.
@@ -203,9 +208,10 @@ type shardReply struct {
 }
 
 type shard struct {
-	mail chan shardMsg
-	done chan struct{}
-	pool *sync.Pool // shared with the engine; receives applied batches
+	mail   chan shardMsg
+	done   chan struct{}
+	pool   *sync.Pool // shared with the engine; receives applied batches
+	opPool *sync.Pool // likewise for op-batch buffers
 }
 
 // run is a shard's ingest loop; st is the shard's private state (built
@@ -219,6 +225,14 @@ func (sh *shard) run(st ShardState) {
 				rep.clone = st.CloneState()
 			}
 			msg.reply <- rep
+			continue
+		}
+		if msg.ops != nil {
+			// Op batches only reach shards whose mode supports every op in
+			// them (IngestOps gates deletes on Mode.SupportsDeletes before
+			// logging or routing), so ApplyOps cannot fail here.
+			_ = st.ApplyOps(*msg.ops)
+			sh.opPool.Put(msg.ops)
 			continue
 		}
 		// Batched ingest: one pass over the whole batch (e.g. the sketch's
@@ -369,6 +383,12 @@ type Engine struct {
 	ingested atomic.Int64
 	batches  atomic.Int64
 	queries  atomic.Int64
+	// deletes counts delete ops accepted by IngestOps (always 0 on
+	// append-only modes, which reject them before any counter moves).
+	deletes atomic.Int64
+	// samplerRecoveries counts published dynamic-mode snapshots — each
+	// one ran a successful L0 sampler decode in Materialize.
+	samplerRecoveries atomic.Int64
 	// ingestStalls counts shard-mailbox sends that found the mailbox
 	// full and had to wait — the engine's backpressure events. The wire
 	// ingest plane surfaces them as its stall metric.
@@ -386,8 +406,10 @@ type Engine struct {
 	refreshErrOnce sync.Once
 
 	// batchPool recycles the per-shard sub-batch buffers that Ingest
-	// routes edges into; shards return applied buffers here.
+	// routes edges into; shards return applied buffers here. opPool is
+	// the op-batch analog for IngestOps.
 	batchPool sync.Pool
+	opPool    sync.Pool
 
 	stopTicker chan struct{}
 	tickerDone chan struct{}
@@ -474,9 +496,10 @@ func New(cfg Config) (*Engine, error) {
 	}
 	for i := range e.shards {
 		sh := &shard{
-			mail: make(chan shardMsg, cfg.queueDepth()),
-			done: make(chan struct{}),
-			pool: &e.batchPool,
+			mail:   make(chan shardMsg, cfg.queueDepth()),
+			done:   make(chan struct{}),
+			pool:   &e.batchPool,
+			opPool: &e.opPool,
 		}
 		e.shards[i] = sh
 		go sh.run(states[i])
@@ -497,6 +520,11 @@ func (e *Engine) EngineMode() Mode { return e.mode }
 
 // ModeName returns the engine's mode name ("sketch", "weighted", "sieve").
 func (e *Engine) ModeName() ModeName { return e.mode.Name() }
+
+// SupportsDeletes reports whether the engine's mode accepts delete ops
+// (today only "dynamic") — the gate the ingest planes check before
+// accepting an op-speaking client that may delete.
+func (e *Engine) SupportsDeletes() bool { return e.mode.SupportsDeletes() }
 
 // Weighted reports whether the engine runs the weighted query plane —
 // a single comparison, unlike Config(), which deep-copies the weight
@@ -538,6 +566,17 @@ func (e *Engine) getBatchBuf() *[]bipartite.Edge {
 		return b
 	}
 	b := make([]bipartite.Edge, 0, 256)
+	return &b
+}
+
+// getOpBuf returns an empty pooled op buffer.
+func (e *Engine) getOpBuf() *[]bipartite.Op {
+	if v := e.opPool.Get(); v != nil {
+		b := v.(*[]bipartite.Op)
+		*b = (*b)[:0]
+		return b
+	}
+	b := make([]bipartite.Op, 0, 256)
 	return &b
 }
 
@@ -602,6 +641,88 @@ func (e *Engine) Ingest(edges []bipartite.Edge) (int, error) {
 		}
 	}
 	return len(edges), nil
+}
+
+// IngestOps routes one batch of ops (inserts and deletes) to the shard
+// states and returns the number of ops accepted. Insert-only batches
+// take exactly the Ingest path — same WAL frame bytes, same mailbox
+// shape — so an op-speaking client pointed at an append-only engine
+// behaves byte-identically to an edge-speaking one as long as it never
+// deletes. A batch containing deletes requires a mode whose ApplyOps
+// accepts them (Mode.SupportsDeletes, today only "dynamic"); on any
+// other engine the whole batch is rejected with ErrDeletesUnsupported
+// before anything is logged, counted or routed. All-or-nothing like
+// Ingest; offsets/watermarks count ops, deletes included.
+func (e *Engine) IngestOps(ops []bipartite.Op) (int, error) {
+	if len(ops) == 0 {
+		return 0, nil
+	}
+	hasDeletes := false
+	for i := range ops {
+		if int(ops[i].Edge.Set) >= e.cfg.NumSets {
+			return 0, fmt.Errorf("server: edge set id %d out of range [0,%d)", ops[i].Edge.Set, e.cfg.NumSets)
+		}
+		switch ops[i].Kind {
+		case bipartite.OpInsert:
+		case bipartite.OpDelete:
+			hasDeletes = true
+		default:
+			return 0, fmt.Errorf("server: unknown op kind %d", ops[i].Kind)
+		}
+	}
+	if !hasDeletes {
+		edges := make([]bipartite.Edge, len(ops))
+		for i := range ops {
+			edges[i] = ops[i].Edge
+		}
+		return e.Ingest(edges)
+	}
+	if !e.mode.SupportsDeletes() {
+		return 0, fmt.Errorf("server: engine %q: %w", e.ModeName(), ErrDeletesUnsupported)
+	}
+	e.ingestMu.RLock()
+	defer e.ingestMu.RUnlock()
+	if e.closed {
+		return 0, ErrClosed
+	}
+	// Durability first, exactly as in Ingest; delete-carrying batches
+	// are logged as op frames (wal.AppendOps), which old-format readers
+	// reject rather than misread.
+	if e.wal != nil {
+		if _, err := e.wal.AppendOps(ops); err != nil {
+			return 0, err
+		}
+	}
+	buckets := make([]*[]bipartite.Op, len(e.shards))
+	deletes := int64(0)
+	for _, op := range ops {
+		if op.Kind == bipartite.OpDelete {
+			deletes++
+		}
+		// Route on the edge, ignoring the kind: an edge's delete lands on
+		// the shard that holds its insert, so per-shard samplers see
+		// well-formed sub-streams.
+		w := e.part.Route(op.Edge)
+		if buckets[w] == nil {
+			buckets[w] = e.getOpBuf()
+		}
+		*buckets[w] = append(*buckets[w], op)
+	}
+	e.ingested.Add(int64(len(ops)))
+	e.deletes.Add(deletes)
+	e.batches.Add(1)
+	for w, b := range buckets {
+		if b == nil {
+			continue
+		}
+		select {
+		case e.shards[w].mail <- shardMsg{ops: b}:
+		default:
+			e.ingestStalls.Add(1)
+			e.shards[w].mail <- shardMsg{ops: b}
+		}
+	}
+	return len(ops), nil
 }
 
 // collect asks every shard for a consistent view of its state (with a
@@ -680,9 +801,19 @@ func (e *Engine) refreshLocked() (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.publish(snap)
+	return snap, nil
+}
+
+// publish stores a freshly built snapshot and bumps the merge-plane
+// counters (a dynamic-mode snapshot implies one successful sampler
+// decode — Materialize would have failed the build otherwise).
+func (e *Engine) publish(snap *Snapshot) {
 	e.snap.Store(snap)
 	e.refreshes.Add(1)
-	return snap, nil
+	if e.mode.Name() == ModeDynamic {
+		e.samplerRecoveries.Add(1)
+	}
 }
 
 // Snapshot returns the current snapshot, building the first one on
@@ -729,6 +860,10 @@ func (e *Engine) IngestedEdges() int64 { return e.ingested.Load() }
 // load, safe at any frequency.
 func (e *Engine) IngestStalls() int64 { return e.ingestStalls.Load() }
 
+// DeletedEdges reports the number of delete ops accepted so far (always
+// 0 on append-only modes). A single atomic load.
+func (e *Engine) DeletedEdges() int64 { return e.deletes.Load() }
+
 // Counters is the cheap subset of Stats: every field is an atomic read,
 // no message rides the shard mailboxes, so a metrics scrape can collect
 // it per namespace at high frequency without perturbing ingest.
@@ -737,6 +872,11 @@ type Counters struct {
 	IngestedEdges int64
 	Batches       int64
 	IngestStalls  int64
+	// DeletedEdges counts accepted delete ops (IngestOps); always 0 on
+	// append-only modes. SamplerRecoveries counts published dynamic-mode
+	// snapshots (one successful L0 decode each); 0 on other modes.
+	DeletedEdges      int64
+	SamplerRecoveries int64
 	// Queries / QueryCacheHits account the query plane.
 	Queries        int64
 	QueryCacheHits int64
@@ -753,14 +893,16 @@ type Counters struct {
 // Counters returns the engine's cheap counters (see Counters).
 func (e *Engine) Counters() Counters {
 	c := Counters{
-		IngestedEdges:  e.ingested.Load(),
-		Batches:        e.batches.Load(),
-		IngestStalls:   e.ingestStalls.Load(),
-		Queries:        e.queries.Load(),
-		QueryCacheHits: e.cacheHits.Load(),
-		Refreshes:      e.refreshes.Load(),
-		RefreshSkips:   e.refreshSkips.Load(),
-		RefreshErrors:  e.refreshErrors.Load(),
+		IngestedEdges:     e.ingested.Load(),
+		Batches:           e.batches.Load(),
+		IngestStalls:      e.ingestStalls.Load(),
+		DeletedEdges:      e.deletes.Load(),
+		SamplerRecoveries: e.samplerRecoveries.Load(),
+		Queries:           e.queries.Load(),
+		QueryCacheHits:    e.cacheHits.Load(),
+		Refreshes:         e.refreshes.Load(),
+		RefreshSkips:      e.refreshSkips.Load(),
+		RefreshErrors:     e.refreshErrors.Load(),
 	}
 	if snap := e.snap.Load(); snap != nil {
 		c.SnapshotSeq = snap.Seq
@@ -870,6 +1012,12 @@ func ValidateQuery(q Query, mode ModeName) error {
 		// full set cover over that residue would answer a different
 		// question than the algorithms promise.
 		return fmt.Errorf("server: algo %q is not defined on a sieve engine (sieve serves kcover)", q.Algo)
+	}
+	if mode == ModeDynamic && (q.Algo == AlgoOutliers || q.Algo == AlgoGreedy) {
+		// The dynamic sampler recovers a p*-sample sized for k-cover
+		// estimation; the outlier and full-cover guarantees are only
+		// analyzed for the append-only sketch.
+		return fmt.Errorf("server: algo %q is not defined on a dynamic engine (dynamic serves kcover)", q.Algo)
 	}
 	return nil
 }
@@ -1025,6 +1173,12 @@ type Stats struct {
 	// full and had to wait — backpressure events, the signal the wire
 	// ingest plane propagates to producers by pausing socket reads.
 	IngestStalls int64 `json:"ingest_stalls"`
+	// DeletedEdges counts accepted delete ops; SamplerRecoveries counts
+	// published dynamic-mode snapshots (one successful L0 decode each).
+	// Both omitted when zero — the legacy modes' stats shape predates
+	// the op plane.
+	DeletedEdges      int64 `json:"deleted_edges,omitempty"`
+	SamplerRecoveries int64 `json:"sampler_recoveries,omitempty"`
 	// Queries is the number of queries served (cache hits included).
 	Queries int64 `json:"queries"`
 	// QueryCacheHits counts queries answered from the memoized result
@@ -1073,16 +1227,18 @@ func (e *Engine) Stats() (*Stats, error) {
 		return nil, err
 	}
 	st := &Stats{
-		Shards:         len(e.shards),
-		IngestedEdges:  e.ingested.Load(),
-		Batches:        e.batches.Load(),
-		IngestStalls:   e.ingestStalls.Load(),
-		Queries:        e.queries.Load(),
-		QueryCacheHits: e.cacheHits.Load(),
-		Refreshes:      e.refreshes.Load(),
-		RefreshSkips:   e.refreshSkips.Load(),
-		RefreshErrors:  e.refreshErrors.Load(),
-		Weighted:       e.Weighted(),
+		Shards:            len(e.shards),
+		IngestedEdges:     e.ingested.Load(),
+		Batches:           e.batches.Load(),
+		IngestStalls:      e.ingestStalls.Load(),
+		DeletedEdges:      e.deletes.Load(),
+		SamplerRecoveries: e.samplerRecoveries.Load(),
+		Queries:           e.queries.Load(),
+		QueryCacheHits:    e.cacheHits.Load(),
+		Refreshes:         e.refreshes.Load(),
+		RefreshSkips:      e.refreshSkips.Load(),
+		RefreshErrors:     e.refreshErrors.Load(),
+		Weighted:          e.Weighted(),
 	}
 	if name := e.mode.Name(); name != ModeSketch && name != ModeWeighted {
 		st.Engine = name

@@ -197,7 +197,24 @@ func (a *api) engineRoutes(mux *http.ServeMux, prefix string, resolve func(*http
 			h(e, w, r)
 		}
 	}
-	mux.HandleFunc(prefix+"/edges", withEngine(http.MethodPost, "POST", a.handleIngest))
+	// POST ingests edges (or, on a delete-capable engine, an op batch);
+	// DELETE retracts previously inserted edges — dynamic engines only.
+	mux.HandleFunc(prefix+"/edges", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost && r.Method != http.MethodDelete {
+			MethodNotAllowed(w, "POST, DELETE")
+			return
+		}
+		e, err := resolve(r)
+		if err != nil {
+			ErrorJSON(w, StatusFor(err), "%v", err)
+			return
+		}
+		if r.Method == http.MethodDelete {
+			a.handleDelete(e, w, r)
+			return
+		}
+		a.handleIngest(e, w, r)
+	})
 	mux.HandleFunc(prefix+"/query", withEngine(http.MethodGet, "GET", a.handleQuery))
 	mux.HandleFunc(prefix+"/stats", withEngine(http.MethodGet, "GET", a.handleStats))
 	// POST merges (and persists when configured); GET serves the merged
@@ -320,12 +337,63 @@ func (a *api) handleIngest(e *Engine, w http.ResponseWriter, r *http.Request) {
 		ErrorJSON(w, http.StatusBadRequest, "trailing data after JSON body")
 		return
 	}
+	if len(body.Edges) > 0 && len(body.Ops) > 0 {
+		ErrorJSON(w, http.StatusBadRequest, `body mixes "edges" and "ops"; send one or the other`)
+		return
+	}
+	if max := a.opt.maxBatch(); len(body.Edges) > max || len(body.Ops) > max {
+		ErrorJSON(w, http.StatusRequestEntityTooLarge,
+			"batch of %d edges exceeds limit %d", len(body.Edges)+len(body.Ops), max)
+		return
+	}
+	var n int
+	var err error
+	if len(body.Ops) > 0 {
+		var ops []bipartite.Op
+		if ops, err = body.ops(); err == nil {
+			n, err = e.IngestOps(ops)
+		}
+	} else {
+		n, err = e.Ingest(body.edges())
+	}
+	if err != nil {
+		ErrorJSON(w, StatusFor(err), "%v", err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, ingestResponse{Accepted: n, IngestedTotal: e.IngestedEdges()})
+}
+
+// handleDelete is DELETE …/edges: the body's edges are retracted as
+// delete ops. Engines whose mode cannot apply deletes answer 409 with
+// the typed ErrDeletesUnsupported message.
+func (a *api) handleDelete(e *Engine, w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, a.opt.maxBodyBytes())
+	var body ingestRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&body); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			ErrorJSON(w, http.StatusRequestEntityTooLarge,
+				"body exceeds limit of %d bytes", tooLarge.Limit)
+			return
+		}
+		ErrorJSON(w, http.StatusBadRequest, "bad delete body: %v", err)
+		return
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		ErrorJSON(w, http.StatusBadRequest, "trailing data after JSON body")
+		return
+	}
+	if len(body.Ops) > 0 {
+		ErrorJSON(w, http.StatusBadRequest, `DELETE takes "edges" only; POST an "ops" batch for mixed mutations`)
+		return
+	}
 	if len(body.Edges) > a.opt.maxBatch() {
 		ErrorJSON(w, http.StatusRequestEntityTooLarge,
 			"batch of %d edges exceeds limit %d", len(body.Edges), a.opt.maxBatch())
 		return
 	}
-	n, err := e.Ingest(body.edges())
+	n, err := e.IngestOps(bipartite.Deletes(body.edges()))
 	if err != nil {
 		ErrorJSON(w, StatusFor(err), "%v", err)
 		return
@@ -501,9 +569,13 @@ func persistMultiSnapshot(m *Multi, path string) error {
 	return CheckpointMulti(m, path)
 }
 
-// ingestRequest is the POST …/edges body: edges as [set, elem] pairs.
+// ingestRequest is the POST …/edges body: edges as [set, elem] pairs,
+// or — on delete-capable engines — ops as [kind, set, elem] triples
+// (kind 0 = insert, 1 = delete). The two forms are mutually exclusive
+// per request; DELETE …/edges reuses the edges form and retracts them.
 type ingestRequest struct {
 	Edges [][2]uint32 `json:"edges"`
+	Ops   [][3]uint32 `json:"ops"`
 }
 
 func (r ingestRequest) edges() []bipartite.Edge {
@@ -512,6 +584,17 @@ func (r ingestRequest) edges() []bipartite.Edge {
 		out[i] = bipartite.Edge{Set: p[0], Elem: p[1]}
 	}
 	return out
+}
+
+func (r ingestRequest) ops() ([]bipartite.Op, error) {
+	out := make([]bipartite.Op, len(r.Ops))
+	for i, p := range r.Ops {
+		if p[0] > uint32(bipartite.OpDelete) {
+			return nil, fmt.Errorf("op %d: unknown kind %d (0 inserts, 1 deletes)", i, p[0])
+		}
+		out[i] = bipartite.Op{Kind: bipartite.OpKind(p[0]), Edge: bipartite.Edge{Set: p[1], Elem: p[2]}}
+	}
+	return out, nil
 }
 
 type ingestResponse struct {
@@ -633,6 +716,10 @@ func StatusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, ErrNamespaceUnknown):
 		return http.StatusNotFound
+	case errors.Is(err, ErrDeletesUnsupported):
+		// The request is well-formed; the engine's configuration cannot
+		// honor it — a state conflict, like a closed engine.
+		return http.StatusConflict
 	}
 	return http.StatusBadRequest
 }

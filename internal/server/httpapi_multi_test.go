@@ -105,7 +105,7 @@ func TestHTTPNamespaceCRUD(t *testing.T) {
 	for _, c := range []struct{ method, path, allow string }{
 		{"PUT", "/v1/ns", "GET, POST"},
 		{"POST", "/v1/ns/default", "GET, DELETE"},
-		{"GET", "/v1/ns/default/edges", "POST"},
+		{"GET", "/v1/ns/default/edges", "POST, DELETE"},
 		{"DELETE", "/v1/ns/default/query", "GET"},
 		{"POST", "/v1/ns/default/stats", "GET"},
 		{"DELETE", "/v1/ns/default/snapshot", "GET, POST"},

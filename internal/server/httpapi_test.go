@@ -179,7 +179,7 @@ func TestHTTPMethodNotAllowedSetsAllow(t *testing.T) {
 	cases := []struct {
 		method, path, allow string
 	}{
-		{"GET", "/v1/edges", "POST"},
+		{"GET", "/v1/edges", "POST, DELETE"},
 		{"DELETE", "/v1/query", "GET"},
 		{"PUT", "/v1/stats", "GET"},
 		{"DELETE", "/v1/snapshot", "GET, POST"},

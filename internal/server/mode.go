@@ -24,6 +24,7 @@ package server
 // wire bytes — so their behavior and snapshot frames are unchanged.
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -49,16 +50,46 @@ const (
 	// ModeSieve is the constant-memory swap buffer (internal/sieve): at
 	// most K candidate sets per shard, single-pass, order-dependent.
 	ModeSieve ModeName = "sieve"
+	// ModeDynamic serves insert/delete (turnstile) streams with the
+	// leveled L0 edge sampler (internal/l0), after Chakrabarti–McGregor–
+	// Wirth. The only mode whose ApplyOps accepts deletes.
+	ModeDynamic ModeName = "dynamic"
 )
+
+// ErrDeletesUnsupported is returned (wrapped, with the engine name)
+// when a delete op reaches an append-only engine mode. The paper's H≤n
+// sketch — and the weighted bank and sieve built on the same shape —
+// subsample and *discard* stream suffix information; once an edge has
+// been dropped by the eviction bar there is nothing to subtract a
+// delete from, so these modes reject deletes outright rather than
+// silently corrupt their estimates. Only the dynamic mode's linear
+// sampler supports retraction.
+var ErrDeletesUnsupported = errors.New("deletes unsupported")
+
+// rejectDeletes is the shared ApplyOps implementation for the
+// append-only modes: insert-only batches forward to AddEdges, any
+// delete fails the whole batch with the typed error.
+func rejectDeletes(name ModeName, add func([]bipartite.Edge), ops []bipartite.Op) error {
+	if bipartite.HasDeletes(ops) {
+		return fmt.Errorf("server: engine %q: %w", name, ErrDeletesUnsupported)
+	}
+	add(bipartite.InsertEdges(make([]bipartite.Edge, 0, len(ops)), ops))
+	return nil
+}
 
 // ShardState is the state a single ingest shard owns — and, after a
 // coordinator merge, the state a Snapshot carries. The three engine
 // modes (H≤n sketch, weighted class bank, sieve swap buffer) implement
 // it with the lifecycle verbs they already shared.
 type ShardState interface {
-	// AddEdges absorbs one routed batch. Only the owning shard goroutine
-	// calls it.
+	// AddEdges absorbs one routed batch of inserts. Only the owning
+	// shard goroutine calls it.
 	AddEdges(edges []bipartite.Edge)
+	// ApplyOps absorbs one routed op batch (inserts and deletes).
+	// Append-only modes return ErrDeletesUnsupported (wrapped) if the
+	// batch contains a delete; the engine gates op routing on
+	// Mode.SupportsDeletes so shard goroutines never see that error.
+	ApplyOps(ops []bipartite.Op) error
 	// CloneState returns a deep copy, taken inside the shard mailbox so
 	// it is a consistent cut of the shard's stream.
 	CloneState() ShardState
@@ -96,6 +127,10 @@ type materialized struct {
 type Mode interface {
 	// Name is the mode's wire name.
 	Name() ModeName
+	// SupportsDeletes reports whether ApplyOps accepts delete ops. The
+	// engine, the HTTP plane and the wire server gate op ingest on it
+	// so append-only modes reject deletes before any state mutates.
+	SupportsDeletes() bool
 	// Signature fingerprints mode configuration that the serialized
 	// state cannot carry itself (the weighted mode's weight table; 0
 	// otherwise). Cluster peers refuse blobs whose signature disagrees.
@@ -121,7 +156,7 @@ type Mode interface {
 func (c Config) EngineMode() (Mode, error) {
 	name := c.engineName()
 	switch name {
-	case ModeSketch, ModeSieve:
+	case ModeSketch, ModeSieve, ModeDynamic:
 		if c.Weights != nil {
 			return nil, fmt.Errorf("server: engine %q does not take Weights (use the weighted engine)", name)
 		}
@@ -130,8 +165,8 @@ func (c Config) EngineMode() (Mode, error) {
 			return nil, fmt.Errorf("server: the weighted engine requires Weights")
 		}
 	default:
-		return nil, fmt.Errorf("server: unknown engine %q (known: %q, %q, %q)",
-			name, ModeSketch, ModeWeighted, ModeSieve)
+		return nil, fmt.Errorf("server: unknown engine %q (known: %q, %q, %q, %q)",
+			name, ModeSketch, ModeWeighted, ModeSieve, ModeDynamic)
 	}
 	switch name {
 	case ModeWeighted:
@@ -144,6 +179,8 @@ func (c Config) EngineMode() (Mode, error) {
 		}, nil
 	case ModeSieve:
 		return sieveMode{numSets: c.NumSets, k: c.K}, nil
+	case ModeDynamic:
+		return dynamicMode{numSets: c.NumSets, params: c.DynamicParams()}, nil
 	}
 	return sketchMode{params: c.Params()}, nil
 }
@@ -164,9 +201,12 @@ func (c Config) engineName() ModeName {
 type sketchState struct{ sk *core.Sketch }
 
 func (s sketchState) AddEdges(edges []bipartite.Edge) { s.sk.AddEdges(edges) }
-func (s sketchState) CloneState() ShardState          { return sketchState{s.sk.Clone()} }
-func (s sketchState) Stats() core.Stats               { return s.sk.Stats() }
-func (s sketchState) SetEdgesSeen(n int64)            { s.sk.SetEdgesSeen(n) }
+func (s sketchState) ApplyOps(ops []bipartite.Op) error {
+	return rejectDeletes(ModeSketch, s.AddEdges, ops)
+}
+func (s sketchState) CloneState() ShardState { return sketchState{s.sk.Clone()} }
+func (s sketchState) Stats() core.Stats      { return s.sk.Stats() }
+func (s sketchState) SetEdgesSeen(n int64)   { s.sk.SetEdgesSeen(n) }
 func (s sketchState) WriteTo(w io.Writer) (int64, error) {
 	return s.sk.WriteTo(w)
 }
@@ -181,8 +221,9 @@ func (s sketchState) MergeFrom(other ShardState) error {
 
 type sketchMode struct{ params core.Params }
 
-func (m sketchMode) Name() ModeName    { return ModeSketch }
-func (m sketchMode) Signature() uint64 { return 0 }
+func (m sketchMode) Name() ModeName        { return ModeSketch }
+func (m sketchMode) SupportsDeletes() bool { return false }
+func (m sketchMode) Signature() uint64     { return 0 }
 
 func (m sketchMode) NewShardState() (ShardState, error) {
 	sk, err := core.NewSketch(m.params)
@@ -264,9 +305,12 @@ func (m sketchMode) Execute(snap *Snapshot, q Query) (*QueryResult, error) {
 type bankState struct{ bank *weighted.Bank }
 
 func (s bankState) AddEdges(edges []bipartite.Edge) { s.bank.AddEdges(edges) }
-func (s bankState) CloneState() ShardState          { return bankState{s.bank.Clone()} }
-func (s bankState) Stats() core.Stats               { return s.bank.Stats() }
-func (s bankState) SetEdgesSeen(n int64)            { s.bank.SetEdgesSeen(n) }
+func (s bankState) ApplyOps(ops []bipartite.Op) error {
+	return rejectDeletes(ModeWeighted, s.AddEdges, ops)
+}
+func (s bankState) CloneState() ShardState { return bankState{s.bank.Clone()} }
+func (s bankState) Stats() core.Stats      { return s.bank.Stats() }
+func (s bankState) SetEdgesSeen(n int64)   { s.bank.SetEdgesSeen(n) }
 func (s bankState) WriteTo(w io.Writer) (int64, error) {
 	return s.bank.WriteTo(w)
 }
@@ -286,8 +330,9 @@ type weightedMode struct {
 	sig        uint64
 }
 
-func (m weightedMode) Name() ModeName    { return ModeWeighted }
-func (m weightedMode) Signature() uint64 { return m.sig }
+func (m weightedMode) Name() ModeName        { return ModeWeighted }
+func (m weightedMode) SupportsDeletes() bool { return false }
+func (m weightedMode) Signature() uint64     { return m.sig }
 
 func (m weightedMode) NewShardState() (ShardState, error) {
 	bk, err := weighted.NewBank(m.numSets, m.k, m.opt, m.fn)
@@ -354,9 +399,12 @@ func (m weightedMode) Execute(snap *Snapshot, q Query) (*QueryResult, error) {
 type sieveState struct{ buf *sieve.Buffer }
 
 func (s sieveState) AddEdges(edges []bipartite.Edge) { s.buf.AddEdges(edges) }
-func (s sieveState) CloneState() ShardState          { return sieveState{s.buf.Clone()} }
-func (s sieveState) Stats() core.Stats               { return s.buf.Stats() }
-func (s sieveState) SetEdgesSeen(n int64)            { s.buf.SetEdgesSeen(n) }
+func (s sieveState) ApplyOps(ops []bipartite.Op) error {
+	return rejectDeletes(ModeSieve, s.AddEdges, ops)
+}
+func (s sieveState) CloneState() ShardState { return sieveState{s.buf.Clone()} }
+func (s sieveState) Stats() core.Stats      { return s.buf.Stats() }
+func (s sieveState) SetEdgesSeen(n int64)   { s.buf.SetEdgesSeen(n) }
 func (s sieveState) WriteTo(w io.Writer) (int64, error) {
 	return s.buf.WriteTo(w)
 }
@@ -371,8 +419,9 @@ func (s sieveState) MergeFrom(other ShardState) error {
 
 type sieveMode struct{ numSets, k int }
 
-func (m sieveMode) Name() ModeName    { return ModeSieve }
-func (m sieveMode) Signature() uint64 { return 0 }
+func (m sieveMode) Name() ModeName        { return ModeSieve }
+func (m sieveMode) SupportsDeletes() bool { return false }
+func (m sieveMode) Signature() uint64     { return 0 }
 
 func (m sieveMode) NewShardState() (ShardState, error) {
 	buf, err := sieve.NewBuffer(m.numSets, m.k)

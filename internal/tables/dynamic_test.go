@@ -1,0 +1,40 @@
+package tables
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestDynamicThroughputShape(t *testing.T) {
+	tbls, err := Run("dynamic-throughput", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tbls[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("expected sketch + 4 delete-fraction rows, got %d", len(rows))
+	}
+	if !strings.HasPrefix(rows[0][0], "sketch") {
+		t.Fatalf("row 0 is %q, want the sketch baseline", rows[0][0])
+	}
+	for i, row := range rows {
+		opsSec, err1 := strconv.ParseFloat(row[4], 64)
+		ratio, err2 := strconv.ParseFloat(row[9], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparsable row %v", row)
+		}
+		if opsSec <= 0 {
+			t.Fatalf("non-positive ops/sec in row %v", row)
+		}
+		if i < len(rows)-1 && (ratio <= 0 || ratio > 1.05) {
+			t.Fatalf("ratio vs greedy %v implausible in row %v", ratio, row)
+		}
+	}
+	// The frac=1 row is the insert-all-delete-all acceptance: nothing
+	// recovered, empty answer.
+	last := rows[len(rows)-1]
+	if last[2] != "0" || last[6] != "0" || last[7] != "0" || last[8] != "0" {
+		t.Fatalf("frac=1 row %v, want zero net edges / recovered / coverage", last)
+	}
+}

@@ -77,6 +77,7 @@ func Experiments() map[string]Runner {
 		"query-throughput":   RunQueryThroughput,
 		"cluster-throughput": RunClusterThroughput,
 		"mode-comparison":    RunModeComparison,
+		"dynamic-throughput": RunDynamicThroughput,
 		"wal-overhead":       RunWALOverhead,
 		"wire-throughput":    RunWireThroughput,
 	}

@@ -12,11 +12,11 @@ func TestExperimentRegistryComplete(t *testing.T) {
 	ids := ExperimentIDs()
 	want := []string{
 		"ablate-degcap", "ablate-guess", "appD-l0", "cluster-throughput",
-		"dist-merge", "ext-weighted", "fig1-sketch", "ingest-throughput",
-		"lem22-accuracy", "mode-comparison", "query-throughput", "table1-kcover",
-		"table1-outliers", "table1-setcover", "thm12-lb", "thm13-oracle",
-		"thm31-kcover", "thm33-outliers", "thm34-setcover", "wal-overhead",
-		"wire-throughput",
+		"dist-merge", "dynamic-throughput", "ext-weighted", "fig1-sketch",
+		"ingest-throughput", "lem22-accuracy", "mode-comparison",
+		"query-throughput", "table1-kcover", "table1-outliers",
+		"table1-setcover", "thm12-lb", "thm13-oracle", "thm31-kcover",
+		"thm33-outliers", "thm34-setcover", "wal-overhead", "wire-throughput",
 	}
 	if len(ids) != len(want) {
 		t.Fatalf("have %d experiments, want %d: %v", len(ids), len(want), ids)

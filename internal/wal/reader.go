@@ -44,9 +44,11 @@ func listSegments(dir string) ([]segFile, error) {
 // scanSegment reads one segment, calling fn for every intact frame in
 // order, and returns the offset past the last intact frame (0 when the
 // segment holds none). Per the torn-tail rule it stops cleanly — nil
-// error — at the first frame that is short, oversized, or fails its
-// CRC; only fn's errors and I/O errors other than EOF propagate.
-func scanSegment(path string, fn func(offset int64, edges []bipartite.Edge) error) (int64, error) {
+// error — at the first frame that is short, oversized, fails its CRC,
+// or decodes to an implausible record; only fn's errors and I/O errors
+// other than EOF propagate. Both frame encodings arrive as op batches:
+// v1 edge frames decode to insert ops.
+func scanSegment(path string, fn func(offset int64, ops []bipartite.Op) error) (int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
@@ -65,7 +67,7 @@ func scanSegment(path string, fn func(offset int64, edges []bipartite.Edge) erro
 		end    int64
 		header [frameHeader]byte
 		body   []byte
-		edges  []bipartite.Edge
+		ops    []bipartite.Op
 	)
 	for {
 		if _, err := io.ReadFull(f, header[:]); err != nil {
@@ -74,7 +76,8 @@ func scanSegment(path string, fn func(offset int64, edges []bipartite.Edge) erro
 			}
 			return end, err
 		}
-		length := getU32(header[0:])
+		raw := getU32(header[0:])
+		length, opFrame := raw&^opFrameFlag, raw&opFrameFlag != 0
 		if length < 8 || length%8 != 0 || length > maxFrameBody {
 			return end, nil // implausible length: torn tail
 		}
@@ -91,21 +94,56 @@ func scanSegment(path string, fn func(offset int64, edges []bipartite.Edge) erro
 		if crc32.Checksum(body, castagnoli) != getU32(header[4:]) {
 			return end, nil
 		}
-		off := int64(getU64(body))
-		n := (len(body) - 8) / 8
-		if cap(edges) < n {
-			edges = make([]bipartite.Edge, n)
+		off, decoded, derr := decodeBody(body, opFrame, ops)
+		if derr != nil {
+			return end, nil // CRC-valid but not ours: treat as torn tail
 		}
-		edges = edges[:n]
-		for i := range edges {
-			edges[i].Set = getU32(body[8+8*i:])
-			edges[i].Elem = getU32(body[12+8*i:])
-		}
-		if err := fn(off, edges); err != nil {
+		ops = decoded
+		if err := fn(off, ops); err != nil {
 			return end, err
 		}
-		end = off + int64(n)
+		end = off + int64(len(ops))
 	}
+}
+
+// ErrCorruptRecord marks a frame body that passed its length and CRC
+// gates but still decodes to something our writer never emits. Every
+// decodeBody failure wraps it — the contract the fuzz target pins.
+var ErrCorruptRecord = fmt.Errorf("wal: corrupt record")
+
+// decodeBody decodes one CRC-validated frame body — u64 offset followed
+// by 8-byte records — into dst (reusing its capacity). opFrame selects
+// the op-record interpretation, where a record's set word carries the
+// op kind in its top bit; in a v1 body that bit is corruption (our
+// writer validates set ids far below it), never a huge set id.
+// Allocation is bounded by len(body), which callers cap at
+// maxFrameBody.
+func decodeBody(body []byte, opFrame bool, dst []bipartite.Op) (int64, []bipartite.Op, error) {
+	if len(body) < 8 || len(body)%8 != 0 {
+		return 0, dst, fmt.Errorf("%w: implausible body length %d", ErrCorruptRecord, len(body))
+	}
+	off := int64(getU64(body))
+	if off < 0 {
+		return 0, dst, fmt.Errorf("%w: negative frame offset", ErrCorruptRecord)
+	}
+	n := (len(body) - 8) / 8
+	if cap(dst) < n {
+		dst = make([]bipartite.Op, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		set := getU32(body[8+8*i:])
+		kind := bipartite.OpInsert
+		if set&opDeleteBit != 0 {
+			if !opFrame {
+				return 0, dst[:0], fmt.Errorf("%w: delete flag in a v1 edge frame", ErrCorruptRecord)
+			}
+			kind = bipartite.OpDelete
+			set &^= opDeleteBit
+		}
+		dst[i] = bipartite.Op{Kind: kind, Edge: bipartite.Edge{Set: set, Elem: getU32(body[12+8*i:])}}
+	}
+	return off, dst, nil
 }
 
 func getU32(b []byte) uint32 {

@@ -28,6 +28,20 @@
 // checked frame by frame, so a corrupted or missing middle segment
 // surfaces as a clear gap error instead of silent data loss.
 //
+// # Op frames
+//
+// The dynamic (insert/delete) engine mode logs operation batches. An op
+// frame reuses the v1 layout but sets the top bit of the length word
+// (the true body size is length &^ 1<<31), and each record's set word
+// carries the op kind in its own top bit (set → delete). AppendOps
+// emits an op frame only when the batch actually contains a delete;
+// insert-only batches — and every batch of the legacy edge API — use
+// the v1 encoding byte for byte, so logs written by delete-free
+// workloads are indistinguishable from v1 logs. A reader that predates
+// the extension stops cleanly at the first op frame: the flagged length
+// word exceeds maxFrameBody, which the torn-tail rule treats as a clean
+// segment end, so old binaries never misread a delete as an insert.
+//
 // # Torn-tail rule
 //
 // A crash can leave a partially written final frame. The reader stops a
@@ -145,12 +159,24 @@ const (
 	// maxFrameBody bounds a frame's declared body size; anything larger
 	// is treated as a torn/corrupt frame, never allocated.
 	maxFrameBody = 1 << 27
+	// opFrameFlag marks an op frame in the length word. Deliberately past
+	// maxFrameBody so pre-extension readers stop cleanly at the first op
+	// frame instead of misreading delete records as inserts.
+	opFrameFlag uint32 = 1 << 31
+	// opDeleteBit carries a record's op kind in its set word (op frames
+	// only; a v1 frame with this bit set is corrupt).
+	opDeleteBit uint32 = 1 << 31
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = fmt.Errorf("wal: log closed")
+
+// ErrInsertOnly is returned by Open when the log holds delete ops but
+// the caller replays plain edges — the log was written by a dynamic
+// engine and cannot be replayed into an append-only one.
+var ErrInsertOnly = fmt.Errorf("wal: log contains delete ops but caller replays insert-only edges")
 
 // sealed is a read-only predecessor segment kept for replay until a
 // checkpoint covers it.
@@ -234,7 +260,29 @@ func writeTruncMarker(dir string, off int64) error {
 // Recovery that accounts for fewer edges than the log's truncation
 // marker is also an error — the missing prefix was deleted after a
 // checkpoint, so the caller must first restore the covering snapshot.
+//
+// Open replays insert-only logs; a surviving op frame with deletes
+// fails with ErrInsertOnly. Callers that can apply deletes use OpenOps.
 func Open(opts Options, seed int64, fn func(offset int64, edges []bipartite.Edge) error) (*Log, error) {
+	var edges []bipartite.Edge
+	return OpenOps(opts, seed, func(off int64, ops []bipartite.Op) error {
+		if bipartite.HasDeletes(ops) {
+			return fmt.Errorf("frame at offset %d: %w", off, ErrInsertOnly)
+		}
+		if fn == nil {
+			return nil
+		}
+		edges = bipartite.InsertEdges(edges, ops)
+		return fn(off, edges)
+	})
+}
+
+// OpenOps is Open for operation streams: surviving frames replay as op
+// batches (v1 edge frames arrive as insert ops), so a dynamic engine's
+// deletes survive a crash exactly like its inserts. The offset
+// bookkeeping is identical — one op advances the offset by one, as one
+// edge does.
+func OpenOps(opts Options, seed int64, fn func(offset int64, ops []bipartite.Op) error) (*Log, error) {
 	policy, err := opts.policy()
 	if err != nil {
 		return nil, err
@@ -262,8 +310,8 @@ func Open(opts Options, seed int64, fn func(offset int64, edges []bipartite.Edge
 		if sf.seq > maxSeq {
 			maxSeq = sf.seq
 		}
-		end, err := scanSegment(sf.path, func(off int64, edges []bipartite.Edge) error {
-			frameEnd := off + int64(len(edges))
+		end, err := scanSegment(sf.path, func(off int64, ops []bipartite.Op) error {
+			frameEnd := off + int64(len(ops))
 			switch {
 			case frameEnd <= l.next:
 				return nil // snapshot (or an earlier replay) already covers it
@@ -273,7 +321,7 @@ func Open(opts Options, seed int64, fn func(offset int64, edges []bipartite.Edge
 				return fmt.Errorf("wal: gap: log resumes at offset %d but only %d edges are accounted for", off, l.next)
 			}
 			if fn != nil {
-				if err := fn(off, edges); err != nil {
+				if err := fn(off, ops); err != nil {
 					return err
 				}
 			}
@@ -345,7 +393,28 @@ func (l *Log) rotateLocked() error {
 // leaves the batch's durability undefined (a torn frame may or may not
 // survive); callers must treat it as fatal for the log.
 func (l *Log) Append(edges []bipartite.Edge) (int64, error) {
-	if len(edges) == 0 {
+	return l.appendFrame(len(edges), func(off int64) []byte {
+		return l.encodeFrameLocked(off, edges)
+	})
+}
+
+// AppendOps logs one operation batch. Insert-only batches are encoded
+// as plain v1 edge frames — byte-identical to the Append of the same
+// edges — and only batches that actually carry a delete use the flagged
+// op encoding, so the on-disk format changes exactly when the semantics
+// do. Offset accounting counts ops, mirroring Append's edge count.
+func (l *Log) AppendOps(ops []bipartite.Op) (int64, error) {
+	opFrame := bipartite.HasDeletes(ops)
+	return l.appendFrame(len(ops), func(off int64) []byte {
+		return l.encodeOpsFrameLocked(off, ops, opFrame)
+	})
+}
+
+// appendFrame is the shared append path: rotation, encode (under
+// writeMu, via enc), write, offset advance, and policy-driven sync.
+// count is the number of records the frame accounts for.
+func (l *Log) appendFrame(count int, enc func(off int64) []byte) (int64, error) {
+	if count == 0 {
 		l.writeMu.Lock()
 		off := l.next
 		l.writeMu.Unlock()
@@ -363,12 +432,12 @@ func (l *Log) Append(edges []bipartite.Edge) (int64, error) {
 		}
 	}
 	off := l.next
-	frame := l.encodeFrameLocked(off, edges)
+	frame := enc(off)
 	if _, err := l.f.Write(frame); err != nil {
 		l.writeMu.Unlock()
 		return 0, fmt.Errorf("wal: appending frame: %w", err)
 	}
-	end := off + int64(len(edges))
+	end := off + int64(count)
 	l.next = end
 	l.segBytes += int64(len(frame))
 	l.appends.Add(1)
@@ -445,6 +514,35 @@ func (l *Log) encodeFrameLocked(off int64, edges []bipartite.Edge) []byte {
 	for i, e := range edges {
 		putU32(buf[16+8*i:], e.Set)
 		putU32(buf[20+8*i:], e.Elem)
+	}
+	putU32(buf[4:], crc32.Checksum(buf[8:], castagnoli))
+	return buf
+}
+
+// encodeOpsFrameLocked builds an op-batch frame into the scratch
+// buffer. With opFrame false (an insert-only batch) the output is
+// byte-identical to encodeFrameLocked on the batch's edges. Caller
+// holds writeMu.
+func (l *Log) encodeOpsFrameLocked(off int64, ops []bipartite.Op, opFrame bool) []byte {
+	body := 8 + 8*len(ops)
+	need := frameHeader + body
+	if cap(l.scratch) < need {
+		l.scratch = make([]byte, need)
+	}
+	buf := l.scratch[:need]
+	length := uint32(body)
+	if opFrame {
+		length |= opFrameFlag
+	}
+	putU32(buf[0:], length)
+	putU64(buf[8:], uint64(off))
+	for i, op := range ops {
+		set := op.Edge.Set
+		if opFrame && op.Kind == bipartite.OpDelete {
+			set |= opDeleteBit
+		}
+		putU32(buf[16+8*i:], set)
+		putU32(buf[20+8*i:], op.Edge.Elem)
 	}
 	putU32(buf[4:], crc32.Checksum(buf[8:], castagnoli))
 	return buf

@@ -212,6 +212,36 @@ func (c *Conn) Send(edges []bipartite.Edge) error {
 	return nil
 }
 
+// SendOps frames one operation batch (inserts and deletes) at the
+// current stream offset — the op-plane Send. The session's hello must
+// have set Ops (the server rejects unannounced op frames), and offsets
+// advance by the op count, so Flush and reconnect-resume semantics are
+// identical to the edge plane's.
+func (c *Conn) SendOps(ops []bipartite.Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if err := c.Err(); err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	body, err := AppendOpBatch(c.body[:0], c.offset, ops)
+	if err != nil {
+		return err
+	}
+	c.body = body
+	c.frame = AppendFrame(c.frame[:0], FrameOpBatch, body)
+	if _, err := c.bw.Write(c.frame); err != nil {
+		return c.sendErr(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return c.sendErr(err)
+	}
+	c.offset += int64(len(ops))
+	return nil
+}
+
 // sendErr prefers the reader's terminal error (a typed server reject)
 // over the raw write failure it usually causes.
 func (c *Conn) sendErr(err error) error {

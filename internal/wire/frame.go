@@ -74,6 +74,13 @@ const (
 	// FrameError carries a typed protocol reject; the server closes the
 	// connection after sending one.
 	FrameError byte = 6
+	// FrameOpBatch carries one operation batch (inserts and deletes) at
+	// an explicit stream offset — the dynamic engine's ingest frame. A
+	// client may send it only after a hello with Ops set, which the
+	// server accepts only when the target engine supports deletes; a
+	// pre-extension server that never saw the flag rejects the unknown
+	// frame type, so deletes are never silently dropped or misread.
+	FrameOpBatch byte = 7
 )
 
 // frameHeader is the fixed frame prefix: type, body length, body CRC.
@@ -181,6 +188,13 @@ type Hello struct {
 	// CheckWeights makes the server compare WeightSig against the
 	// engine's weight signature and reject on mismatch.
 	CheckWeights bool
+	// Ops announces that the session may send op-batch frames (inserts
+	// and deletes). The server rejects the hello with CodeOpsUnsupported
+	// unless the target engine supports deletes, so a client learns at
+	// handshake time — not first-delete time — that it picked the wrong
+	// engine. Plain edge-batch sessions leave it unset and their hello
+	// bytes are unchanged from the pre-extension protocol.
+	Ops bool
 	// WeightSig is the expected weight-table signature (0 = unweighted);
 	// only compared when CheckWeights is set.
 	WeightSig uint64
@@ -221,6 +235,9 @@ func AppendHello(dst []byte, h Hello) ([]byte, error) {
 	if h.CheckWeights {
 		flags |= 1
 	}
+	if h.Ops {
+		flags |= 2
+	}
 	dst = append(dst, flags)
 	dst = appendString(dst, h.Namespace)
 	dst = appendString(dst, h.Stream)
@@ -235,6 +252,7 @@ func DecodeHello(body []byte) (Hello, error) {
 		return h, fmt.Errorf("%w: empty hello", ErrBadFrame)
 	}
 	h.CheckWeights = body[0]&1 != 0
+	h.Ops = body[0]&2 != 0
 	rest := body[1:]
 	var err error
 	if h.Namespace, rest, err = decodeString(rest); err != nil {
@@ -343,6 +361,73 @@ func DecodeBatch(body []byte, edges *[]bipartite.Edge) (offset int64, err error)
 	return int64(off), nil
 }
 
+// opDeleteBit carries a record's op kind in its set word within an
+// op-batch body — the same convention as the WAL's op frames, so the
+// two planes cannot drift apart.
+const opDeleteBit uint32 = 1 << 31
+
+// AppendOpBatch encodes an op-batch frame body: the stream offset of
+// the first op, then the ops as (set|kind, elem) uint32 pairs with the
+// kind in the set word's top bit (set → delete). Offsets count ops, so
+// the watermark arithmetic of the batch plane carries over unchanged.
+func AppendOpBatch(dst []byte, offset int64, ops []bipartite.Op) ([]byte, error) {
+	if len(ops) > MaxBatchEdges {
+		return dst, fmt.Errorf("%w: batch of %d ops exceeds limit %d", ErrBadFrame, len(ops), MaxBatchEdges)
+	}
+	if offset < 0 {
+		return dst, fmt.Errorf("%w: negative batch offset %d", ErrBadFrame, offset)
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(offset))
+	for _, op := range ops {
+		set := op.Edge.Set
+		switch op.Kind {
+		case bipartite.OpInsert:
+		case bipartite.OpDelete:
+			set |= opDeleteBit
+		default:
+			return dst, fmt.Errorf("%w: unknown op kind %d", ErrBadFrame, op.Kind)
+		}
+		if op.Edge.Set&opDeleteBit != 0 {
+			return dst, fmt.Errorf("%w: set id %d collides with the delete flag", ErrBadFrame, op.Edge.Set)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, set)
+		dst = binary.LittleEndian.AppendUint32(dst, op.Edge.Elem)
+	}
+	return dst, nil
+}
+
+// DecodeOpBatch decodes an op-batch frame body, appending the ops to
+// *ops (reset to length 0 first) with the same buffer-reuse contract as
+// DecodeBatch.
+func DecodeOpBatch(body []byte, ops *[]bipartite.Op) (offset int64, err error) {
+	if len(body) < 8 || (len(body)-8)%8 != 0 {
+		return 0, fmt.Errorf("%w: op-batch body of %d bytes", ErrBadFrame, len(body))
+	}
+	off := binary.LittleEndian.Uint64(body)
+	if off > math.MaxInt64 {
+		return 0, fmt.Errorf("%w: op-batch offset overflows int64", ErrBadFrame)
+	}
+	n := (len(body) - 8) / 8
+	out := (*ops)[:0]
+	if cap(out) < n {
+		out = make([]bipartite.Op, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		set := binary.LittleEndian.Uint32(body[8+8*i:])
+		kind := bipartite.OpInsert
+		if set&opDeleteBit != 0 {
+			kind = bipartite.OpDelete
+			set &^= opDeleteBit
+		}
+		out = append(out, bipartite.Op{
+			Kind: kind,
+			Edge: bipartite.Edge{Set: set, Elem: binary.LittleEndian.Uint32(body[12+8*i:])},
+		})
+	}
+	*ops = out
+	return int64(off), nil
+}
+
 // AppendAck encodes an ack frame body.
 func AppendAck(dst []byte, watermark int64) []byte {
 	return binary.LittleEndian.AppendUint64(dst, uint64(watermark))
@@ -379,6 +464,10 @@ const (
 	// connection (named streams are single-writer so the resumable
 	// watermark stays consistent).
 	CodeStreamBusy uint16 = 7
+	// CodeOpsUnsupported: the hello requested op batches (Hello.Ops) but
+	// the target engine cannot apply deletes, or an op-batch frame
+	// arrived on a session that never negotiated ops.
+	CodeOpsUnsupported uint16 = 8
 )
 
 // WireError is a protocol reject the server sent before closing the

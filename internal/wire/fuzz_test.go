@@ -33,6 +33,11 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, FrameHelloAck, AppendHelloAck(nil, HelloAck{Watermark: 7, NamespaceEdges: 9, Engine: "sieve", WeightSig: 1})))
 	batch, _ := AppendBatch(nil, 128, []bipartite.Edge{{Set: 1, Elem: 2}, {Set: 3, Elem: 4}})
 	f.Add(AppendFrame(nil, FrameBatch, batch))
+	opBatch, _ := AppendOpBatch(nil, 64, []bipartite.Op{
+		{Kind: bipartite.OpInsert, Edge: bipartite.Edge{Set: 1, Elem: 2}},
+		{Kind: bipartite.OpDelete, Edge: bipartite.Edge{Set: 1, Elem: 2}},
+	})
+	f.Add(AppendFrame(nil, FrameOpBatch, opBatch))
 	f.Add(AppendFrame(nil, FrameAck, AppendAck(nil, 1<<40)))
 	f.Add(AppendFrame(nil, FrameFlush, nil))
 	f.Add(AppendFrame(nil, FrameError, AppendError(nil, CodeGap, "gap")))
@@ -52,6 +57,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		r := bytes.NewReader(data)
 		var buf []byte
 		var edges []bipartite.Edge
+		var ops []bipartite.Op
 		for {
 			typ, body, err := ReadFrame(r, buf, maxBody)
 			if err != nil {
@@ -69,6 +75,7 @@ func FuzzDecodeFrame(f *testing.F) {
 				func() error { _, err := DecodeHello(body); return err },
 				func() error { _, err := DecodeHelloAck(body); return err },
 				func() error { _, err := DecodeBatch(body, &edges); return err },
+				func() error { _, err := DecodeOpBatch(body, &ops); return err },
 				func() error { _, err := DecodeAck(body); return err },
 				func() error { _, err := DecodeError(body); return err },
 			}
@@ -79,6 +86,9 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 			if cap(edges) > maxBody/8+1 {
 				t.Fatalf("edge buffer grew to %d entries for %d-byte bodies", cap(edges), maxBody)
+			}
+			if cap(ops) > maxBody/8+1 {
+				t.Fatalf("op buffer grew to %d entries for %d-byte bodies", cap(ops), maxBody)
 			}
 			buf = body[:0]
 		}
@@ -93,7 +103,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add("ns.a-b_c", "loader/7", "weighted", true, ^uint64(0), int64(1)<<62, uint16(7), bytes.Repeat([]byte{0xA5}, 80))
 	f.Fuzz(func(t *testing.T, ns, stream, engine string, checkW bool, sig uint64, offset int64, code uint16, raw []byte) {
 		// Hello round trip (encode refuses overlong strings; skip those).
-		h := Hello{Namespace: ns, Stream: stream, Engine: engine, CheckWeights: checkW, WeightSig: sig}
+		h := Hello{Namespace: ns, Stream: stream, Engine: engine, CheckWeights: checkW, Ops: sig&1 != 0, WeightSig: sig}
 		if body, err := AppendHello(nil, h); err == nil {
 			got, err := DecodeHello(body)
 			if err != nil {
@@ -156,6 +166,38 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		for i := range edges {
 			if gotEdges[i] != edges[i] {
 				t.Fatalf("edge %d: %v != %v", i, gotEdges[i], edges[i])
+			}
+		}
+
+		// Op-batch round trip: the same edges with kinds derived from the
+		// raw bytes (the delete flag's bit position is reserved, so it is
+		// masked out of the set id first).
+		if offset >= 0 {
+			opsIn := make([]bipartite.Op, len(edges))
+			for i, e := range edges {
+				kind := bipartite.OpInsert
+				if e.Set&(1<<30) != 0 {
+					kind = bipartite.OpDelete
+				}
+				e.Set &^= 1 << 31
+				opsIn[i] = bipartite.Op{Kind: kind, Edge: e}
+			}
+			obody, err := AppendOpBatch(nil, offset, opsIn)
+			if err != nil {
+				t.Fatalf("AppendOpBatch: %v", err)
+			}
+			var opsOut []bipartite.Op
+			gotOff, err := DecodeOpBatch(obody, &opsOut)
+			if err != nil {
+				t.Fatalf("DecodeOpBatch: %v", err)
+			}
+			if gotOff != offset || len(opsOut) != len(opsIn) {
+				t.Fatalf("op batch round trip: offset %d→%d, %d→%d ops", offset, gotOff, len(opsIn), len(opsOut))
+			}
+			for i := range opsIn {
+				if opsOut[i] != opsIn[i] {
+					t.Fatalf("op %d: %+v != %+v", i, opsOut[i], opsIn[i])
+				}
 			}
 		}
 

@@ -323,6 +323,14 @@ func (s *Server) handleConn(c net.Conn) error {
 		return s.reject(bw, CodeWeightsMismatch,
 			"namespace %q weight signature %d, client expects %d", hello.Namespace, eng.WeightSig(), hello.WeightSig)
 	}
+	// Ops negotiation: a session that may delete must say so up front,
+	// and is turned away at the handshake — not at its first delete —
+	// when the engine cannot honor it. Sessions that do not negotiate
+	// ops keep the pre-extension handshake bytes exactly.
+	if hello.Ops && !eng.SupportsDeletes() {
+		return s.reject(bw, CodeOpsUnsupported,
+			"namespace %q runs engine %q, which does not support delete ops", hello.Namespace, eng.ModeName())
+	}
 
 	var watermark int64
 	key := ""
@@ -356,6 +364,7 @@ func (s *Server) handleConn(c net.Conn) error {
 	// returning, so the buffer is immediately reusable.
 	var (
 		edges      []bipartite.Edge
+		ops        []bipartite.Op
 		frameSeen  int
 		ackEvery   = s.opt.ackEvery()
 		ackScratch = make([]byte, 0, frameHeader+8)
@@ -430,6 +439,50 @@ func (s *Server) handleConn(c net.Conn) error {
 			// engine, in the WAL, which Ingest appends to before any shard
 			// can observe the batch. An acked watermark therefore never
 			// exceeds the engine's (or the log's) ingested-edge count.
+			watermark = end
+			if key != "" {
+				s.storeWatermark(key, watermark)
+			}
+			s.edgesTotal.Add(int64(len(batch)))
+			frameSeen++
+			if frameSeen%ackEvery == 0 {
+				if err := writeAck(); err != nil {
+					return err
+				}
+			}
+		case FrameOpBatch:
+			if !hello.Ops {
+				return s.reject(bw, CodeOpsUnsupported, "op batch on a session that did not negotiate ops")
+			}
+			offset, err := DecodeOpBatch(body, &ops)
+			if err != nil {
+				return s.reject(bw, CodeBadFrame, "%v", err)
+			}
+			s.framesTotal.Add(1)
+			end := offset + int64(len(ops))
+			if end <= watermark {
+				s.dupFrames.Add(1)
+				frameSeen++
+				if frameSeen%ackEvery == 0 {
+					if err := writeAck(); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			if offset > watermark {
+				return s.reject(bw, CodeGap,
+					"op batch at offset %d leaves a gap after watermark %d", offset, watermark)
+			}
+			// Same trim-and-ingest shape as the edge plane; offsets count
+			// ops, so a reconnect resumes deletes exactly once too.
+			batch := ops[watermark-offset:]
+			stallsBefore := eng.IngestStalls()
+			if _, err := eng.IngestOps(batch); err != nil {
+				s.ingestErrors.Add(1)
+				return s.reject(bw, CodeIngest, "ingest: %v", err)
+			}
+			s.ingestStalls.Add(eng.IngestStalls() - stallsBefore)
 			watermark = end
 			if key != "" {
 				s.storeWatermark(key, watermark)

@@ -1,0 +1,62 @@
+package streamcover
+
+// The public surface of the dynamic (insert/delete) engine mode: a
+// turnstile-stream coverage service backed by the leveled L0 edge
+// sampler (internal/l0, DESIGN.md §14). Inserts behave exactly like the
+// other engines'; Delete retracts previously inserted edges, and
+// queries answer on the exact incidence list the sampler recovers from
+// the net (insert − delete) edge multiset.
+
+import (
+	"repro/internal/bipartite"
+	"repro/internal/server"
+)
+
+// Op is one element of a dynamic stream: an edge plus whether it is
+// being retracted. The zero Op inserts.
+type Op struct {
+	// Delete retracts one previously inserted copy of Edge. A stream is
+	// valid when no edge is ever deleted more times than it was inserted.
+	Delete bool
+	Edge   Edge
+}
+
+// NewDynamicService starts a dynamic coverage service: the only engine
+// mode that accepts deletes. Its sampler is a linear function of the
+// net op multiset, so answers are independent of op order, sharding and
+// batching — and insert-only usage answers the same queries the sketch
+// engine does on small streams (both recover the stream exactly while
+// it fits their budget). It is NewService with opt.Engine = "dynamic".
+func NewDynamicService(numSets int, opt ServiceOptions) (*Service, error) {
+	opt.Engine = string(server.ModeDynamic)
+	return NewService(numSets, opt)
+}
+
+// ApplyOps absorbs one batch of inserts and deletes. Insert-only
+// batches take exactly the Ingest path on any engine; a batch carrying
+// deletes requires a dynamic service and fails with a typed error
+// (server.ErrDeletesUnsupported) on the append-only engines. Safe for
+// concurrent use; all-or-nothing like Ingest.
+func (s *Service) ApplyOps(ops []Op) error {
+	conv := make([]bipartite.Op, len(ops))
+	for i, op := range ops {
+		kind := bipartite.OpInsert
+		if op.Delete {
+			kind = bipartite.OpDelete
+		}
+		conv[i] = bipartite.Op{Kind: kind, Edge: bipartite.Edge{Set: op.Edge.Set, Elem: op.Edge.Elem}}
+	}
+	_, err := s.engine.IngestOps(conv)
+	return err
+}
+
+// Delete retracts a batch of previously inserted edges — ApplyOps with
+// every op a delete. Dynamic services only.
+func (s *Service) Delete(edges []Edge) error {
+	conv := make([]bipartite.Edge, len(edges))
+	for i, e := range edges {
+		conv[i] = bipartite.Edge{Set: e.Set, Elem: e.Elem}
+	}
+	_, err := s.engine.IngestOps(bipartite.Deletes(conv))
+	return err
+}

@@ -51,7 +51,10 @@ type ServiceOptions struct {
 	// engine answers KCover only (outlier and full-greedy queries return
 	// an error), is single-pass order-dependent rather than
 	// merge-invariant, and its answers are exact over the buffered
-	// candidates. NewSieveService is the explicit constructor.
+	// candidates. NewSieveService is the explicit constructor. "dynamic"
+	// selects the insert/delete L0-sampler engine — the only mode whose
+	// ApplyOps/Delete accept retractions; NewDynamicService is its
+	// explicit constructor.
 	Engine string
 	// Durability, when non-nil, gives the service a write-ahead log:
 	// accepted batches are logged before the ingest workers see them, and

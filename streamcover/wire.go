@@ -27,13 +27,19 @@ type WireHello struct {
 	// at ResumeOffset with server-side deduplication of any overlap.
 	Stream string
 	// Engine, when non-empty, must match the namespace's engine mode
-	// ("sketch", "weighted", "sieve") or the handshake is rejected.
+	// ("sketch", "weighted", "sieve", "dynamic") or the handshake is
+	// rejected.
 	Engine string
 	// CheckWeights makes the handshake compare WeightSig against the
 	// namespace's weight signature.
 	CheckWeights bool
 	// WeightSig is the expected weight-table signature (with CheckWeights).
 	WeightSig uint64
+	// Ops announces that the session may send op batches (SendOps, with
+	// deletes). The handshake is rejected unless the namespace runs a
+	// delete-capable engine, so a producer learns at connect time — not
+	// first-delete time — that it picked the wrong namespace.
+	Ops bool
 }
 
 // IngestConn is a client-side wire ingest connection. Sends are
@@ -62,6 +68,7 @@ func DialIngest(addr string, h WireHello) (*IngestConn, error) {
 		Engine:       h.Engine,
 		CheckWeights: h.CheckWeights,
 		WeightSig:    h.WeightSig,
+		Ops:          h.Ops,
 	})
 	if err != nil {
 		return nil, err
@@ -96,6 +103,25 @@ func (c *IngestConn) Send(edges []Edge) error {
 	}
 	c.conv = conv
 	return c.c.Send(conv)
+}
+
+// SendOps streams one operation batch (inserts and deletes, pipelined;
+// the slice is reusable on return). The connection must have been
+// dialed with WireHello.Ops set, and the stream offset advances by the
+// op count, so Flush and reconnect-resume cover deletes exactly like
+// inserts.
+func (c *IngestConn) SendOps(ops []Op) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conv := make([]bipartite.Op, len(ops))
+	for i, op := range ops {
+		kind := bipartite.OpInsert
+		if op.Delete {
+			kind = bipartite.OpDelete
+		}
+		conv[i] = bipartite.Op{Kind: kind, Edge: bipartite.Edge{Set: op.Edge.Set, Elem: op.Edge.Elem}}
+	}
+	return c.c.SendOps(conv)
 }
 
 // SendStream drains st over the connection in batches of batchSize
